@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: cached experiment results and a writer that
+persists every regenerated figure under ``benchmarks/results/``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    get_cluster_results,
+    get_fig3_data,
+    get_study_results,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cluster_results():
+    """The Sec. 5.3 experiment grid (Figs. 9-12), run once per session."""
+    return get_cluster_results()
+
+
+@pytest.fixture(scope="session")
+def study_results():
+    """The FT-Search study (Figs. 4-6), run once per session."""
+    return get_study_results()
+
+
+@pytest.fixture(scope="session")
+def fig3_data():
+    return get_fig3_data()
+
+
+@pytest.fixture(scope="session")
+def save_figure():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return save

@@ -1,0 +1,70 @@
+"""Extension: the IC / cost frontier (pricing curve) for one application.
+
+Beyond the paper's three fixed IC levels (L.5/L.6/L.7), sweep the whole
+SLA range — including the penalty-mode tail past the feasibility edge
+(future-work item ii) — and print the pricing-style table a provider
+would derive fares from.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import static_replication, strategy_cost
+from repro.experiments.frontier import ic_cost_frontier, render_frontier
+from repro.workloads import generate_application
+
+TARGETS = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def test_ext_frontier(benchmark, save_figure):
+    app = generate_application(seed=2014)
+    sr_cost = strategy_cost(static_replication(app.deployment))
+
+    points = benchmark.pedantic(
+        lambda: ic_cost_frontier(
+            app.deployment, targets=TARGETS, time_limit=2.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    hard_table = render_frontier(
+        points,
+        reference_cost=sr_cost,
+        title=(
+            "Extension - IC/cost frontier (hard constraint), cost"
+            " relative to static replication"
+        ),
+    )
+
+    # Penalty mode continues the curve past the feasibility edge.
+    infeasible_targets = tuple(
+        p.target for p in points if not p.feasible
+    )
+    panels = [hard_table]
+    if infeasible_targets:
+        soft = ic_cost_frontier(
+            app.deployment,
+            targets=infeasible_targets,
+            time_limit=2.0,
+            penalty_weight=1e12,
+        )
+        panels.append(
+            render_frontier(
+                soft,
+                reference_cost=sr_cost,
+                title=(
+                    "Extension - penalty-mode tail (soft IC, weight 1e12)"
+                ),
+            )
+        )
+    save_figure("ext_frontier", "\n\n".join(panels))
+
+    feasible = [p for p in points if p.feasible]
+    assert len(feasible) >= 4
+    # Cost is monotone along the feasible frontier and below SR.
+    costs = [p.cost for p in feasible]
+    assert costs == sorted(costs)
+    assert all(cost <= sr_cost * (1 + 1e-9) for cost in costs)
+    # Feasibility eventually ends (generated apps overload in High).
+    assert any(math.isinf(p.cost) for p in points)

@@ -1,0 +1,33 @@
+"""Fig. 12: summary — mean drops, worst-case IC and cost, vs SR.
+
+Expected shape (paper): LAAR lets the provider dial execution cost by
+tuning the IC guarantee — cost (normalized to SR) grows monotonically
+with the requested IC while staying below both SR and GRD; dynamic
+variants drop a tiny fraction of SR's tuples.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig12_summary, render_fig12
+
+
+def test_fig12_summary(benchmark, cluster_results, save_figure):
+    summary = benchmark(fig12_summary, cluster_results)
+
+    save_figure("fig12_summary", render_fig12(cluster_results))
+
+    cost = {v: row["cost_vs_SR"] for v, row in summary.items()}
+    drops = {v: row["drops_vs_SR"] for v, row in summary.items()}
+    ic = {v: row["worst_case_ic"] for v, row in summary.items()}
+
+    # The headline property: cost tracks the requested reliability.
+    assert cost["NR"] < cost["L.5"] < cost["L.6"] < cost["L.7"] < 1.0
+    assert cost["GRD"] < 1.0
+    assert cost["SR"] == 1.0
+
+    # Reliability tracks cost.
+    assert ic["NR"] <= ic["L.5"] < ic["L.6"] < ic["L.7"] <= ic["SR"]
+
+    # Dynamic adaptation all but eliminates SR's drops.
+    for variant in ("L.5", "L.6", "L.7", "GRD"):
+        assert drops[variant] < 0.2

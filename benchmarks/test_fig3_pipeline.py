@@ -1,0 +1,43 @@
+"""Fig. 3: the Sec. 4.1 pipeline, static active replication vs LAAR.
+
+Regenerates both panels: CPU utilisation and input/output rates over a
+Low-High-Low trace. Expected shape (paper): with static replication the
+CPUs saturate during High and the output falls behind the input; with
+LAAR the output follows the input at lower CPU use.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.fig3 import build_pipeline_application, run_fig3
+from repro.experiments.figures import render_fig3
+
+
+def peak_mean(series, lo=35, hi=58):
+    return statistics.fmean(series.output_rate[lo:hi])
+
+
+def test_fig3_pipeline(benchmark, fig3_data, save_figure):
+    # Benchmark one full pipeline demo run (both variants, 90 s trace).
+    benchmark.pedantic(lambda: run_fig3(duration=30.0), rounds=1, iterations=1)
+
+    save_figure("fig3_pipeline", render_fig3(fig3_data))
+
+    static_peak = peak_mean(fig3_data.static)
+    laar_peak = peak_mean(fig3_data.laar)
+    # Paper shape: static saturates at ~5/8 of the High input; LAAR keeps up.
+    assert static_peak < 6.0
+    assert laar_peak > 7.5
+    # LAAR switched into High and back.
+    switched_to = [c for _, c in fig3_data.laar.config_switches]
+    assert switched_to == [1, 0]
+    # Static replication burns more CPU during Low (all replicas active)
+    # and saturates during High.
+    assert max(fig3_data.static.cpu_utilization) > 0.95
+
+
+def test_fig3_deployment_is_the_papers(benchmark):
+    descriptor, deployment = benchmark(build_pipeline_application)
+    assert len(descriptor.graph.pes) == 2
+    assert {h.capacity for h in deployment.hosts} == {1.0e9}

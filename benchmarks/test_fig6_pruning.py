@@ -1,0 +1,42 @@
+"""Fig. 6: pruning effectiveness of the four FT-Search rules.
+
+Expected shape (paper): the IC-based rule (COMPL) is applied most often,
+followed by forward domain propagation (DOM); CPU prunes fire earlier in
+the search and therefore cut taller branches; the cost-based rule is both
+the least used and the least effective (a tight lower bound needs depth).
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import PruneRule
+from repro.experiments.figures import render_fig6
+
+
+def test_fig6_pruning(benchmark, study_results, save_figure):
+    merged = benchmark(study_results.merged_stats)
+
+    save_figure("fig6_pruning", render_fig6(study_results))
+
+    shares = study_results.prune_shares()
+    heights = study_results.prune_heights()
+
+    assert merged.total_prunes > 0
+    assert sum(shares.values()) == pytest_approx_one()
+
+    # CPU prunes cut taller branches than COST prunes (fire earlier).
+    if shares[PruneRule.COST] > 0 and shares[PruneRule.CPU] > 0:
+        assert heights[PruneRule.CPU] >= heights[PruneRule.COST]
+
+    # The IC-based rule dominates (paper: COMPL most applied), and the
+    # cost rule stays a minor contributor. (Unlike the paper we observe
+    # DOM firing rarely — our value ordering explores "both active"
+    # first, so COMPL usually cuts the branch before propagation can;
+    # see EXPERIMENTS.md.)
+    assert shares[PruneRule.COMPLETENESS] == max(shares.values())
+    assert shares[PruneRule.COST] < shares[PruneRule.COMPLETENESS]
+
+
+def pytest_approx_one():
+    import pytest
+
+    return pytest.approx(1.0)

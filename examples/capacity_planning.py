@@ -1,0 +1,73 @@
+"""Capacity planning: pricing the reliability knob.
+
+The provider perspective of Section 3: the fee for running an application
+depends on the agreed SLA, and LAAR's key property (Fig. 9 / Fig. 12) is
+that execution cost tracks the requested IC guarantee. This example takes
+one synthetic 24-PE application from the paper's generator and sweeps the
+IC target, printing the resulting cost curve — the table a provider would
+use to price SLA tiers. It also demonstrates the penalty-mode optimizer
+(the paper's future-work item ii), where the IC target becomes a soft
+objective instead of a hard constraint.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import (
+    OptimizationProblem,
+    SearchOutcome,
+    ft_search,
+    static_replication,
+    strategy_cost,
+)
+from repro.workloads import generate_application
+
+GIGA = 1.0e9
+
+
+def main() -> None:
+    app = generate_application(seed=2014)
+    deployment = app.deployment
+    print(f"application: {app.name}  "
+          f"({len(app.descriptor.graph.pes)} PEs, "
+          f"Low {app.low_rate:.1f} t/s, High {app.high_rate:.1f} t/s)")
+
+    sr_cost = strategy_cost(static_replication(deployment))
+    print(f"static replication (IC 1.0 guarantee impossible here —"
+          f" High overloads): cost {sr_cost / GIGA:.2f} Gcyc/s\n")
+
+    print("IC target   outcome   cost (Gcyc/s)   vs SR    achieved IC")
+    print("-" * 62)
+    for target in (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8):
+        result = ft_search(
+            OptimizationProblem(deployment, ic_target=target),
+            time_limit=3.0,
+        )
+        if result.strategy is None:
+            print(f"{target:9.1f}   {result.outcome.value:7s}   "
+                  "-- no feasible strategy --")
+            continue
+        marker = "" if result.outcome is SearchOutcome.OPTIMAL else " (anytime)"
+        print(f"{target:9.1f}   {result.outcome.value:7s}   "
+              f"{result.best_cost / GIGA:13.2f}   "
+              f"{result.best_cost / sr_cost:5.2f}    "
+              f"{result.best_ic:.3f}{marker}")
+
+    # Future-work item (ii): soft IC with a violation penalty. The weight
+    # converts an IC deficit into cost units; sweeping it explores the
+    # cost/completeness frontier without hard infeasibility.
+    print("\npenalty mode (target 0.8, which is infeasible as a hard"
+          " constraint for most generated apps):")
+    print("penalty weight   cost (Gcyc/s)   achieved IC")
+    print("-" * 46)
+    for weight in (0.0, 1e9, 1e10, 1e11):
+        result = ft_search(
+            OptimizationProblem(deployment, ic_target=0.8),
+            time_limit=3.0,
+            penalty_weight=weight,
+        )
+        print(f"{weight:14.1e}   {result.best_cost / GIGA:13.2f}   "
+              f"{result.best_ic:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,322 @@
+"""Command-line interface: the LAAR workflow end-to-end.
+
+The CLI mirrors the deployment workflow of Fig. 7 on *application bundle*
+files — a single JSON document holding the descriptor, the replicated
+deployment, and the source rates:
+
+    python -m repro generate --seed 0 --pes 24 --out app.json
+    python -m repro optimize app.json --ic 0.5 --out strategy.json
+    python -m repro evaluate app.json --strategy strategy.json
+    python -m repro simulate app.json --strategy strategy.json \
+        --duration 60 --failure worst
+    python -m repro experiment fig3
+
+``experiment`` regenerates one paper figure and prints its table (same
+output the benchmark harness saves under benchmarks/results/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core import (
+    ActivationStrategy,
+    OptimizationProblem,
+    cpu_constraint_violations,
+    ft_search,
+    internal_completeness,
+    strategy_cost,
+)
+from repro.core.altmetrics import (
+    average_replication_factor,
+    output_completeness,
+)
+from repro.core.render import host_load_report, strategy_table
+from repro.dsps import (
+    PlatformConfig,
+    inject_host_crash,
+    inject_pessimistic_failures,
+    plan_host_crash,
+    two_level_trace,
+)
+from repro.errors import ReproError
+from repro.laar import ExtendedApplication, MiddlewareConfig
+from repro.workloads import ClusterParams, GeneratorParams, generate_application
+
+__all__ = ["main", "build_parser"]
+
+GIGA = 1.0e9
+
+
+# ----------------------------------------------------------------------
+# Bundle I/O
+# ----------------------------------------------------------------------
+
+def _write_bundle(path: Path, app) -> None:
+    from repro.workloads import save_bundle
+
+    save_bundle(app, path)
+
+
+def _read_bundle(path: Path):
+    from repro.workloads import load_bundle
+
+    app = load_bundle(path)
+    payload = {"low_rate": app.low_rate, "high_rate": app.high_rate}
+    return app.descriptor, app.deployment, payload
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    params = GeneratorParams(n_pes=args.pes)
+    cluster = ClusterParams(
+        n_hosts=args.hosts, cores_per_host=args.cores_per_host
+    )
+    app = generate_application(args.seed, params=params, cluster=cluster)
+    _write_bundle(Path(args.out), app)
+    print(
+        f"generated {app.name}: {args.pes} PEs on {args.hosts} hosts,"
+        f" Low {app.low_rate:.2f} t/s, High {app.high_rate:.2f} t/s"
+        f" -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    _, deployment, _ = _read_bundle(Path(args.bundle))
+    problem = OptimizationProblem(deployment, ic_target=args.ic)
+    result = ft_search(
+        problem,
+        time_limit=args.time_limit,
+        penalty_weight=args.penalty,
+        seed_incumbent=True,
+    )
+    print(
+        f"FT-Search: {result.outcome.value}"
+        f" ({result.stats.nodes_expanded} nodes, {result.elapsed:.2f}s)"
+    )
+    if result.strategy is None:
+        print("no strategy found", file=sys.stderr)
+        return 1
+    print(
+        f"cost {result.best_cost / GIGA:.3f} Gcyc/s,"
+        f" guaranteed IC {result.best_ic:.3f}"
+    )
+    result.strategy.to_json(Path(args.out))
+    print(f"strategy written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _, deployment, _ = _read_bundle(Path(args.bundle))
+    strategy = ActivationStrategy.from_json(deployment, Path(args.strategy))
+    ic = internal_completeness(strategy)
+    cost = strategy_cost(strategy)
+    violations = cpu_constraint_violations(strategy)
+    print(f"strategy: {strategy.name}")
+    print(f"  pessimistic IC:        {ic:.3f}")
+    print(f"  output completeness:   {output_completeness(strategy):.3f}")
+    print(
+        "  avg replication:       "
+        f"{average_replication_factor(strategy):.3f}"
+    )
+    print(f"  cost:                  {cost / GIGA:.3f} Gcyc/s")
+    if violations:
+        print(f"  CPU violations:        {len(violations)} (Eq. 11 broken!)")
+        for host, config, load, capacity in violations[:5]:
+            print(
+                f"    host {host} config {config}:"
+                f" {load / GIGA:.2f} >= {capacity / GIGA:.2f} Gcyc/s"
+            )
+        return 1
+    print("  CPU constraint:        satisfied in every configuration")
+    if args.verbose:
+        print("\nactivation matrix (replica bits per configuration):")
+        print(strategy_table(strategy))
+        print("\nhost load / capacity (Eq. 11):")
+        print(host_load_report(strategy))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import random
+
+    _, deployment, payload = _read_bundle(Path(args.bundle))
+    strategy = ActivationStrategy.from_json(deployment, Path(args.strategy))
+    trace = two_level_trace(
+        payload["low_rate"], payload["high_rate"], duration=args.duration
+    )
+    extended = ExtendedApplication(
+        deployment,
+        strategy,
+        {source: trace for source in deployment.descriptor.graph.sources},
+        platform_config=PlatformConfig(
+            arrival_jitter=args.jitter, seed=args.seed
+        ),
+        middleware_config=MiddlewareConfig(
+            monitor_interval=2.0,
+            rate_tolerance=0.25,
+            down_confirmation=2,
+            dynamic=not args.static,
+        ),
+    )
+    if args.failure == "worst":
+        victims = inject_pessimistic_failures(extended.platform, strategy)
+        print(f"worst case: crashed {len(victims)} replicas")
+    elif args.failure == "crash":
+        plan = plan_host_crash(
+            extended.platform,
+            trace.segment_windows("High"),
+            random.Random(args.seed),
+        )
+        inject_host_crash(extended.platform, plan)
+        print(
+            f"host crash: {plan.host} at t={plan.crash_time:.1f}s for"
+            f" {plan.downtime:.0f}s"
+        )
+    metrics = extended.run()
+    report = {
+        "input": metrics.total_input,
+        "output": metrics.total_output,
+        "processed": metrics.tuples_processed,
+        "dropped": metrics.logical_dropped,
+        "cpu_seconds": round(metrics.total_cpu_time, 3),
+        "config_switches": len(metrics.config_switches),
+    }
+    print(json.dumps(report, indent=2))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        get_cluster_results,
+        get_fig3_data,
+        get_study_results,
+    )
+    from repro.experiments import figures
+
+    name = args.figure
+    if name == "all":
+        from repro.experiments.report_all import generate_report
+
+        target = args.out or "REPORT.md"
+        generate_report(path=target)
+        print(f"full report written to {target}")
+        return 0
+    if name == "fig3":
+        print(figures.render_fig3(get_fig3_data()))
+    elif name in ("fig4", "fig5", "fig6"):
+        study = get_study_results()
+        renderer = getattr(figures, f"render_{name}")
+        print(renderer(study))
+    elif name in ("fig9", "fig10", "fig11", "fig12"):
+        results = get_cluster_results()
+        renderer = getattr(figures, f"render_{name}")
+        print(renderer(results))
+    else:  # pragma: no cover - argparse choices prevent this
+        print(f"unknown figure {name}", file=sys.stderr)
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LAAR reproduction: generate, optimize, simulate.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a calibrated application bundle"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--pes", type=int, default=24)
+    generate.add_argument("--hosts", type=int, default=4)
+    generate.add_argument("--cores-per-host", type=int, default=12)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    optimize = commands.add_parser(
+        "optimize", help="run FT-Search on a bundle"
+    )
+    optimize.add_argument("bundle")
+    optimize.add_argument("--ic", type=float, required=True)
+    optimize.add_argument("--time-limit", type=float, default=10.0)
+    optimize.add_argument("--penalty", type=float, default=None)
+    optimize.add_argument("--out", required=True)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score a strategy against the model"
+    )
+    evaluate.add_argument("bundle")
+    evaluate.add_argument("--strategy", required=True)
+    evaluate.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the activation matrix and host-load tables",
+    )
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a strategy on the platform simulator"
+    )
+    simulate.add_argument("bundle")
+    simulate.add_argument("--strategy", required=True)
+    simulate.add_argument("--duration", type=float, default=60.0)
+    simulate.add_argument(
+        "--failure", choices=["none", "worst", "crash"], default="none"
+    )
+    simulate.add_argument("--jitter", type=float, default=0.35)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--static", action="store_true",
+        help="run without the Rate Monitor (NR/SR-style)",
+    )
+    simulate.add_argument("--out", default=None)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper figure (or all of them)"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=[
+            "fig3", "fig4", "fig5", "fig6",
+            "fig9", "fig10", "fig11", "fig12", "all",
+        ],
+    )
+    experiment.add_argument(
+        "--out", default=None,
+        help="with 'all': report file to write (default REPORT.md)",
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

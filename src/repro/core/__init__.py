@@ -1,0 +1,115 @@
+"""LAAR's core model: applications, deployments, IC, cost, and FT-Search.
+
+This package implements the paper's primary contribution in its off-line
+form: the service model of Section 3 (application graphs, descriptors,
+input configurations), the formal machinery of Section 4 (expected rates,
+the internal-completeness metric, the cost model, failure models, replica
+activation strategies) and the FT-Search optimizer of Section 4.5 with the
+NR/SR/GRD baselines of Section 5.2.
+"""
+
+from repro.core.altmetrics import (
+    average_replication_factor,
+    output_completeness,
+)
+from repro.core.application import ApplicationGraph, Component, ComponentKind, Edge
+from repro.core.baselines import (
+    greedy_deactivation,
+    non_replicated,
+    static_replication,
+)
+from repro.core.configurations import (
+    ConfigurationSpace,
+    InputConfiguration,
+    bin_rates,
+)
+from repro.core.cost import (
+    CostBreakdown,
+    cost_breakdown,
+    cpu_constraint_violations,
+    host_load_table,
+    strategy_cost,
+)
+from repro.core.deployment import Host, ReplicaId, ReplicatedDeployment
+from repro.core.descriptor import ApplicationDescriptor, EdgeProfile
+from repro.core.failure_models import (
+    FailureModel,
+    IndependentFailureModel,
+    NoFailureModel,
+    PessimisticFailureModel,
+)
+from repro.core.ic import (
+    ICBreakdown,
+    best_case_internal_completeness,
+    failure_aware_rates,
+    failure_internal_completeness,
+    ic_breakdown,
+    internal_completeness,
+)
+from repro.core.optimizer import (
+    FTSearch,
+    FTSearchConfig,
+    JointResult,
+    OptimizationProblem,
+    PruneRule,
+    SearchOutcome,
+    SearchResult,
+    SearchStats,
+    StrategyEvaluation,
+    ft_search,
+    joint_optimize,
+)
+from repro.core.rates import RateTable, expected_rates
+from repro.core.render import host_load_report, strategy_table
+from repro.core.strategy import ActivationStrategy
+
+__all__ = [
+    "ApplicationGraph",
+    "Component",
+    "ComponentKind",
+    "Edge",
+    "ApplicationDescriptor",
+    "EdgeProfile",
+    "ConfigurationSpace",
+    "InputConfiguration",
+    "bin_rates",
+    "Host",
+    "ReplicaId",
+    "ReplicatedDeployment",
+    "ActivationStrategy",
+    "RateTable",
+    "expected_rates",
+    "FailureModel",
+    "NoFailureModel",
+    "PessimisticFailureModel",
+    "IndependentFailureModel",
+    "best_case_internal_completeness",
+    "failure_internal_completeness",
+    "internal_completeness",
+    "failure_aware_rates",
+    "ic_breakdown",
+    "ICBreakdown",
+    "strategy_cost",
+    "cost_breakdown",
+    "CostBreakdown",
+    "host_load_table",
+    "cpu_constraint_violations",
+    "static_replication",
+    "non_replicated",
+    "greedy_deactivation",
+    "FTSearch",
+    "FTSearchConfig",
+    "ft_search",
+    "OptimizationProblem",
+    "StrategyEvaluation",
+    "SearchOutcome",
+    "SearchResult",
+    "PruneRule",
+    "SearchStats",
+    "JointResult",
+    "joint_optimize",
+    "output_completeness",
+    "average_replication_factor",
+    "strategy_table",
+    "host_load_report",
+]

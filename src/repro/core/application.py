@@ -1,0 +1,328 @@
+"""Application model: components and the directed acyclic application graph.
+
+The paper (Section 3 and 4.2) models a stream processing *application* as a
+DAG ``G = (X, E)`` whose vertices are data *sources* (set ``I``), *processing
+elements* (set ``P``) and data *sinks* (set ``O``), and whose edges are
+communication channels. This module implements that structure together with
+the ``pred`` function (Eq. 1), validation, and the graph traversals the rest
+of the library relies on (topological order, reachability).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import GraphError
+
+__all__ = [
+    "ComponentKind",
+    "Component",
+    "Edge",
+    "ApplicationGraph",
+]
+
+
+class ComponentKind(enum.Enum):
+    """The role a component plays in the application graph."""
+
+    SOURCE = "source"
+    PE = "pe"
+    SINK = "sink"
+
+
+@dataclass(frozen=True, order=True)
+class Component:
+    """A vertex of the application graph.
+
+    Components are identified by ``name``; two components with the same name
+    are the same vertex. The ``kind`` determines the structural constraints
+    the graph enforces on the vertex (sources have no predecessors, sinks
+    have no successors, PEs have at least one of each).
+    """
+
+    name: str
+    kind: ComponentKind = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("component name must be a non-empty string")
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is ComponentKind.SOURCE
+
+    @property
+    def is_pe(self) -> bool:
+        return self.kind is ComponentKind.PE
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind is ComponentKind.SINK
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}:{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """A directed communication channel ``tail -> head``."""
+
+    tail: str
+    head: str
+
+    def __post_init__(self) -> None:
+        if self.tail == self.head:
+            raise GraphError(f"self-loop on component {self.tail!r}")
+
+
+class ApplicationGraph:
+    """A validated application DAG.
+
+    Parameters
+    ----------
+    components:
+        The vertices. Names must be unique.
+    edges:
+        Directed edges between component names. Both endpoints must exist.
+
+    Raises
+    ------
+    GraphError
+        If names collide, edges dangle, the graph has a cycle, a source has
+        predecessors, a sink has successors, a PE is missing predecessors or
+        successors, or there is no source / no sink at all.
+    """
+
+    def __init__(
+        self, components: Iterable[Component], edges: Iterable[Edge]
+    ) -> None:
+        self._components: dict[str, Component] = {}
+        for component in components:
+            if component.name in self._components:
+                raise GraphError(f"duplicate component name {component.name!r}")
+            self._components[component.name] = component
+
+        self._edges: list[Edge] = []
+        self._preds: dict[str, list[str]] = {n: [] for n in self._components}
+        self._succs: dict[str, list[str]] = {n: [] for n in self._components}
+        seen_edges: set[tuple[str, str]] = set()
+        for edge in edges:
+            if edge.tail not in self._components:
+                raise GraphError(f"edge tail {edge.tail!r} is not a component")
+            if edge.head not in self._components:
+                raise GraphError(f"edge head {edge.head!r} is not a component")
+            key = (edge.tail, edge.head)
+            if key in seen_edges:
+                raise GraphError(f"duplicate edge {edge.tail!r} -> {edge.head!r}")
+            seen_edges.add(key)
+            self._edges.append(edge)
+            self._preds[edge.head].append(edge.tail)
+            self._succs[edge.tail].append(edge.head)
+
+        self._validate_roles()
+        self._topological = self._compute_topological_order()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        sources: Sequence[str],
+        pes: Sequence[str],
+        sinks: Sequence[str],
+        edges: Iterable[tuple[str, str]],
+    ) -> "ApplicationGraph":
+        """Build a graph from plain name lists and ``(tail, head)`` pairs."""
+        components = (
+            [Component(n, ComponentKind.SOURCE) for n in sources]
+            + [Component(n, ComponentKind.PE) for n in pes]
+            + [Component(n, ComponentKind.SINK) for n in sinks]
+        )
+        return cls(components, [Edge(t, h) for t, h in edges])
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate_roles(self) -> None:
+        if not any(c.is_source for c in self._components.values()):
+            raise GraphError("application has no data source")
+        if not any(c.is_sink for c in self._components.values()):
+            raise GraphError("application has no data sink")
+        for component in self._components.values():
+            preds = self._preds[component.name]
+            succs = self._succs[component.name]
+            if component.is_source and preds:
+                raise GraphError(
+                    f"source {component.name!r} has predecessors {preds}"
+                )
+            if component.is_sink and succs:
+                raise GraphError(f"sink {component.name!r} has successors {succs}")
+            if component.is_source and not succs:
+                raise GraphError(f"source {component.name!r} has no successors")
+            if component.is_sink and not preds:
+                raise GraphError(f"sink {component.name!r} has no predecessors")
+            if component.is_pe and (not preds or not succs):
+                raise GraphError(
+                    f"PE {component.name!r} must have predecessors and successors"
+                )
+        for edge in self._edges:
+            if self._components[edge.head].is_pe:
+                continue
+            if self._components[edge.head].is_sink:
+                continue
+            raise GraphError(
+                f"edge {edge.tail!r} -> {edge.head!r} ends in a source"
+            )
+
+    def _compute_topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm [20]; raises on cycles."""
+        in_degree = {name: len(p) for name, p in self._preds.items()}
+        ready = deque(sorted(n for n, d in in_degree.items() if d == 0))
+        order: list[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for succ in self._succs[name]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._components):
+            unresolved = sorted(n for n, d in in_degree.items() if d > 0)
+            raise GraphError(f"application graph has a cycle through {unresolved}")
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def components(self) -> Mapping[str, Component]:
+        return dict(self._components)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(self._edges)
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        """Source names, in deterministic (sorted) order."""
+        return tuple(
+            sorted(n for n, c in self._components.items() if c.is_source)
+        )
+
+    @property
+    def pes(self) -> tuple[str, ...]:
+        """PE names in topological order (stable across runs)."""
+        return tuple(n for n in self._topological if self._components[n].is_pe)
+
+    @property
+    def sinks(self) -> tuple[str, ...]:
+        return tuple(sorted(n for n, c in self._components.items() if c.is_sink))
+
+    @property
+    def topological_order(self) -> tuple[str, ...]:
+        return self._topological
+
+    def kind(self, name: str) -> ComponentKind:
+        return self._component(name).kind
+
+    def pred(self, name: str) -> tuple[str, ...]:
+        """The ``pred`` function of Eq. 1: predecessors of ``name``."""
+        self._component(name)
+        return tuple(self._preds[name])
+
+    def succ(self, name: str) -> tuple[str, ...]:
+        self._component(name)
+        return tuple(self._succs[name])
+
+    def pe_input_edges(self, name: str) -> tuple[Edge, ...]:
+        """All edges entering PE ``name`` (the (x_j, x_i) pairs of Sec. 4.2)."""
+        component = self._component(name)
+        if not component.is_pe:
+            raise GraphError(f"{name!r} is not a PE")
+        return tuple(Edge(p, name) for p in self._preds[name])
+
+    def _component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise GraphError(f"unknown component {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def downstream_of(self, name: str) -> frozenset[str]:
+        """All components reachable from ``name`` (excluding ``name``)."""
+        self._component(name)
+        reached: set[str] = set()
+        frontier = deque(self._succs[name])
+        while frontier:
+            node = frontier.popleft()
+            if node in reached:
+                continue
+            reached.add(node)
+            frontier.extend(self._succs[node])
+        return frozenset(reached)
+
+    def upstream_of(self, name: str) -> frozenset[str]:
+        """All components that can reach ``name`` (excluding ``name``)."""
+        self._component(name)
+        reached: set[str] = set()
+        frontier = deque(self._preds[name])
+        while frontier:
+            node = frontier.popleft()
+            if node in reached:
+                continue
+            reached.add(node)
+            frontier.extend(self._preds[node])
+        return frozenset(reached)
+
+    def depth_of(self, name: str) -> int:
+        """Length of the longest path from any source to ``name``."""
+        depth: dict[str, int] = {}
+        for node in self._topological:
+            preds = self._preds[node]
+            depth[node] = 0 if not preds else 1 + max(depth[p] for p in preds)
+        self._component(name)
+        return depth[name]
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly description of the graph."""
+        return {
+            "sources": list(self.sources),
+            "pes": list(self.pes),
+            "sinks": list(self.sinks),
+            "edges": [[e.tail, e.head] for e in self._edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ApplicationGraph":
+        return cls.build(
+            sources=list(payload["sources"]),
+            pes=list(payload["pes"]),
+            sinks=list(payload["sinks"]),
+            edges=[tuple(e) for e in payload["edges"]],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApplicationGraph(sources={len(self.sources)}, "
+            f"pes={len(self.pes)}, sinks={len(self.sinks)}, "
+            f"edges={len(self._edges)})"
+        )

@@ -1,0 +1,106 @@
+"""Failure models: the function ``phi`` of Section 4.3.
+
+``phi(x_i, c, s)`` is the probability that at least one replica of PE
+``x_i`` is alive *and active* when the input configuration is ``c`` and the
+replica activation strategy is ``s``.
+
+The paper's optimization uses the *pessimistic* model of Eq. 14 (all
+replicas fail except one, the survivor is picked among the inactive ones,
+failures never recover), which yields a hard lower bound on IC. The paper's
+future-work item (i) asks for alternative models giving tighter bounds; the
+:class:`IndependentFailureModel` implements the natural candidate where
+every replica is independently available with a given probability.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.core.strategy import ActivationStrategy
+from repro.errors import ModelError
+
+__all__ = [
+    "FailureModel",
+    "NoFailureModel",
+    "PessimisticFailureModel",
+    "IndependentFailureModel",
+]
+
+
+class FailureModel(abc.ABC):
+    """Interface for failure models used by the IC metric and optimizer."""
+
+    @abc.abstractmethod
+    def phi(
+        self, pe: str, config_index: int, strategy: ActivationStrategy
+    ) -> float:
+        """Probability that PE ``pe`` keeps producing output in ``c``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class NoFailureModel(FailureModel):
+    """The best-case scenario: nothing ever fails.
+
+    With Eq. 12 in force (at least one replica active everywhere), phi is
+    identically one, so FIC == BIC and IC == 1.
+    """
+
+    def phi(
+        self, pe: str, config_index: int, strategy: ActivationStrategy
+    ) -> float:
+        return 1.0 if strategy.active_count(pe, config_index) >= 1 else 0.0
+
+
+@dataclass(frozen=True)
+class PessimisticFailureModel(FailureModel):
+    """Eq. 14: phi = 1 iff *all* k replicas are active in ``c``.
+
+    Rationale (Sec. 4.4): in the assumed worst case every replica fails
+    except one, and unless all replicas are active the survivor is chosen
+    among the inactive ones — so the PE produces output only in
+    configurations where the strategy keeps full replication.
+    """
+
+    def phi(
+        self, pe: str, config_index: int, strategy: ActivationStrategy
+    ) -> float:
+        return 1.0 if strategy.fully_replicated(pe, config_index) else 0.0
+
+
+@dataclass(frozen=True)
+class IndependentFailureModel(FailureModel):
+    """Every replica is independently available with probability ``availability``.
+
+    A PE produces output when at least one of its *active* replicas is
+    alive: ``phi = 1 - (1 - a)^m`` with ``m`` active replicas. This is the
+    paper's future-work item (i). With ``availability -> 1`` it degenerates
+    to the best case; note it is *not* uniformly bounded by the pessimistic
+    model, which rewards full replication with certainty (phi = 1) — an
+    independent model with low availability does not.
+
+    Note: feeding a non-0/1 ``phi`` into the Delta-hat recursion (Eq. 7)
+    computes the *expectation* of the output rate under independence of
+    failures across PEs — an approximation the paper's formulation shares.
+    """
+
+    availability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.availability <= 1.0:
+            raise ModelError(
+                f"availability must be in [0, 1], got {self.availability}"
+            )
+
+    def phi(
+        self, pe: str, config_index: int, strategy: ActivationStrategy
+    ) -> float:
+        active = strategy.active_count(pe, config_index)
+        if active == 0:
+            return 0.0
+        return 1.0 - math.pow(1.0 - self.availability, active)

@@ -1,0 +1,27 @@
+"""The LAAR off-line optimizer: problem statement and FT-Search.
+
+Implements the cost-minimization problem of Eq. 9-12 and the FT-Search
+branch-and-bound algorithm of Sec. 4.5, including the four pruning rules
+(CPU, COMPL, COST, DOM), outcome classification (BST/SOL/NUL/TMO), and the
+per-rule pruning statistics behind Fig. 6.
+"""
+
+from repro.core.optimizer.ftsearch import FTSearch, FTSearchConfig, ft_search
+from repro.core.optimizer.outcomes import SearchOutcome, SearchResult
+from repro.core.optimizer.placement_search import JointResult, joint_optimize
+from repro.core.optimizer.problem import OptimizationProblem, StrategyEvaluation
+from repro.core.optimizer.stats import PruneRule, SearchStats
+
+__all__ = [
+    "FTSearch",
+    "FTSearchConfig",
+    "ft_search",
+    "SearchOutcome",
+    "SearchResult",
+    "OptimizationProblem",
+    "StrategyEvaluation",
+    "PruneRule",
+    "SearchStats",
+    "JointResult",
+    "joint_optimize",
+]

@@ -1,0 +1,183 @@
+"""Joint placement / activation optimization (paper future-work item iii).
+
+The paper fixes the replicated placement ``theta`` before FT-Search runs
+and lists "considering the interaction of replica placement with optimal
+replica activation strategies" as future work. This module implements the
+natural first take: a local search over placements, where each candidate
+placement is *scored by the cost of its optimal activation strategy*.
+
+The neighbourhood is replica relocation: move one replica to a different
+host (keeping anti-affinity and core limits). Starting from the balanced
+LPT placement, the search greedily accepts the best improving move until
+no move improves or the budget runs out. Every candidate is evaluated by
+a (budgeted) FT-Search, so the result is a placement *and* its activation
+strategy, with the guarantee that the pair is at a local optimum of the
+relocation neighbourhood.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.deployment import Host, ReplicaId, ReplicatedDeployment
+from repro.core.descriptor import ApplicationDescriptor
+from repro.core.optimizer.ftsearch import ft_search
+from repro.core.optimizer.outcomes import SearchResult
+from repro.core.optimizer.problem import OptimizationProblem
+from repro.errors import DeploymentError, OptimizationError
+from repro.placement import balanced_placement
+
+__all__ = ["JointResult", "joint_optimize"]
+
+
+@dataclass(frozen=True)
+class JointResult:
+    """Outcome of the joint placement + activation search."""
+
+    deployment: ReplicatedDeployment
+    search: SearchResult
+    initial_cost: float
+    evaluated_placements: int
+    improving_moves: int
+
+    @property
+    def cost(self) -> float:
+        return self.search.best_cost
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction over the balanced-placement baseline."""
+        if not math.isfinite(self.initial_cost) or self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.cost / self.initial_cost
+
+
+def _evaluate(
+    deployment: ReplicatedDeployment,
+    ic_target: float,
+    search_time_limit: float,
+) -> SearchResult:
+    problem = OptimizationProblem(deployment, ic_target=ic_target)
+    return ft_search(problem, time_limit=search_time_limit)
+
+
+def _relocations(
+    deployment: ReplicatedDeployment,
+) -> list[tuple[ReplicaId, str]]:
+    """All single-replica moves preserving anti-affinity and core slots."""
+    moves = []
+    free = {
+        host.name: host.cores - len(deployment.replicas_on(host.name))
+        for host in deployment.hosts
+    }
+    for replica in deployment.replicas:
+        current = deployment.host_of(replica)
+        sibling_hosts = {
+            deployment.host_of(other)
+            for other in deployment.replicas_of(replica.pe)
+            if other != replica
+        }
+        for host in deployment.host_names:
+            if host == current or host in sibling_hosts:
+                continue
+            if free[host] < 1:
+                continue
+            moves.append((replica, host))
+    return moves
+
+
+def _apply_move(
+    deployment: ReplicatedDeployment,
+    replica: ReplicaId,
+    target_host: str,
+) -> ReplicatedDeployment:
+    assignment = {
+        other: deployment.host_of(other) for other in deployment.replicas
+    }
+    assignment[replica] = target_host
+    return ReplicatedDeployment(
+        deployment.descriptor,
+        deployment.hosts,
+        assignment,
+        deployment.replication_factor,
+    )
+
+
+def joint_optimize(
+    descriptor: ApplicationDescriptor,
+    hosts: Sequence[Host],
+    ic_target: float,
+    search_time_limit: float = 2.0,
+    max_rounds: int = 5,
+    time_limit: Optional[float] = 60.0,
+    initial: Optional[ReplicatedDeployment] = None,
+) -> JointResult:
+    """Greedy local search over placements, scoring by optimal activation cost.
+
+    Each round evaluates every legal single-replica relocation of the
+    current placement with a budgeted FT-Search and takes the best
+    improving one; the search stops at a local optimum, after
+    ``max_rounds`` rounds, or when ``time_limit`` expires. Candidates
+    whose FT-Search finds no strategy (infeasible or out of budget) score
+    ``inf`` and are never selected.
+
+    Raises :class:`OptimizationError` when even the initial placement
+    admits no strategy.
+    """
+    if max_rounds < 1:
+        raise OptimizationError("max_rounds must be >= 1")
+    deadline = (
+        None if time_limit is None else time.monotonic() + time_limit
+    )
+
+    current = initial if initial is not None else balanced_placement(
+        descriptor, hosts, replication_factor=2
+    )
+    current_result = _evaluate(current, ic_target, search_time_limit)
+    if current_result.strategy is None:
+        raise OptimizationError(
+            "initial placement admits no activation strategy"
+            f" ({current_result.outcome.value})"
+        )
+    initial_cost = current_result.best_cost
+    evaluated = 1
+    improving_moves = 0
+
+    for _ in range(max_rounds):
+        best_move: Optional[tuple[ReplicaId, str]] = None
+        best_result: Optional[SearchResult] = None
+        for replica, host in _relocations(current):
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            try:
+                candidate = _apply_move(current, replica, host)
+            except DeploymentError:
+                continue
+            result = _evaluate(candidate, ic_target, search_time_limit)
+            evaluated += 1
+            if result.strategy is None:
+                continue
+            if result.best_cost < current_result.best_cost * (1 - 1e-9) and (
+                best_result is None
+                or result.best_cost < best_result.best_cost
+            ):
+                best_move = (replica, host)
+                best_result = result
+        if best_move is None or best_result is None:
+            break
+        current = _apply_move(current, *best_move)
+        current_result = best_result
+        improving_moves += 1
+        if deadline is not None and time.monotonic() > deadline:
+            break
+
+    return JointResult(
+        deployment=current,
+        search=current_result,
+        initial_cost=initial_cost,
+        evaluated_placements=evaluated,
+        improving_moves=improving_moves,
+    )

@@ -1,0 +1,104 @@
+"""The LAAR cost-minimization problem (Eq. 9-12).
+
+    minimize   cost(s)                                   (Eq. 9)
+    subject to IC(s) >= SLA constraint                    (Eq. 10)
+               no host overloaded in any configuration    (Eq. 11)
+               >= 1 active replica of every PE everywhere (Eq. 12)
+
+The IC constraint is evaluated under the pessimistic failure model
+(Eq. 14) so that the promised IC is a lower bound on the IC observed on a
+real deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cost import cpu_constraint_violations, strategy_cost
+from repro.core.deployment import ReplicatedDeployment
+from repro.core.failure_models import FailureModel, PessimisticFailureModel
+from repro.core.ic import internal_completeness
+from repro.core.rates import RateTable
+from repro.core.strategy import ActivationStrategy
+from repro.errors import OptimizationError
+
+__all__ = ["OptimizationProblem", "StrategyEvaluation"]
+
+_IC_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class StrategyEvaluation:
+    """The result of checking one strategy against the problem."""
+
+    cost: float
+    ic: float
+    cpu_feasible: bool
+    ic_feasible: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.cpu_feasible and self.ic_feasible
+
+
+@dataclass(frozen=True)
+class OptimizationProblem:
+    """One instance of Eq. 9-12.
+
+    Parameters
+    ----------
+    deployment:
+        The replicated deployment (fixes the application, hosts, and
+        theta). FT-Search requires ``replication_factor == 2``.
+    ic_target:
+        The SLA constraint of Eq. 10, in [0, 1].
+    failure_model:
+        The phi used to evaluate IC. Defaults to the pessimistic model;
+        FT-Search's incremental bookkeeping also assumes it, so only the
+        exhaustive verifier accepts alternatives.
+    billing_period:
+        The T of Eq. 5/13. It scales BIC/FIC/cost identically, so it does
+        not change which strategy is optimal; it is exposed for reporting.
+    """
+
+    deployment: ReplicatedDeployment
+    ic_target: float
+    failure_model: FailureModel = field(default_factory=PessimisticFailureModel)
+    billing_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ic_target <= 1.0:
+            raise OptimizationError(
+                f"IC target must be in [0, 1], got {self.ic_target}"
+            )
+        if self.billing_period <= 0:
+            raise OptimizationError(
+                f"billing period must be > 0, got {self.billing_period}"
+            )
+
+    def rate_table(self) -> RateTable:
+        return RateTable(self.deployment.descriptor)
+
+    def evaluate(
+        self,
+        strategy: ActivationStrategy,
+        rate_table: Optional[RateTable] = None,
+    ) -> StrategyEvaluation:
+        """Check a strategy against Eq. 10-11 and compute its cost.
+
+        Eq. 12 is enforced structurally by :class:`ActivationStrategy`.
+        """
+        if strategy.deployment is not self.deployment:
+            raise OptimizationError(
+                "strategy was built for a different deployment"
+            )
+        if rate_table is None:
+            rate_table = self.rate_table()
+        cost = strategy_cost(strategy, rate_table, self.billing_period)
+        ic = internal_completeness(strategy, self.failure_model, rate_table)
+        cpu_ok = not cpu_constraint_violations(strategy, rate_table)
+        ic_ok = ic >= self.ic_target - _IC_TOLERANCE
+        return StrategyEvaluation(
+            cost=cost, ic=ic, cpu_feasible=cpu_ok, ic_feasible=ic_ok
+        )

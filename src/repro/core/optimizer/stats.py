@@ -1,0 +1,80 @@
+"""Search statistics: pruning effectiveness accounting (Fig. 6).
+
+The paper measures, per pruning strategy, (a) the relative number of domain
+values pruned and (b) the average height of the pruned search branches.
+Height is measured as the number of not-yet-assigned variables below the
+point where the value was discarded: discarding a value for the variable at
+depth ``d`` (0-based) in a tree of ``D`` variables cuts a subtree of height
+``D - d``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PruneRule", "SearchStats"]
+
+
+class PruneRule(enum.Enum):
+    """The four pruning strategies of Sec. 4.5."""
+
+    CPU = "CPU"
+    COMPLETENESS = "COMPL"
+    COST = "COST"
+    DOMAIN = "DOM"
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one FT-Search run."""
+
+    nodes_expanded: int = 0
+    values_tried: int = 0
+    solutions_found: int = 0
+    depth: int = 0
+    prune_counts: dict[PruneRule, int] = field(
+        default_factory=lambda: {rule: 0 for rule in PruneRule}
+    )
+    prune_height_sums: dict[PruneRule, int] = field(
+        default_factory=lambda: {rule: 0 for rule in PruneRule}
+    )
+
+    def record_prune(self, rule: PruneRule, height: int) -> None:
+        self.prune_counts[rule] += 1
+        self.prune_height_sums[rule] += height
+
+    @property
+    def total_prunes(self) -> int:
+        return sum(self.prune_counts.values())
+
+    def prune_share(self, rule: PruneRule) -> float:
+        """Fig. 6 (left): fraction of all pruned values due to ``rule``."""
+        total = self.total_prunes
+        if total == 0:
+            return 0.0
+        return self.prune_counts[rule] / total
+
+    def mean_prune_height(self, rule: PruneRule) -> float:
+        """Fig. 6 (right): average height of branches pruned by ``rule``."""
+        count = self.prune_counts[rule]
+        if count == 0:
+            return 0.0
+        return self.prune_height_sums[rule] / count
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Aggregate counters across runs (corpus-level Fig. 6 numbers)."""
+        merged = SearchStats(
+            nodes_expanded=self.nodes_expanded + other.nodes_expanded,
+            values_tried=self.values_tried + other.values_tried,
+            solutions_found=self.solutions_found + other.solutions_found,
+            depth=max(self.depth, other.depth),
+        )
+        for rule in PruneRule:
+            merged.prune_counts[rule] = (
+                self.prune_counts[rule] + other.prune_counts[rule]
+            )
+            merged.prune_height_sums[rule] = (
+                self.prune_height_sums[rule] + other.prune_height_sums[rule]
+            )
+        return merged

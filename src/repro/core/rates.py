@@ -1,0 +1,140 @@
+"""Expected output rates Delta(x, c) under the linear load model.
+
+Section 4.2: the output rate of a data source in configuration ``c`` is
+given by the descriptor; the expected output rate of a PE is, by the linear
+model (footnote 2), the selectivity-weighted sum of its predecessors' rates:
+
+    Delta(x_i, c) = sum_{x_j in pred(x_i)} delta(x_j, x_i) * Delta(x_j, c)
+
+These are the *failure-free* rates used by the cost model (Eq. 13) and the
+CPU constraint (Eq. 11). The failure-aware counterpart Delta-hat lives in
+:mod:`repro.core.ic`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.descriptor import ApplicationDescriptor
+
+__all__ = ["expected_rates", "RateTable"]
+
+
+def expected_rates(
+    descriptor: ApplicationDescriptor,
+) -> dict[str, tuple[float, ...]]:
+    """Compute Delta(x, c) for every component and configuration.
+
+    Returns a mapping from component name to a tuple of rates indexed by
+    configuration index. Sinks are included (their "rate" is the combined
+    arrival rate of tuples at the sink, useful for output-rate metrics).
+    """
+    graph = descriptor.graph
+    space = descriptor.configuration_space
+    n_configs = len(space)
+    rates: dict[str, list[float]] = {}
+
+    for name in graph.topological_order:
+        component = graph.components[name]
+        if component.is_source:
+            rates[name] = [space[c].rate_of(name) for c in range(n_configs)]
+        elif component.is_pe:
+            row = [0.0] * n_configs
+            for edge in graph.pe_input_edges(name):
+                selectivity = descriptor.selectivity(edge.tail, name)
+                upstream = rates[edge.tail]
+                for c in range(n_configs):
+                    row[c] += selectivity * upstream[c]
+            rates[name] = row
+        else:  # sink: plain sum of incoming rates, no selectivity
+            row = [0.0] * n_configs
+            for pred in graph.pred(name):
+                upstream = rates[pred]
+                for c in range(n_configs):
+                    row[c] += upstream[c]
+            rates[name] = row
+
+    return {name: tuple(row) for name, row in rates.items()}
+
+
+class RateTable:
+    """Cached Delta(x, c) lookups plus derived per-PE load figures.
+
+    Everything downstream of the descriptor (cost model, IC metric,
+    optimizer, workload calibration) needs the same rate table; build it
+    once and share it.
+    """
+
+    def __init__(self, descriptor: ApplicationDescriptor) -> None:
+        self._descriptor = descriptor
+        self._rates = expected_rates(descriptor)
+        self._n_configs = len(descriptor.configuration_space)
+
+    @property
+    def descriptor(self) -> ApplicationDescriptor:
+        return self._descriptor
+
+    @property
+    def n_configs(self) -> int:
+        return self._n_configs
+
+    def rate(self, component: str, config_index: int) -> float:
+        """Delta(component, c)."""
+        return self._rates[component][config_index]
+
+    def rates_of(self, component: str) -> tuple[float, ...]:
+        return self._rates[component]
+
+    def as_mapping(self) -> Mapping[str, tuple[float, ...]]:
+        return dict(self._rates)
+
+    def pe_input_rate(self, pe: str, config_index: int) -> float:
+        """Total tuples/s arriving at one replica of ``pe`` in ``c``.
+
+        This is the per-PE term of BIC (Eq. 5):
+        sum_{x_j in pred(x_i)} Delta(x_j, c).
+        """
+        graph = self._descriptor.graph
+        return sum(
+            self._rates[edge.tail][config_index]
+            for edge in graph.pe_input_edges(pe)
+        )
+
+    def replica_load(self, pe: str, config_index: int) -> float:
+        """CPU cycles/s one active replica of ``pe`` consumes in ``c``.
+
+        The per-replica term of Eq. 11 and Eq. 13:
+        sum_{x_j in pred(x_i)} gamma(x_j, x_i) * Delta(x_j, c).
+        """
+        descriptor = self._descriptor
+        graph = descriptor.graph
+        return sum(
+            descriptor.cpu_cost(edge.tail, pe)
+            * self._rates[edge.tail][config_index]
+            for edge in graph.pe_input_edges(pe)
+        )
+
+    def replica_load_matrix(self) -> tuple[np.ndarray, tuple[str, ...]]:
+        """Loads as an array of shape ``(n_pes, n_configs)``.
+
+        Returns the matrix together with the PE order (topological) its
+        rows follow. Used by the optimizer for fast bound computations.
+        """
+        pes = self._descriptor.graph.pes
+        matrix = np.array(
+            [
+                [self.replica_load(pe, c) for c in range(self._n_configs)]
+                for pe in pes
+            ],
+            dtype=float,
+        )
+        return matrix, pes
+
+    def total_pe_input_rate(self, config_index: int) -> float:
+        """Sum of ``pe_input_rate`` over all PEs (BIC integrand for ``c``)."""
+        return sum(
+            self.pe_input_rate(pe, config_index)
+            for pe in self._descriptor.graph.pes
+        )

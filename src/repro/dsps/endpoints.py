@@ -1,0 +1,84 @@
+"""Source and sink runtimes for the platform simulator.
+
+Sources play back an :class:`~repro.dsps.traces.InputTrace`, emitting each
+tuple to every replica of their successor PEs (and to successor sinks);
+sinks count arrivals and keep a per-second output-rate series. Neither is
+replicated: the paper's failure models only crash PE replicas and hosts
+running PEs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.dsps.metrics import LatencyRecorder, TimeSeries
+from repro.dsps.traces import InputTrace
+from repro.sim import Environment
+
+__all__ = ["SourceOperator", "SinkOperator"]
+
+
+class SourceOperator:
+    """Plays an input trace and fans tuples out to successor replicas."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        trace: InputTrace,
+        deliver: Callable[[str], None],
+        series: TimeSeries,
+        rng: Optional[random.Random] = None,
+        jitter: float = 0.0,
+    ) -> None:
+        self._env = env
+        self.name = name
+        self.trace = trace
+        self._deliver = deliver
+        self._series = series
+        self._rng = rng
+        self._jitter = jitter
+        self.emitted = 0
+        env.process(self._run())
+
+    def _run(self):
+        previous = 0.0
+        for arrival in self.trace.arrival_times(self._rng, self._jitter):
+            yield arrival - previous
+            previous = arrival
+            self.emitted += 1
+            self._series.record(self._env.now)
+            self._deliver(self.name)
+
+    def current_rate(self) -> float:
+        """The trace's nominal rate at the current simulation time."""
+        return self.trace.rate_at(self._env.now)
+
+
+class SinkOperator:
+    """Counts tuples reaching an external destination and their latency."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        series: TimeSeries,
+        latency: LatencyRecorder | None = None,
+    ) -> None:
+        self._env = env
+        self.name = name
+        self._series = series
+        self._latency = latency if latency is not None else LatencyRecorder()
+        self.received = 0
+
+    def on_tuple(self, from_component: str, birth: float | None = None) -> None:
+        self.received += 1
+        now = self._env.now
+        self._series.record(now)
+        if birth is not None:
+            self._latency.record(now, now - birth)
+
+    @property
+    def latency(self) -> LatencyRecorder:
+        return self._latency

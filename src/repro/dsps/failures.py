@@ -1,0 +1,148 @@
+"""Failure injection: the three failure modes of Section 5.3.
+
+* **best case** — nothing fails (no injector needed);
+* **worst case** — one replica of every PE is permanently crashed from the
+  start of the run, chosen according to the pessimistic failure model of
+  Sec. 4.4: the *surviving* replica is picked among the replicas that are
+  inactive in some configuration, so whenever the strategy runs a PE
+  single-replica the active copy is the dead one;
+* **single host crash with recovery** — one PE-hosting server crashes at a
+  chosen time and recovers after the platform's detect-and-migrate window
+  (16 s for Streams, per [19]); the paper forces the crash into a "High"
+  window to hit LAAR where its guarantees are weakest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.deployment import ReplicaId
+from repro.core.strategy import ActivationStrategy
+from repro.dsps.platform import StreamPlatform
+from repro.errors import SimulationError
+
+__all__ = [
+    "pessimistic_victims",
+    "inject_pessimistic_failures",
+    "HostCrashPlan",
+    "plan_host_crash",
+    "inject_host_crash",
+]
+
+
+def pessimistic_victims(strategy: ActivationStrategy) -> dict[str, int]:
+    """The replica of each PE that the pessimistic model kills.
+
+    Assumption 2 of Sec. 4.4: unless all replicas are active in every
+    configuration, the surviving replica is chosen among the inactive
+    ones. With k = 2 that means: if some configuration runs the PE with a
+    single active replica, the *active* one there is the victim (the
+    survivor is the inactive one). If several configurations disagree,
+    the victim is the replica whose death zeroes output in the most
+    probable configurations — the strictly worst choice. For PEs that are
+    fully replicated everywhere any victim is equivalent (replica 0).
+    """
+    deployment = strategy.deployment
+    space = deployment.descriptor.configuration_space
+    victims: dict[str, int] = {}
+    for pe in deployment.descriptor.graph.pes:
+        # Probability-weighted damage of killing each replica: the PE is
+        # silenced in every configuration where the other replica is not
+        # active.
+        damage = []
+        for victim in range(deployment.replication_factor):
+            survivors = [
+                r for r in deployment.replicas_of(pe) if r.replica != victim
+            ]
+            lost = sum(
+                config.probability
+                for config in space
+                if not any(
+                    strategy.is_active(survivor, config.index)
+                    for survivor in survivors
+                )
+            )
+            damage.append((lost, -victim))
+        worst_loss, negative_index = max(damage)
+        victims[pe] = -negative_index if worst_loss > 0 else 0
+    return victims
+
+
+def inject_pessimistic_failures(
+    platform: StreamPlatform,
+    strategy: ActivationStrategy,
+    at: Optional[float] = None,
+) -> dict[str, int]:
+    """Crash one replica of every PE per the pessimistic model.
+
+    Returns the chosen victims. With ``at=None`` (the default) the
+    replicas are crashed *before* the run starts and primary elections
+    are resolved immediately — the paper's worst case assumes replicas
+    are dead throughout the experiment, so no failure-detection transient
+    applies. With an explicit ``at`` the crashes are scheduled on the
+    simulation clock and detection latency takes effect normally.
+    """
+    victims = pessimistic_victims(strategy)
+    if at is None:
+        for pe, victim in victims.items():
+            platform.crash_replica(ReplicaId(pe, victim))
+            platform.group(pe).elect_now()
+    else:
+        for pe, victim in victims.items():
+            replica_id = ReplicaId(pe, victim)
+            platform.env.schedule_at(
+                at, lambda r=replica_id: platform.crash_replica(r)
+            )
+    return victims
+
+
+@dataclass(frozen=True)
+class HostCrashPlan:
+    """A single host crash with recovery."""
+
+    host: str
+    crash_time: float
+    downtime: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.crash_time < 0:
+            raise SimulationError("crash_time must be >= 0")
+        if self.downtime <= 0:
+            raise SimulationError("downtime must be > 0")
+
+
+def plan_host_crash(
+    platform: StreamPlatform,
+    high_windows: Sequence[tuple[float, float]],
+    rng: random.Random,
+    downtime: float = 16.0,
+    host: Optional[str] = None,
+) -> HostCrashPlan:
+    """Pick a random host and a crash instant inside a High window.
+
+    The paper forces crashes into "High" input configurations because
+    that is where LAAR's guarantees are weakest. The crash instant leaves
+    room for the downtime inside the window when the window is long
+    enough; otherwise it starts at the window's beginning.
+    """
+    if not high_windows:
+        raise SimulationError("no High windows to place the crash in")
+    if host is None:
+        host = rng.choice(sorted(platform.deployment.host_names))
+    start, end = high_windows[rng.randrange(len(high_windows))]
+    latest = max(start, end - downtime)
+    crash_time = rng.uniform(start, latest) if latest > start else start
+    return HostCrashPlan(host=host, crash_time=crash_time, downtime=downtime)
+
+
+def inject_host_crash(platform: StreamPlatform, plan: HostCrashPlan) -> None:
+    """Schedule the crash and the recovery on the platform's clock."""
+    platform.env.schedule_at(
+        plan.crash_time, lambda: platform.crash_host(plan.host)
+    )
+    platform.env.schedule_at(
+        plan.crash_time + plan.downtime,
+        lambda: platform.recover_host(plan.host),
+    )

@@ -1,0 +1,143 @@
+"""Host CPU model: event-driven processor sharing.
+
+Eq. 11 of the paper treats each host as a fluid capacity of ``K`` CPU
+cycles per second shared by the replicas it runs (on the real cluster the
+operating system time-slices the busy-wait PEs over the host's cores).
+:class:`HostScheduler` simulates exactly that: all replicas with work in
+progress share the host's capacity equally, so a host is overloaded —
+queues grow without bound — precisely when the summed demand of its
+*active* replicas reaches ``K``. This is the mechanism LAAR exploits:
+deactivating a replica immediately returns its share to its host-mates.
+
+CPU *time* is accounted in core-seconds: a tuple that costs ``gamma``
+cycles consumes ``gamma / cycles_per_core`` CPU seconds regardless of how
+processor sharing stretched its wall-clock service time, matching how the
+paper measures "total CPU time used" from the PE processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim import Environment, EventHandle
+
+__all__ = ["HostScheduler"]
+
+# Completion slack: clock arithmetic at ~1e9 cycles/s loses up to ~1e-4
+# cycles per event to floating point, so treat anything below half a cycle
+# as done (per-tuple costs are >= thousands of cycles in practice).
+_EPSILON_CYCLES = 0.5
+
+
+class _Job:
+    __slots__ = ("total", "remaining", "callback")
+
+    def __init__(self, total: float, callback: Callable[[], None]) -> None:
+        self.total = total
+        self.remaining = total
+        self.callback = callback
+
+
+class HostScheduler:
+    """Equal-share processor scheduling of one host's CPU cycles."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        capacity: float,
+        cycles_per_core: float,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"host {name!r} capacity must be > 0")
+        if cycles_per_core <= 0:
+            raise SimulationError(
+                f"host {name!r} cycles_per_core must be > 0"
+            )
+        self._env = env
+        self.name = name
+        self.capacity = capacity
+        self.cycles_per_core = cycles_per_core
+        self._jobs: dict[object, _Job] = {}
+        self._last_update = env.now
+        self._completion: Optional[EventHandle] = None
+        self.cycles_delivered = 0.0
+
+    # ------------------------------------------------------------------
+    # Public interface (used by OperatorReplica)
+    # ------------------------------------------------------------------
+
+    @property
+    def busy_jobs(self) -> int:
+        return len(self._jobs)
+
+    def submit(
+        self, owner: object, cycles: float, callback: Callable[[], None]
+    ) -> None:
+        """Start processing ``cycles`` for ``owner``; ``callback`` fires on
+        completion. An owner may have at most one job in progress."""
+        if cycles < 0:
+            raise SimulationError(f"job cycles must be >= 0, got {cycles}")
+        if owner in self._jobs:
+            raise SimulationError(
+                f"owner already has a job on host {self.name!r}"
+            )
+        self._advance()
+        self._jobs[owner] = _Job(cycles, callback)
+        self._reschedule()
+
+    def cancel(self, owner: object) -> float:
+        """Abort ``owner``'s job; returns the cycles already consumed."""
+        self._advance()
+        job = self._jobs.pop(owner, None)
+        self._reschedule()
+        if job is None:
+            return 0.0
+        return job.total - max(job.remaining, 0.0)
+
+    def cpu_seconds(self, cycles: float) -> float:
+        """Convert cycles to CPU core-seconds for metric accounting."""
+        return cycles / self.cycles_per_core
+
+    # ------------------------------------------------------------------
+    # Processor-sharing mechanics
+    # ------------------------------------------------------------------
+
+    def _rate_per_job(self) -> float:
+        return self.capacity / len(self._jobs)
+
+    def _advance(self) -> None:
+        now = self._env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._jobs:
+            return
+        progress = self._rate_per_job() * elapsed
+        self.cycles_delivered += progress * len(self._jobs)
+        for job in self._jobs.values():
+            job.remaining -= progress
+
+    def _reschedule(self) -> None:
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        if not self._jobs:
+            return
+        shortest = min(job.remaining for job in self._jobs.values())
+        delay = max(shortest, 0.0) / self._rate_per_job()
+        self._completion = self._env.schedule(delay, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion = None
+        self._advance()
+        finished = [
+            (owner, job)
+            for owner, job in self._jobs.items()
+            if job.remaining <= _EPSILON_CYCLES
+        ]
+        for owner, _ in finished:
+            del self._jobs[owner]
+        self._reschedule()
+        for _, job in finished:
+            job.callback()

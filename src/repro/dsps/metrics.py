@@ -1,0 +1,278 @@
+"""Runtime metrics collected during a simulated run.
+
+These mirror what the paper's experiments log by periodically querying
+Streams (Sec. 5.2): per-replica CPU time, tuples received / processed /
+dropped, per-second input and output rate series, configuration switches,
+and failure events. The *logical* (primary-side) counters are the basis of
+the measured-IC figures: a PE's contribution to internal completeness is
+the number of tuples processed by whichever replica was primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.deployment import ReplicaId
+
+__all__ = [
+    "TimeSeries",
+    "LatencyRecorder",
+    "PortCounters",
+    "ReplicaMetrics",
+    "NetworkMetrics",
+    "RunMetrics",
+]
+
+
+class LatencyRecorder:
+    """End-to-end tuple latencies observed at one sink.
+
+    Records every (arrival time, latency) pair; summaries are computed on
+    demand. Latency is the time from the *source emission* of the tuple
+    that (transitively) triggered this sink arrival to the arrival itself
+    — the quantity the paper's maximum-latency SLA clause (Sec. 3) bounds
+    and that queueing inflates during load peaks.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[tuple[float, float]] = []
+
+    def record(self, time: float, latency: float) -> None:
+        self._samples.append((time, latency))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[tuple[float, float]]:
+        """(arrival time, latency) pairs in arrival order."""
+        return list(self._samples)
+
+    @property
+    def latencies(self) -> list[float]:
+        return [latency for _, latency in self._samples]
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(lat for _, lat in self._samples) / len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(lat for _, lat in self._samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def mean_in_window(self, start: float, end: float) -> float:
+        window = [
+            latency
+            for time, latency in self._samples
+            if start <= time < end
+        ]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def max(self) -> float:
+        if not self._samples:
+            return 0.0
+        return max(lat for _, lat in self._samples)
+
+
+class TimeSeries:
+    """Per-second event counts over the run (a compact rate timeline)."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+
+    def record(self, time: float, count: int = 1) -> None:
+        bucket = int(time)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+
+    def rate_at(self, second: int) -> int:
+        return self._buckets.get(second, 0)
+
+    def total(self) -> int:
+        return sum(self._buckets.values())
+
+    def as_list(self, duration: int) -> list[int]:
+        return [self._buckets.get(s, 0) for s in range(duration)]
+
+    def mean_rate(self, start: float, end: float) -> float:
+        """Average events/second over [start, end)."""
+        if end <= start:
+            return 0.0
+        total = sum(
+            count
+            for second, count in self._buckets.items()
+            if start <= second < end
+        )
+        return total / (end - start)
+
+
+@dataclass
+class PortCounters:
+    """Per-input-port counters (the raw material of operator profiling)."""
+
+    received: int = 0
+    processed: int = 0
+    emitted: int = 0
+    dropped: int = 0
+    busy_time: float = 0.0
+
+
+@dataclass
+class ReplicaMetrics:
+    """Counters for one deployed PE replica."""
+
+    busy_time: float = 0.0
+    received: int = 0
+    processed: int = 0
+    dropped: int = 0
+    processed_as_primary: int = 0
+    dropped_as_primary: int = 0
+    activations: int = 0
+    deactivations: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    ports: dict[str, PortCounters] = field(default_factory=dict)
+
+    def port(self, name: str) -> PortCounters:
+        return self.ports.setdefault(name, PortCounters())
+
+
+@dataclass
+class NetworkMetrics:
+    """Cluster-network accounting (tuples moved between hosts).
+
+    The paper models cluster-local bandwidth as an abundant resource
+    (Sec. 4.4); these counters make the actual usage visible. Ingress and
+    egress cover the external source/sink links; ``per_link`` counts PE ->
+    PE transfers by (sender host, receiver host) pair.
+    """
+
+    intra_host_tuples: int = 0
+    inter_host_tuples: int = 0
+    ingress_tuples: int = 0
+    egress_tuples: int = 0
+    heartbeat_messages: int = 0
+    per_link: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record_transfer(self, sender_host: str, receiver_host: str) -> None:
+        if sender_host == receiver_host:
+            self.intra_host_tuples += 1
+        else:
+            self.inter_host_tuples += 1
+            key = (sender_host, receiver_host)
+            self.per_link[key] = self.per_link.get(key, 0) + 1
+
+
+@dataclass
+class RunMetrics:
+    """Everything one simulated run reports."""
+
+    replicas: dict[ReplicaId, ReplicaMetrics] = field(default_factory=dict)
+    network: NetworkMetrics = field(default_factory=NetworkMetrics)
+    source_emitted: dict[str, int] = field(default_factory=dict)
+    sink_received: dict[str, int] = field(default_factory=dict)
+    source_series: dict[str, TimeSeries] = field(default_factory=dict)
+    sink_series: dict[str, TimeSeries] = field(default_factory=dict)
+    sink_latency: dict[str, LatencyRecorder] = field(default_factory=dict)
+    config_switches: list[tuple[float, int]] = field(default_factory=list)
+    failure_events: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def replica(self, replica_id: ReplicaId) -> ReplicaMetrics:
+        return self.replicas.setdefault(replica_id, ReplicaMetrics())
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the figures
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cpu_time(self) -> float:
+        """Total CPU seconds consumed by all replicas (Fig. 9 top)."""
+        return sum(m.busy_time for m in self.replicas.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Physical drops summed over every replica."""
+        return sum(m.dropped for m in self.replicas.values())
+
+    @property
+    def logical_dropped(self) -> int:
+        """Drops at primary replicas only (Fig. 9 bottom).
+
+        Counting at primaries keeps the figure comparable across
+        replication factors: a secondary dropping a tuple the primary
+        processed does not lose application data.
+        """
+        return sum(m.dropped_as_primary for m in self.replicas.values())
+
+    @property
+    def tuples_processed(self) -> int:
+        """Logical tuples processed by the application's PEs.
+
+        This is the measured counterpart of FIC (Fig. 11): tuples
+        processed by whichever replica was primary at the time.
+        """
+        return sum(m.processed_as_primary for m in self.replicas.values())
+
+    @property
+    def total_output(self) -> int:
+        return sum(self.sink_received.values())
+
+    @property
+    def total_input(self) -> int:
+        return sum(self.source_emitted.values())
+
+    def pe_processed(self, pes: Iterable[str]) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for pe in pes:
+            result[pe] = sum(
+                m.processed_as_primary
+                for replica_id, m in self.replicas.items()
+                if replica_id.pe == pe
+            )
+        return result
+
+    def output_rate_in_window(self, start: float, end: float) -> float:
+        """Mean sink output rate over a window (Fig. 10's peak windows)."""
+        return sum(
+            series.mean_rate(start, end)
+            for series in self.sink_series.values()
+        )
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency over all sinks (seconds)."""
+        total = 0.0
+        count = 0
+        for recorder in self.sink_latency.values():
+            total += sum(recorder.latencies)
+            count += len(recorder)
+        return total / count if count else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """A cross-sink latency percentile (seconds)."""
+        samples: list[float] = []
+        for recorder in self.sink_latency.values():
+            samples.extend(recorder.latencies)
+        if not samples:
+            return 0.0
+        samples.sort()
+        rank = min(len(samples) - 1, max(0, int(q * len(samples))))
+        return samples[rank]
+
+    def mean_latency_in_window(self, start: float, end: float) -> float:
+        totals = []
+        for recorder in self.sink_latency.values():
+            totals.extend(
+                latency
+                for time, latency in recorder.samples
+                if start <= time < end
+            )
+        return sum(totals) / len(totals) if totals else 0.0

@@ -1,0 +1,115 @@
+"""Runtime samplers: periodic observation of a running platform.
+
+The paper's experiments "periodically query Streams about the current
+status of all the PEs and log this information" (Sec. 5.2). These
+samplers are that logging loop for the simulator: per-second (or any
+interval) time series of cluster CPU utilisation, per-replica queue
+lengths, and replica activation states. Figure drivers and diagnostics
+attach them to a platform before ``run()``.
+"""
+
+from __future__ import annotations
+
+from repro.core.deployment import ReplicaId
+from repro.dsps.platform import StreamPlatform
+from repro.errors import SimulationError
+
+__all__ = ["CpuSampler", "QueueSampler", "ActivationSampler"]
+
+
+class _PeriodicSampler:
+    """Base: runs ``_sample`` every ``interval`` simulated seconds."""
+
+    def __init__(self, platform: StreamPlatform, interval: float = 1.0):
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        self._platform = platform
+        self.interval = interval
+        self.times: list[float] = []
+        platform.env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.interval
+            self.times.append(self._platform.env.now)
+            self._sample()
+
+    def _sample(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CpuSampler(_PeriodicSampler):
+    """Cluster CPU utilisation per interval (fraction of total capacity)."""
+
+    def __init__(self, platform: StreamPlatform, interval: float = 1.0):
+        self._capacity = sum(
+            host.capacity for host in platform.deployment.hosts
+        )
+        self._previous = 0.0
+        self.utilization: list[float] = []
+        super().__init__(platform, interval)
+
+    def _sample(self) -> None:
+        delivered = sum(
+            self._platform.host_scheduler(name).cycles_delivered
+            for name in self._platform.deployment.host_names
+        )
+        window_cycles = delivered - self._previous
+        self._previous = delivered
+        self.utilization.append(
+            window_cycles / (self._capacity * self.interval)
+        )
+
+
+class QueueSampler(_PeriodicSampler):
+    """Per-replica queue lengths (including the in-service tuple)."""
+
+    def __init__(self, platform: StreamPlatform, interval: float = 1.0):
+        self.samples: dict[ReplicaId, list[int]] = {
+            replica_id: [] for replica_id in platform.deployment.replicas
+        }
+        super().__init__(platform, interval)
+
+    def _sample(self) -> None:
+        for replica_id, series in self.samples.items():
+            series.append(
+                self._platform.replica(replica_id).queue_length
+            )
+
+    def max_backlog(self) -> int:
+        """The largest queue length seen anywhere during the run."""
+        return max(
+            (max(series) for series in self.samples.values() if series),
+            default=0,
+        )
+
+    def total_backlog_series(self) -> list[int]:
+        """Summed queue length across all replicas per sample instant."""
+        if not self.times:
+            return []
+        length = len(self.times)
+        return [
+            sum(series[i] for series in self.samples.values())
+            for i in range(length)
+        ]
+
+
+class ActivationSampler(_PeriodicSampler):
+    """Number of active (processable) replicas per sample instant."""
+
+    def __init__(self, platform: StreamPlatform, interval: float = 1.0):
+        self.active_counts: list[int] = []
+        self.alive_counts: list[int] = []
+        super().__init__(platform, interval)
+
+    def _sample(self) -> None:
+        active = 0
+        alive = 0
+        for replica_id in self._platform.deployment.replicas:
+            replica = self._platform.replica(replica_id)
+            if replica.alive:
+                alive += 1
+            if replica.processable:
+                active += 1
+        self.active_counts.append(active)
+        self.alive_counts.append(alive)

@@ -1,0 +1,387 @@
+"""PE replica runtime: queues, service, selectivity, replication roles.
+
+Each deployed replica behaves like a Streams PE fused with its LAAR
+HAProxy (Sec. 5.1):
+
+* it owns one bounded FIFO queue per input port (2 seconds of High-rate
+  input in the paper's setup); tuples arriving at a full queue are dropped;
+* tuple processing costs ``gamma`` CPU cycles, executed by the replica's
+  host under processor sharing (:mod:`repro.dsps.hosts`) — the busy-wait
+  of footnote 3;
+* selectivity follows the integer-multiple rule of footnote 3 (an output
+  tuple is produced whenever the accumulated credit reaches 1);
+* only the *primary* replica forwards output downstream; all replicas of a
+  PE receive the same input from their predecessors' primaries;
+* activate/deactivate commands immediately stop/resume processing; an
+  inactive replica ignores its input (no drops are charged);
+* crashes abort in-flight work and lose queued tuples; recovery rejoins
+  the group as a secondary after a state resynchronisation delay.
+
+Primary election lives in :class:`ReplicaGroup`: controlled deactivation
+hands the primary role over instantly (the controller is reliable), while
+a crash is only detected after the platform's failover delay (modelling
+the heartbeat timeout of the HAProxy protocol).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.deployment import ReplicaId
+from repro.dsps.hosts import HostScheduler
+from repro.dsps.metrics import ReplicaMetrics
+from repro.errors import SimulationError
+from repro.sim import Environment, EventHandle
+
+__all__ = ["PortSpec", "OperatorReplica", "ReplicaGroup"]
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Static parameters of one input port (one incoming edge)."""
+
+    name: str  # predecessor component name
+    cycles: float  # per-tuple CPU cost (gamma) on this port
+    selectivity: float
+    capacity: int  # queue bound, in tuples
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise SimulationError("per-tuple cycles must be >= 0")
+        if self.capacity < 1:
+            raise SimulationError("port capacity must be >= 1")
+
+
+class OperatorReplica:
+    """One deployed replica of a PE, executing on its host's CPU."""
+
+    def __init__(
+        self,
+        env: Environment,
+        replica_id: ReplicaId,
+        host: HostScheduler,
+        ports: Sequence[PortSpec],
+        metrics: ReplicaMetrics,
+        emit: Callable[["OperatorReplica", float], None],
+        initially_active: bool = True,
+        resync_delay: float = 0.0,
+    ) -> None:
+        self._env = env
+        self.replica_id = replica_id
+        self.host = host
+        self._ports = list(ports)
+        self._port_index = {p.name: i for i, p in enumerate(self._ports)}
+        self._metrics = metrics
+        self._emit = emit
+        self._resync_delay = resync_delay
+
+        self.active = initially_active
+        self.alive = True
+        self._resyncing = False
+        self.group: Optional["ReplicaGroup"] = None
+
+        # Pending tuples as (port index, source emission time) pairs; the
+        # birth timestamp rides along so sinks can measure end-to-end
+        # latency.
+        self._queue: deque[tuple[int, float]] = deque()
+        self._port_fill = [0] * len(self._ports)
+        self._credits = [0.0] * len(self._ports)
+        self._serving: Optional[tuple[int, float]] = None  # in-flight tuple
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return self.group is not None and self.group.primary is self
+
+    @property
+    def processable(self) -> bool:
+        return self.alive and self.active and not self._resyncing
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._serving is not None else 0)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def on_tuple(self, from_component: str, birth: float | None = None) -> None:
+        """A tuple arrives from the primary of a predecessor.
+
+        ``birth`` is the emission time of the originating source tuple;
+        it defaults to "now" for tuples injected directly in tests.
+        """
+        if not self.processable:
+            return  # HAProxy ignores input while inactive / crashed
+        port = self._port_index[from_component]
+        self._metrics.received += 1
+        counters = self._metrics.port(from_component)
+        counters.received += 1
+        spec = self._ports[port]
+        if self._port_fill[port] >= spec.capacity:
+            self._metrics.dropped += 1
+            counters.dropped += 1
+            if self.is_primary:
+                self._metrics.dropped_as_primary += 1
+            return
+        self._port_fill[port] += 1
+        self._queue.append(
+            (port, self._env.now if birth is None else birth)
+        )
+        if self._serving is None:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        if not self._queue or not self.processable:
+            return
+        entry = self._queue.popleft()
+        self._serving = entry
+        self.host.submit(
+            self, self._ports[entry[0]].cycles, self._complete_service
+        )
+
+    def _complete_service(self) -> None:
+        if self._serving is None:  # pragma: no cover - defensive
+            raise SimulationError("completion without an in-flight tuple")
+        port, birth = self._serving
+        self._serving = None
+        self._port_fill[port] -= 1
+        cpu_seconds = self.host.cpu_seconds(self._ports[port].cycles)
+        self._metrics.busy_time += cpu_seconds
+        self._metrics.processed += 1
+        counters = self._metrics.port(self._ports[port].name)
+        counters.processed += 1
+        counters.busy_time += cpu_seconds
+        if self.is_primary:
+            self._metrics.processed_as_primary += 1
+
+        # Selectivity credit accounting (footnote 3). Emitted tuples carry
+        # the birth time of the tuple whose processing triggered them.
+        self._credits[port] += self._ports[port].selectivity
+        emitted = int(self._credits[port])
+        if emitted:
+            self._credits[port] -= emitted
+            counters.emitted += emitted
+            if self.is_primary:
+                for _ in range(emitted):
+                    self._emit(self, birth)
+
+        self._start_service()
+
+    # ------------------------------------------------------------------
+    # Control path (HAProxy commands)
+    # ------------------------------------------------------------------
+
+    def deactivate(self) -> None:
+        """Controller command: drop into the idle, resource-saving state."""
+        if not self.active:
+            return
+        self.active = False
+        self._metrics.deactivations += 1
+        self._abort_work()
+        if self.group is not None:
+            self.group.on_member_unavailable(self, detected_after=0.0)
+
+    def activate(self) -> None:
+        """Controller command: resynchronise and resume processing."""
+        if self.active:
+            return
+        self.active = True
+        self._metrics.activations += 1
+        if not self.alive:
+            return
+        self._begin_resync()
+
+    def crash(self) -> None:
+        """Fail-stop: lose queued tuples and in-flight work."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._metrics.crashes += 1
+        self._abort_work()
+        if self.group is not None:
+            self.group.on_member_unavailable(
+                self, detected_after=self.group.failover_delay
+            )
+
+    def recover(self) -> None:
+        """The platform restarted this replica (e.g. after host recovery)."""
+        if self.alive:
+            return
+        self.alive = True
+        self._metrics.recoveries += 1
+        if self.active:
+            self._begin_resync()
+
+    def _begin_resync(self) -> None:
+        if self._resync_delay <= 0:
+            self._finish_resync()
+            return
+        self._resyncing = True
+        self._env.schedule(self._resync_delay, self._finish_resync)
+
+    def _finish_resync(self) -> None:
+        self._resyncing = False
+        if self.processable and self.group is not None:
+            self.group.on_member_available(self)
+
+    def _abort_work(self) -> None:
+        if self._serving is not None:
+            consumed = self.host.cancel(self)
+            self._metrics.busy_time += self.host.cpu_seconds(consumed)
+            self._serving = None
+        self._queue.clear()
+        self._port_fill = [0] * len(self._ports)
+
+
+class ReplicaGroup:
+    """All replicas of one logical PE, with primary election.
+
+    The initial primary is the lowest-indexed processable replica. A
+    replica that becomes available again joins as a secondary unless the
+    group currently has no primary. Two failure-detection modes:
+
+    * **abstract** (default): a crashed primary's role moves to the next
+      processable replica exactly ``failover_delay`` seconds later — the
+      HAProxy heartbeat protocol collapsed into a constant.
+    * **heartbeat** (:meth:`enable_heartbeats`): every processable
+      replica emits a heartbeat each interval (Sec. 5.1's HAProxy sends
+      them to the proxies of its successors); a watchdog declares the
+      primary dead when its last beat is older than the timeout, so the
+      detection latency is *emergent* — between ``timeout`` and
+      ``timeout + interval``. Heartbeat traffic is charged to the
+      network metrics with the PE's downstream fan-out.
+
+    Controller-driven deactivation hands the role over instantly in both
+    modes (the control plane is reliable and ordered).
+    """
+
+    def __init__(
+        self, env: Environment, pe: str, failover_delay: float = 1.0
+    ) -> None:
+        self._env = env
+        self.pe = pe
+        self.failover_delay = failover_delay
+        self._members: list[OperatorReplica] = []
+        self.primary: Optional[OperatorReplica] = None
+        self._pending_election: Optional[EventHandle] = None
+        self._heartbeats_enabled = False
+        self._last_beat: dict[OperatorReplica, float] = {}
+
+    def add(self, replica: OperatorReplica) -> None:
+        replica.group = self
+        self._members.append(replica)
+        self._members.sort(key=lambda r: r.replica_id.replica)
+
+    @property
+    def members(self) -> tuple[OperatorReplica, ...]:
+        return tuple(self._members)
+
+    def initialise_primary(self) -> None:
+        self.primary = self._first_processable()
+
+    def _first_processable(self) -> Optional[OperatorReplica]:
+        for member in self._members:
+            if member.processable:
+                return member
+        return None
+
+    def enable_heartbeats(
+        self,
+        interval: float,
+        timeout: float,
+        fanout: int = 0,
+        network=None,
+    ) -> None:
+        """Switch to heartbeat-based failure detection.
+
+        ``fanout`` is the number of downstream receivers each beat goes
+        to (successor replicas + sinks); ``network`` is the
+        :class:`~repro.dsps.metrics.NetworkMetrics` the traffic is
+        charged to (optional).
+        """
+        if interval <= 0 or timeout <= 0:
+            raise SimulationError("heartbeat interval/timeout must be > 0")
+        self._heartbeats_enabled = True
+        self._hb_interval = interval
+        self._hb_timeout = timeout
+        now = self._env.now
+        self._last_beat = {member: now for member in self._members}
+
+        def beats(member: OperatorReplica):
+            while True:
+                yield interval
+                if member.alive and member.processable:
+                    self._last_beat[member] = self._env.now
+                    if network is not None:
+                        network.heartbeat_messages += max(1, fanout)
+
+        for member in self._members:
+            self._env.process(beats(member))
+        self._env.process(self._watchdog())
+
+    def _watchdog(self):
+        while True:
+            yield self._hb_interval
+            primary = self.primary
+            if primary is None:
+                if self._pending_election is None:
+                    self._elect()
+                continue
+            stale = (
+                self._env.now - self._last_beat.get(primary, -1e18)
+                > self._hb_timeout
+            )
+            if stale:
+                self.primary = None
+                self._elect()
+
+    def on_member_unavailable(
+        self, member: OperatorReplica, detected_after: float
+    ) -> None:
+        if self.primary is not member:
+            return
+        if detected_after <= 0:
+            # Controlled deactivation: the controller is reliable, the
+            # handover is immediate in both detection modes.
+            self.primary = None
+            if self._pending_election is not None:
+                self._pending_election.cancel()
+                self._pending_election = None
+            self._elect()
+            return
+        if self._heartbeats_enabled:
+            # Crash: the primary role formally persists until the
+            # watchdog sees the heartbeats go stale.
+            return
+        self.primary = None
+        if self._pending_election is not None:
+            self._pending_election.cancel()
+            self._pending_election = None
+        self._pending_election = self._env.schedule(
+            detected_after, self._elect
+        )
+
+    def on_member_available(self, member: OperatorReplica) -> None:
+        if self.primary is None and self._pending_election is None:
+            self.primary = member
+
+    def elect_now(self) -> None:
+        """Resolve the primary immediately, bypassing failure detection.
+
+        Used when a failure is known a priori — e.g. the paper's worst
+        case, where a replica of each PE is crashed *throughout* the
+        experiment, so the run starts with the survivor already primary.
+        """
+        if self._pending_election is not None:
+            self._pending_election.cancel()
+        self._elect()
+
+    def _elect(self) -> None:
+        self._pending_election = None
+        self.primary = self._first_processable()

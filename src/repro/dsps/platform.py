@@ -1,0 +1,340 @@
+"""The distributed stream platform simulator.
+
+:class:`StreamPlatform` assembles a runnable simulated deployment from the
+core model objects: a :class:`~repro.core.deployment.ReplicatedDeployment`
+(which fixes the application graph, the per-edge profiles, the hosts and
+the replica placement) plus one input trace per source. It wires the data
+path (primaries fan out to every replica of their successors), owns the
+failure and control entry points the LAAR middleware and the failure
+injectors drive, and collects :class:`~repro.dsps.metrics.RunMetrics`.
+
+This is the reproduction's stand-in for IBM InfoSphere Streams: the same
+quantities the paper measures on the real cluster (CPU time, drops,
+per-PE processed counts, output rates) are produced here by explicit
+queueing simulation at tuple granularity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.deployment import ReplicaId, ReplicatedDeployment
+from repro.core.rates import RateTable
+from repro.dsps.endpoints import SinkOperator, SourceOperator
+from repro.dsps.hosts import HostScheduler
+from repro.dsps.metrics import RunMetrics, TimeSeries
+from repro.dsps.operators import OperatorReplica, PortSpec, ReplicaGroup
+from repro.dsps.traces import InputTrace
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+__all__ = ["PlatformConfig", "StreamPlatform"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Tunable runtime parameters of the simulated platform.
+
+    ``failover_delay`` models the heartbeat timeout before a crashed
+    primary's role moves to a secondary. ``resync_delay`` is the state
+    resynchronisation time a replica pays when it is (re)activated.
+    ``queue_seconds`` sizes each input-port queue to that many seconds of
+    the port's highest-configuration rate (2 s in Sec. 5.2).
+    """
+
+    failover_delay: float = 1.0
+    resync_delay: float = 0.0
+    queue_seconds: float = 2.0
+    poisson_arrivals: bool = False
+    arrival_jitter: float = 0.0
+    heartbeat_interval: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failover_delay < 0:
+            raise SimulationError("failover_delay must be >= 0")
+        if self.resync_delay < 0:
+            raise SimulationError("resync_delay must be >= 0")
+        if self.queue_seconds <= 0:
+            raise SimulationError("queue_seconds must be > 0")
+        if not 0.0 <= self.arrival_jitter < 1.0:
+            raise SimulationError("arrival_jitter must be in [0, 1)")
+        if self.poisson_arrivals and self.arrival_jitter > 0:
+            raise SimulationError(
+                "poisson_arrivals and arrival_jitter are exclusive"
+            )
+        if self.heartbeat_interval is not None:
+            if self.heartbeat_interval <= 0:
+                raise SimulationError("heartbeat_interval must be > 0")
+            if self.heartbeat_interval > self.failover_delay:
+                raise SimulationError(
+                    "heartbeat_interval must not exceed failover_delay"
+                    " (the detection timeout)"
+                )
+
+
+class StreamPlatform:
+    """A runnable simulated deployment of one application."""
+
+    def __init__(
+        self,
+        deployment: ReplicatedDeployment,
+        traces: Mapping[str, InputTrace],
+        initial_active: Mapping[ReplicaId, bool] | None = None,
+        config: PlatformConfig | None = None,
+    ) -> None:
+        self._deployment = deployment
+        self._descriptor = deployment.descriptor
+        self._graph = self._descriptor.graph
+        self._config = config or PlatformConfig()
+        self.env = Environment()
+        self.metrics = RunMetrics()
+
+        missing = [s for s in self._graph.sources if s not in traces]
+        if missing:
+            raise SimulationError(f"no input trace for sources {missing}")
+
+        self._validate_core_budget()
+        rate_table = RateTable(self._descriptor)
+
+        # One processor-sharing scheduler per host (the Eq. 11 capacity).
+        self._host_schedulers: dict[str, HostScheduler] = {
+            host.name: HostScheduler(
+                self.env,
+                host.name,
+                capacity=host.capacity,
+                cycles_per_core=host.cycles_per_core,
+            )
+            for host in deployment.hosts
+        }
+
+        # Build PE replicas and their groups.
+        self._replicas: dict[ReplicaId, OperatorReplica] = {}
+        self._groups: dict[str, ReplicaGroup] = {}
+        for pe in self._graph.pes:
+            group = ReplicaGroup(
+                self.env, pe, failover_delay=self._config.failover_delay
+            )
+            self._groups[pe] = group
+            ports = self._build_ports(pe, rate_table)
+            for replica_id in deployment.replicas_of(pe):
+                active = (
+                    initial_active.get(replica_id, True)
+                    if initial_active is not None
+                    else True
+                )
+                replica = OperatorReplica(
+                    env=self.env,
+                    replica_id=replica_id,
+                    host=self._host_schedulers[
+                        deployment.host_of(replica_id)
+                    ],
+                    ports=ports,
+                    metrics=self.metrics.replica(replica_id),
+                    emit=self._forward_output,
+                    initially_active=active,
+                    resync_delay=self._config.resync_delay,
+                )
+                self._replicas[replica_id] = replica
+                group.add(replica)
+            group.initialise_primary()
+            if self._config.heartbeat_interval is not None:
+                fanout = sum(
+                    len(deployment.replicas_of(succ))
+                    if succ in self._graph.pes
+                    else 1
+                    for succ in self._graph.succ(pe)
+                )
+                group.enable_heartbeats(
+                    interval=self._config.heartbeat_interval,
+                    timeout=self._config.failover_delay,
+                    fanout=fanout,
+                    network=self.metrics.network,
+                )
+
+        # Build sinks, then sources (sources start emitting immediately).
+        self._sinks: dict[str, SinkOperator] = {}
+        for sink in self._graph.sinks:
+            series = TimeSeries()
+            self.metrics.sink_series[sink] = series
+            operator = SinkOperator(self.env, sink, series)
+            self.metrics.sink_latency[sink] = operator.latency
+            self._sinks[sink] = operator
+
+        randomized = (
+            self._config.poisson_arrivals or self._config.arrival_jitter > 0
+        )
+        rng = random.Random(self._config.seed) if randomized else None
+        self._sources: dict[str, SourceOperator] = {}
+        for source in self._graph.sources:
+            series = TimeSeries()
+            self.metrics.source_series[source] = series
+            self._sources[source] = SourceOperator(
+                env=self.env,
+                name=source,
+                trace=traces[source],
+                deliver=self._forward_from_source,
+                series=series,
+                rng=rng,
+                jitter=self._config.arrival_jitter,
+            )
+        self._trace_duration = max(t.duration for t in traces.values())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _validate_core_budget(self) -> None:
+        for host in self._deployment.hosts:
+            replicas = self._deployment.replicas_on(host.name)
+            if len(replicas) > host.cores:
+                raise SimulationError(
+                    f"host {host.name!r} has {host.cores} cores but"
+                    f" {len(replicas)} replicas; the simulator pins one"
+                    " replica per core"
+                )
+
+    def _build_ports(
+        self, pe: str, rate_table: RateTable
+    ) -> list[PortSpec]:
+        n_configs = len(self._descriptor.configuration_space)
+        ports = []
+        for edge in self._graph.pe_input_edges(pe):
+            peak_rate = max(
+                rate_table.rate(edge.tail, c) for c in range(n_configs)
+            )
+            capacity = max(
+                1, math.ceil(self._config.queue_seconds * peak_rate)
+            )
+            ports.append(
+                PortSpec(
+                    name=edge.tail,
+                    cycles=self._descriptor.cpu_cost(edge.tail, pe),
+                    selectivity=self._descriptor.selectivity(edge.tail, pe),
+                    capacity=capacity,
+                )
+            )
+        return ports
+
+    # ------------------------------------------------------------------
+    # Data path wiring
+    # ------------------------------------------------------------------
+
+    def _forward_from_source(self, source: str) -> None:
+        birth = self.env.now
+        network = self.metrics.network
+        for succ in self._graph.succ(source):
+            if succ in self._groups:
+                for replica in self._groups[succ].members:
+                    network.ingress_tuples += 1
+                    replica.on_tuple(source, birth)
+            else:
+                network.ingress_tuples += 1
+                self._sinks[succ].on_tuple(source, birth)
+
+    def _forward_output(self, replica: OperatorReplica, birth: float) -> None:
+        pe = replica.replica_id.pe
+        sender_host = replica.host.name
+        network = self.metrics.network
+        for succ in self._graph.succ(pe):
+            if succ in self._groups:
+                for target in self._groups[succ].members:
+                    network.record_transfer(sender_host, target.host.name)
+                    target.on_tuple(pe, birth)
+            else:
+                network.egress_tuples += 1
+                self._sinks[succ].on_tuple(pe, birth)
+
+    # ------------------------------------------------------------------
+    # Control and failure entry points
+    # ------------------------------------------------------------------
+
+    def replica(self, replica_id: ReplicaId) -> OperatorReplica:
+        try:
+            return self._replicas[replica_id]
+        except KeyError:
+            raise SimulationError(f"unknown replica {replica_id}") from None
+
+    def group(self, pe: str) -> ReplicaGroup:
+        try:
+            return self._groups[pe]
+        except KeyError:
+            raise SimulationError(f"unknown PE {pe!r}") from None
+
+    @property
+    def sources(self) -> Mapping[str, SourceOperator]:
+        return dict(self._sources)
+
+    @property
+    def sinks(self) -> Mapping[str, SinkOperator]:
+        return dict(self._sinks)
+
+    @property
+    def deployment(self) -> ReplicatedDeployment:
+        return self._deployment
+
+    @property
+    def trace_duration(self) -> float:
+        return self._trace_duration
+
+    def set_activation(self, replica_id: ReplicaId, active: bool) -> None:
+        replica = self.replica(replica_id)
+        if active:
+            replica.activate()
+        else:
+            replica.deactivate()
+
+    def crash_replica(self, replica_id: ReplicaId) -> None:
+        self.metrics.failure_events.append(
+            (self.env.now, "crash", str(replica_id))
+        )
+        self.replica(replica_id).crash()
+
+    def recover_replica(self, replica_id: ReplicaId) -> None:
+        self.metrics.failure_events.append(
+            (self.env.now, "recover", str(replica_id))
+        )
+        self.replica(replica_id).recover()
+
+    def crash_host(self, host: str) -> None:
+        self.metrics.failure_events.append((self.env.now, "crash-host", host))
+        for replica_id in self._deployment.replicas_on(host):
+            self.replica(replica_id).crash()
+
+    def recover_host(self, host: str) -> None:
+        self.metrics.failure_events.append(
+            (self.env.now, "recover-host", host)
+        )
+        for replica_id in self._deployment.replicas_on(host):
+            self.replica(replica_id).recover()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self, until: Optional[float] = None, drain: float = 2.0
+    ) -> RunMetrics:
+        """Run the simulation and return the collected metrics.
+
+        By default the platform runs for the whole trace plus ``drain``
+        seconds so in-flight tuples can finish.
+        """
+        horizon = until if until is not None else (
+            self._trace_duration + drain
+        )
+        self.env.run(until=horizon)
+        for name, source in self._sources.items():
+            self.metrics.source_emitted[name] = source.emitted
+        for name, sink in self._sinks.items():
+            self.metrics.sink_received[name] = sink.received
+        return self.metrics
+
+    def host_scheduler(self, host: str) -> HostScheduler:
+        try:
+            return self._host_schedulers[host]
+        except KeyError:
+            raise SimulationError(f"unknown host {host!r}") from None

@@ -1,0 +1,60 @@
+"""Process-wide memoisation of expensive experiment runs.
+
+Figures 9-12 all derive from the same grid of simulated runs, and the
+benchmark files are separate pytest items — without a cache each figure
+would re-run the whole cluster experiment. Results are keyed by the scale
+object (frozen dataclasses hash by value), so changing a knob, e.g. via
+the REPRO_* environment variables, naturally invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.cluster import ClusterResults, run_cluster_experiment
+from repro.experiments.fig3 import Fig3Data, run_fig3
+from repro.experiments.ftsearch_study import StudyResults, run_ftsearch_study
+from repro.experiments.scale import ExperimentScale, StudyScale
+
+__all__ = [
+    "get_cluster_results",
+    "get_study_results",
+    "get_fig3_data",
+    "clear_cache",
+]
+
+_cluster_cache: dict[ExperimentScale, ClusterResults] = {}
+_study_cache: dict[StudyScale, StudyResults] = {}
+_fig3_cache: dict[float, Fig3Data] = {}
+
+
+def get_cluster_results(
+    scale: Optional[ExperimentScale] = None,
+) -> ClusterResults:
+    """The cluster experiment grid for ``scale``, memoised per process."""
+    scale = scale or ExperimentScale.from_env()
+    if scale not in _cluster_cache:
+        _cluster_cache[scale] = run_cluster_experiment(scale)
+    return _cluster_cache[scale]
+
+
+def get_study_results(scale: Optional[StudyScale] = None) -> StudyResults:
+    """The FT-Search study for ``scale``, memoised per process."""
+    scale = scale or StudyScale.from_env()
+    if scale not in _study_cache:
+        _study_cache[scale] = run_ftsearch_study(scale)
+    return _study_cache[scale]
+
+
+def get_fig3_data(duration: float = 90.0) -> Fig3Data:
+    """The Fig. 3 pipeline demo series, memoised per duration."""
+    if duration not in _fig3_cache:
+        _fig3_cache[duration] = run_fig3(duration)
+    return _fig3_cache[duration]
+
+
+def clear_cache() -> None:
+    """Drop every memoised experiment result (tests use this)."""
+    _cluster_cache.clear()
+    _study_cache.clear()
+    _fig3_cache.clear()

@@ -1,0 +1,262 @@
+"""The cluster experiment runner (Sec. 5.3).
+
+Runs every application of a corpus under every replication variant and
+failure mode, mirroring the paper's methodology:
+
+* **best case** — no failures; measures CPU time, drops (Fig. 9) and the
+  output rate during the load peak (Fig. 10);
+* **worst case** — a replica of each PE permanently crashed per the
+  pessimistic model; measures processed tuples (Fig. 11, top);
+* **host crash** — a random PE-hosting server crashes during a High
+  window and recovers after 16 s; measures processed tuples (Fig. 11,
+  bottom). Run on a sampled subset of the corpus, like the paper's 40.
+
+Normalisations follow the paper: best-case figures are relative to the NR
+variant; failure figures are relative to the *failure-free* NR run.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.dsps.failures import (
+    inject_host_crash,
+    inject_pessimistic_failures,
+    plan_host_crash,
+)
+from repro.dsps.platform import PlatformConfig
+from repro.dsps.traces import two_level_trace
+from repro.errors import ExperimentError
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.variants import VariantSet, build_variants
+from repro.laar.middleware import ExtendedApplication, MiddlewareConfig
+from repro.workloads.generator import GeneratedApplication, generate_corpus
+
+__all__ = ["FailureMode", "RunResult", "ClusterResults", "run_cluster_experiment"]
+
+
+class FailureMode(enum.Enum):
+    """The three failure scenarios of Sec. 5.3."""
+
+    BEST = "best-case"
+    WORST = "worst-case"
+    CRASH = "host-crash"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Scalar outcomes of one (application, variant, mode) run."""
+
+    app: str
+    variant: str
+    mode: FailureMode
+    cpu_time: float
+    drops: int
+    processed: int
+    output: int
+    input: int
+    peak_output_rate: float
+    config_switches: int
+
+
+class ClusterResults:
+    """All runs of one cluster experiment, with figure-ready views."""
+
+    def __init__(
+        self,
+        scale: ExperimentScale,
+        variant_names: tuple[str, ...],
+        rows: Iterable[RunResult],
+    ) -> None:
+        self.scale = scale
+        self.variant_names = variant_names
+        self._rows: dict[tuple[str, str, FailureMode], RunResult] = {}
+        for row in rows:
+            self._rows[(row.app, row.variant, row.mode)] = row
+        self.apps = tuple(
+            sorted({app for app, _, _ in self._rows})
+        )
+        self.crash_apps = tuple(
+            sorted(
+                {
+                    app
+                    for app, _, mode in self._rows
+                    if mode is FailureMode.CRASH
+                }
+            )
+        )
+
+    def get(
+        self, app: str, variant: str, mode: FailureMode
+    ) -> RunResult:
+        try:
+            return self._rows[(app, variant, mode)]
+        except KeyError:
+            raise ExperimentError(
+                f"no run recorded for ({app}, {variant}, {mode.value})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Figure views (one list entry per application)
+    # ------------------------------------------------------------------
+
+    def normalized_cpu(self, variant: str) -> list[float]:
+        """Fig. 9 (top): best-case CPU time relative to NR."""
+        return [
+            self.get(app, variant, FailureMode.BEST).cpu_time
+            / self.get(app, "NR", FailureMode.BEST).cpu_time
+            for app in self.apps
+        ]
+
+    def normalized_drops(self, variant: str) -> list[float]:
+        """Fig. 9 (bottom): best-case drops relative to NR.
+
+        NR can drop (near) zero tuples in simulation; the denominator is
+        floored at one tuple so ratios stay finite (documented deviation
+        from the paper, whose real cluster always had residual drops).
+        """
+        return [
+            self.get(app, variant, FailureMode.BEST).drops
+            / max(1, self.get(app, "NR", FailureMode.BEST).drops)
+            for app in self.apps
+        ]
+
+    def peak_output_ratio(self, variant: str) -> list[float]:
+        """Fig. 10: output rate during the load peak relative to NR."""
+        return [
+            self.get(app, variant, FailureMode.BEST).peak_output_rate
+            / self.get(app, "NR", FailureMode.BEST).peak_output_rate
+            for app in self.apps
+        ]
+
+    def measured_ic(
+        self, variant: str, mode: FailureMode
+    ) -> list[float]:
+        """Fig. 11: processed tuples relative to the failure-free NR run."""
+        if mode is FailureMode.BEST:
+            raise ExperimentError("measured IC is a failure-mode metric")
+        apps = self.crash_apps if mode is FailureMode.CRASH else self.apps
+        return [
+            self.get(app, variant, mode).processed
+            / max(1, self.get(app, "NR", FailureMode.BEST).processed)
+            for app in apps
+        ]
+
+
+def _run_one(
+    variants: VariantSet,
+    variant: str,
+    mode: FailureMode,
+    scale: ExperimentScale,
+    rng: random.Random,
+) -> RunResult:
+    app = variants.app
+    strategy = variants.strategies[variant]
+    trace = two_level_trace(
+        app.low_rate,
+        app.high_rate,
+        duration=scale.trace_seconds,
+        high_fraction=scale.high_fraction,
+    )
+    platform_config = PlatformConfig(
+        arrival_jitter=scale.arrival_jitter,
+        heartbeat_interval=scale.heartbeat_interval,
+        seed=app.seed * 7919 + 13,  # per-app deterministic glitches
+    )
+    middleware_config = MiddlewareConfig(
+        monitor_interval=scale.monitor_interval,
+        rate_tolerance=scale.rate_tolerance,
+        down_confirmation=scale.down_confirmation,
+        dynamic=variants.is_dynamic(variant),
+    )
+    extended = ExtendedApplication(
+        app.deployment,
+        strategy,
+        {"src": trace},
+        platform_config=platform_config,
+        middleware_config=middleware_config,
+    )
+    if mode is FailureMode.WORST:
+        inject_pessimistic_failures(extended.platform, strategy)
+    elif mode is FailureMode.CRASH:
+        plan = plan_host_crash(
+            extended.platform,
+            trace.segment_windows("High"),
+            rng,
+            downtime=scale.crash_downtime,
+        )
+        inject_host_crash(extended.platform, plan)
+
+    metrics = extended.run()
+    high_start, high_end = trace.segment_windows("High")[0]
+    # Leave settling margins so the window reflects steady peak behaviour.
+    window = (
+        high_start + 2.0 * scale.monitor_interval,
+        high_end - 1.0,
+    )
+    return RunResult(
+        app=app.name,
+        variant=variant,
+        mode=mode,
+        cpu_time=metrics.total_cpu_time,
+        drops=metrics.logical_dropped,
+        processed=metrics.tuples_processed,
+        output=metrics.total_output,
+        input=metrics.total_input,
+        peak_output_rate=metrics.output_rate_in_window(*window),
+        config_switches=len(metrics.config_switches),
+    )
+
+
+def run_cluster_experiment(
+    scale: Optional[ExperimentScale] = None,
+    corpus: Optional[list[GeneratedApplication]] = None,
+) -> ClusterResults:
+    """Run the full Sec. 5.3 experiment grid.
+
+    Applications whose variants cannot be built (FT-Search budget too
+    small for a feasible strategy) are skipped, like failed deployments
+    in the paper's corpus.
+    """
+    scale = scale or ExperimentScale.from_env()
+    if corpus is None:
+        corpus = generate_corpus(scale.corpus_size, scale.base_seed)
+
+    rows: list[RunResult] = []
+    variant_names: tuple[str, ...] = ()
+    crash_rng = random.Random(scale.base_seed + 101)
+    usable = 0
+    for index, app in enumerate(corpus):
+        try:
+            variants = build_variants(
+                app,
+                ic_targets=scale.ic_targets,
+                time_limit=scale.ft_time_limit,
+            )
+        except ExperimentError:
+            continue
+        usable += 1
+        variant_names = variants.names
+        run_crash = usable <= scale.crash_corpus_size
+        for variant in variants.names:
+            rows.append(
+                _run_one(variants, variant, FailureMode.BEST, scale,
+                         crash_rng)
+            )
+            rows.append(
+                _run_one(variants, variant, FailureMode.WORST, scale,
+                         crash_rng)
+            )
+            if run_crash:
+                rows.append(
+                    _run_one(variants, variant, FailureMode.CRASH, scale,
+                             crash_rng)
+                )
+    if not rows:
+        raise ExperimentError(
+            "no application in the corpus produced a full variant set"
+        )
+    return ClusterResults(scale, variant_names, rows)

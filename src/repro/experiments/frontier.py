@@ -1,0 +1,106 @@
+"""The IC / cost frontier: the provider's pricing curve.
+
+Section 3's pricing plan makes the fee depend on the agreed SLA; the
+evaluation (Fig. 9 / Fig. 12) shows that LAAR's execution cost tracks the
+requested IC guarantee. This module sweeps the IC target over one
+deployment and returns the resulting cost curve — the table a provider
+prices SLA tiers from — including, past the feasibility edge, the
+penalty-mode frontier of the paper's future-work item (ii).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.deployment import ReplicatedDeployment
+from repro.core.optimizer import (
+    OptimizationProblem,
+    SearchOutcome,
+    ft_search,
+)
+from repro.errors import ExperimentError
+from repro.experiments.report import format_table
+
+__all__ = ["FrontierPoint", "ic_cost_frontier", "render_frontier"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One swept IC target and what FT-Search achieved for it."""
+
+    target: float
+    outcome: SearchOutcome
+    cost: float  # inf when no strategy was found
+    achieved_ic: float
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.cost)
+
+
+def ic_cost_frontier(
+    deployment: ReplicatedDeployment,
+    targets: Sequence[float],
+    time_limit: float = 3.0,
+    penalty_weight: Optional[float] = None,
+) -> list[FrontierPoint]:
+    """Sweep IC targets and collect the optimal (or best anytime) costs.
+
+    With ``penalty_weight`` set, infeasible targets degrade gracefully
+    into the best cost/IC compromise instead of returning ``inf``.
+    """
+    if not targets:
+        raise ExperimentError("frontier sweep needs at least one target")
+    points = []
+    for target in sorted(targets):
+        result = ft_search(
+            OptimizationProblem(deployment, ic_target=target),
+            time_limit=time_limit,
+            penalty_weight=penalty_weight,
+            seed_incumbent=True,
+        )
+        cost = result.best_cost if result.strategy is not None else math.inf
+        points.append(
+            FrontierPoint(
+                target=target,
+                outcome=result.outcome,
+                cost=cost,
+                achieved_ic=result.best_ic,
+            )
+        )
+    return points
+
+
+def render_frontier(
+    points: Sequence[FrontierPoint],
+    reference_cost: Optional[float] = None,
+    title: str = "IC / cost frontier",
+) -> str:
+    """A pricing-style table; costs optionally normalized to a reference
+    (typically static replication)."""
+    rows = []
+    for point in points:
+        cost_text = (
+            "infeasible" if not point.feasible else f"{point.cost:.4g}"
+        )
+        relative = (
+            point.cost / reference_cost
+            if point.feasible and reference_cost
+            else float("nan")
+        )
+        rows.append(
+            [
+                f"{point.target:.2f}",
+                point.outcome.value,
+                cost_text,
+                "-" if math.isnan(relative) else f"{relative:.3f}",
+                f"{point.achieved_ic:.3f}",
+            ]
+        )
+    return format_table(
+        ["IC target", "outcome", "cost", "vs reference", "achieved IC"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,147 @@
+"""Plain-text rendering of the reproduced figures.
+
+Benchmarks print these tables so a run of ``pytest benchmarks/`` directly
+regenerates the series the paper plots. Rendering is deliberately simple:
+fixed-width tables plus a one-line ASCII box plot per distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.optimizer import PruneRule, SearchOutcome
+from repro.experiments.stats import BoxStats
+
+__all__ = [
+    "format_table",
+    "format_box_table",
+    "ascii_boxplot",
+    "format_outcome_table",
+    "format_prune_table",
+    "format_series",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width table; floats are rendered with three decimals."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_boxplot(stats: BoxStats, lo: float, hi: float, width: int = 40) -> str:
+    """One-line box plot: ``|--[==M==]--|`` scaled to [lo, hi]."""
+    if hi <= lo:
+        return "-" * width
+
+    def pos(value: float) -> int:
+        clipped = min(max(value, lo), hi)
+        return int(round((clipped - lo) / (hi - lo) * (width - 1)))
+
+    line = [" "] * width
+    for a, b, ch in (
+        (stats.whisker_low, stats.q1, "-"),
+        (stats.q3, stats.whisker_high, "-"),
+        (stats.q1, stats.q3, "="),
+    ):
+        for i in range(pos(a), pos(b) + 1):
+            line[i] = ch
+    line[pos(stats.whisker_low)] = "|"
+    line[pos(stats.whisker_high)] = "|"
+    line[pos(stats.q1)] = "["
+    line[pos(stats.q3)] = "]"
+    line[pos(stats.median)] = "M"
+    return "".join(line)
+
+
+def format_box_table(
+    title: str,
+    per_variant: Mapping[str, BoxStats],
+    value_label: str = "value",
+) -> str:
+    """The paper's box-plot figures as a table plus ASCII boxes."""
+    lo = min(s.whisker_low for s in per_variant.values())
+    hi = max(s.whisker_high for s in per_variant.values())
+    rows = []
+    for variant, stats in per_variant.items():
+        rows.append(
+            [
+                variant,
+                stats.mean,
+                stats.q1,
+                stats.median,
+                stats.q3,
+                ascii_boxplot(stats, lo, hi),
+            ]
+        )
+    headers = ["variant", f"mean {value_label}", "q1", "median", "q3", "box"]
+    return format_table(headers, rows, title=title)
+
+
+def format_outcome_table(
+    title: str,
+    counts_by_target: Mapping[float, Mapping[SearchOutcome, int]],
+) -> str:
+    """Fig. 4: outcome class counts per IC constraint."""
+    headers = ["IC constraint"] + [o.value for o in SearchOutcome]
+    rows = []
+    for target in sorted(counts_by_target):
+        counts = counts_by_target[target]
+        rows.append(
+            [f"{target:.1f}"] + [counts[o] for o in SearchOutcome]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_prune_table(
+    title: str,
+    shares: Mapping[PruneRule, float],
+    heights: Mapping[PruneRule, float],
+) -> str:
+    """Fig. 6: per-rule share of pruned values and mean pruned height."""
+    headers = ["rule", "share of pruned values", "mean pruned height"]
+    rows = [
+        [rule.value, shares[rule], heights[rule]] for rule in PruneRule
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    title: str,
+    seconds: Sequence[int],
+    columns: Mapping[str, Sequence[float]],
+    stride: int = 5,
+) -> str:
+    """Fig. 3-style time series, subsampled every ``stride`` seconds."""
+    headers = ["t(s)"] + list(columns)
+    rows = []
+    for index, second in enumerate(seconds):
+        if index % stride:
+            continue
+        rows.append(
+            [second] + [columns[name][index] for name in columns]
+        )
+    return format_table(headers, rows, title=title)

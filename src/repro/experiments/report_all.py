@@ -1,0 +1,69 @@
+"""One-shot report generation: every reproduced figure in one document.
+
+``generate_report()`` runs (or reuses from the cache) the Fig. 3 demo,
+the FT-Search study, and the cluster experiment grid, and concatenates
+all rendered figures into a single plain-text report — the artifact
+``python -m repro experiment all`` writes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments import figures
+from repro.experiments.cache import (
+    get_cluster_results,
+    get_fig3_data,
+    get_study_results,
+)
+from repro.experiments.scale import ExperimentScale, StudyScale
+
+__all__ = ["generate_report"]
+
+_HEADER = """\
+LAAR reproduction report
+========================
+
+Regenerated figures for: Bellavista, Corradi, Reale, Kotoulas —
+"Adaptive Fault-Tolerance for Dynamic Resource Provisioning in
+Distributed Stream Processing Systems" (EDBT 2014).
+
+Scales: {cluster} applications on {trace:.0f} s traces (Figs. 9-12);
+{study} FT-Search instances per IC target (Figs. 4-6).
+Paper-vs-measured commentary lives in EXPERIMENTS.md.
+"""
+
+
+def generate_report(
+    path: Optional[str | Path] = None,
+    cluster_scale: Optional[ExperimentScale] = None,
+    study_scale: Optional[StudyScale] = None,
+) -> str:
+    """Render every figure into one report; optionally write it to a file."""
+    cluster_scale = cluster_scale or ExperimentScale.from_env()
+    study_scale = study_scale or StudyScale.from_env()
+
+    fig3 = get_fig3_data()
+    study = get_study_results(study_scale)
+    cluster = get_cluster_results(cluster_scale)
+
+    sections = [
+        _HEADER.format(
+            cluster=cluster_scale.corpus_size,
+            trace=cluster_scale.trace_seconds,
+            study=study_scale.instances,
+        ),
+        figures.render_fig3(fig3),
+        figures.render_fig4(study),
+        figures.render_fig5(study),
+        figures.render_fig6(study),
+        figures.render_fig9(cluster),
+        figures.render_fig10(cluster),
+        figures.render_fig11(cluster),
+        figures.render_fig12(cluster),
+    ]
+    report = ("\n\n" + "-" * 72 + "\n\n").join(sections) + "\n"
+    if path is not None:
+        Path(path).write_text(report)
+    return report

@@ -1,0 +1,86 @@
+"""Distribution summaries for the paper's box plots.
+
+The evaluation presents most results as box plots over the application
+corpus (footnote 4): 25th/50th/75th percentiles, whiskers at the most
+extreme samples within 1.5 IQR, outliers beyond, plus the mean printed as
+the label. :class:`BoxStats` computes exactly those elements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["BoxStats"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary with whiskers, outliers, and the mean."""
+
+    count: int
+    mean: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxStats":
+        data = [float(v) for v in values]
+        if not data:
+            raise ExperimentError("cannot summarise an empty sample")
+        if any(math.isnan(v) for v in data):
+            raise ExperimentError("sample contains NaN")
+        array = np.asarray(sorted(data))
+        q1, median, q3 = np.quantile(array, [0.25, 0.5, 0.75])
+        iqr = q3 - q1
+        low_fence = q1 - 1.5 * iqr
+        high_fence = q3 + 1.5 * iqr
+        inside = array[(array >= low_fence) & (array <= high_fence)]
+        whisker_low = float(inside.min()) if inside.size else float(q1)
+        whisker_high = float(inside.max()) if inside.size else float(q3)
+        # Interpolated quartiles can fall between samples, leaving the
+        # nearest in-fence sample *inside* the box; clamp the whiskers to
+        # the box edges so they always extend outward (as plots draw them).
+        whisker_low = min(whisker_low, float(q1))
+        whisker_high = max(whisker_high, float(q3))
+        outliers = tuple(
+            float(v) for v in array if v < low_fence or v > high_fence
+        )
+        # numpy's pairwise mean can land 1 ulp outside [min, max] for
+        # identical values; clamp so ordering invariants hold exactly.
+        mean = min(max(float(array.mean()), float(array.min())),
+                   float(array.max()))
+        return cls(
+            count=len(data),
+            mean=mean,
+            minimum=float(array.min()),
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            maximum=float(array.max()),
+            whisker_low=whisker_low,
+            whisker_high=whisker_high,
+            outliers=outliers,
+        )
+
+    def row(self) -> dict[str, float]:
+        """A flat dict for table rendering."""
+        return {
+            "mean": self.mean,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+        }

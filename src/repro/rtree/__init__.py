@@ -1,0 +1,7 @@
+"""Guttman R-tree [15] and the HAController configuration lookup index."""
+
+from repro.rtree.config_index import ConfigurationIndex
+from repro.rtree.rect import Rect
+from repro.rtree.tree import Entry, RTree
+
+__all__ = ["Rect", "RTree", "Entry", "ConfigurationIndex"]

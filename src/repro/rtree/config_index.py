@@ -1,0 +1,106 @@
+"""Input-configuration lookup for the HAController (Sec. 4.6).
+
+The HAController "uses an R-Tree-like data structure that selects the input
+configuration that is spatially closer to the current data rates and whose
+components are all greater than the corresponding actual rates. This choice
+guarantees that the chosen replica configuration will never underestimate
+the actual system load."
+
+:class:`ConfigurationIndex` implements exactly that: configurations are
+indexed as points (one dimension per source) in an R-tree; a lookup runs a
+predicate-filtered nearest-neighbour query where the predicate is
+componentwise dominance. When the measured rates exceed every configuration
+(out-of-contract input), the index falls back to the configuration with the
+highest total rate — the most conservative activation available.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.configurations import ConfigurationSpace, InputConfiguration
+from repro.errors import RTreeError
+from repro.rtree.tree import Entry, RTree
+
+__all__ = ["ConfigurationIndex"]
+
+
+class ConfigurationIndex:
+    """R-tree-backed dominance-constrained nearest configuration lookup.
+
+    ``tolerance`` relaxes the dominance test to
+    ``config_rate * (1 + tolerance) >= measured_rate``: a configuration
+    still "covers" a measurement that exceeds its nominal rate by at most
+    the tolerance fraction. This models the paper's binning step ([12]),
+    where each discrete rate is the *upper edge* of the observed rates it
+    stands for — measurement noise around a nominal rate must not read as
+    a configuration change. With ``tolerance=0`` the test is exact.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        max_entries: int = 8,
+        tolerance: float = 0.0,
+    ) -> None:
+        if tolerance < 0:
+            raise RTreeError(f"tolerance must be >= 0, got {tolerance}")
+        self._space = space
+        self._sources = space.sources
+        self._tolerance = tolerance
+        # The configuration set is static: STR bulk loading packs it.
+        from repro.rtree.rect import Rect
+
+        self._tree: RTree[int] = RTree.bulk_load(
+            [
+                (
+                    Rect.from_point(config.rate_vector(self._sources)),
+                    config.index,
+                )
+                for config in space
+            ],
+            max_entries=max_entries,
+        )
+        # The out-of-contract fallback: the most load-hungry configuration.
+        self._fallback_index = space.sorted_by_total_rate()[0]
+
+    @property
+    def space(self) -> ConfigurationSpace:
+        return self._space
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return self._sources
+
+    def lookup(self, rates: Mapping[str, float]) -> InputConfiguration:
+        """The nearest configuration dominating the measured ``rates``.
+
+        ``rates`` must provide a measurement for every source. Falls back
+        to the most resource-hungry configuration when no configuration
+        dominates the measurement (the input exceeded its contract).
+        """
+        missing = [s for s in self._sources if s not in rates]
+        if missing:
+            raise RTreeError(f"no measured rate for sources {missing}")
+        point = tuple(float(rates[s]) for s in self._sources)
+        if any(value < 0 for value in point):
+            raise RTreeError(f"measured rates must be >= 0, got {point}")
+
+        slack = 1.0 + self._tolerance
+
+        def dominates(entry: Entry[int]) -> bool:
+            return all(
+                coordinate * slack >= measured
+                for coordinate, measured in zip(entry.rect.high, point)
+            )
+
+        found = self._tree.nearest(point, predicate=dominates)
+        if found is None:
+            return self._space[self._fallback_index]
+        return self._space[found.value]
+
+    def lookup_index(self, rates: Mapping[str, float]) -> int:
+        return self.lookup(rates).index
+
+    def __len__(self) -> int:
+        return len(self._tree)

@@ -1,0 +1,155 @@
+"""Axis-aligned rectangles (minimum bounding boxes) for the R-tree.
+
+Guttman's R-tree [15] stores n-dimensional axis-aligned rectangles; points
+are represented as degenerate rectangles. This module implements the
+rectangle algebra the tree needs: area, union (the minimum bounding
+rectangle of two rectangles), intersection tests, containment, enlargement
+cost, and point distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import RTreeError
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An n-dimensional closed axis-aligned rectangle.
+
+    ``low`` and ``high`` are coordinate tuples with ``low[i] <= high[i]``
+    for every dimension ``i``.
+    """
+
+    low: tuple[float, ...]
+    high: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.low) != len(self.high):
+            raise RTreeError(
+                f"dimension mismatch: {len(self.low)} vs {len(self.high)}"
+            )
+        if not self.low:
+            raise RTreeError("rectangles must have at least one dimension")
+        for lo, hi in zip(self.low, self.high):
+            if math.isnan(lo) or math.isnan(hi):
+                raise RTreeError("rectangle coordinates must not be NaN")
+            if lo > hi:
+                raise RTreeError(f"invalid rectangle: low {lo} > high {hi}")
+        object.__setattr__(self, "low", tuple(float(v) for v in self.low))
+        object.__setattr__(self, "high", tuple(float(v) for v in self.high))
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        coordinates = tuple(float(v) for v in point)
+        return cls(coordinates, coordinates)
+
+    @classmethod
+    def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty collection."""
+        rects = list(rects)
+        if not rects:
+            raise RTreeError("cannot bound an empty collection")
+        dimensions = rects[0].dimensions
+        low = [math.inf] * dimensions
+        high = [-math.inf] * dimensions
+        for rect in rects:
+            if rect.dimensions != dimensions:
+                raise RTreeError("mixed dimensions in bounding computation")
+            for i in range(dimensions):
+                low[i] = min(low[i], rect.low[i])
+                high[i] = max(high[i], rect.high[i])
+        return cls(tuple(low), tuple(high))
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.low)
+
+    @property
+    def is_point(self) -> bool:
+        return self.low == self.high
+
+    def area(self) -> float:
+        result = 1.0
+        for lo, hi in zip(self.low, self.high):
+            result *= hi - lo
+        return result
+
+    def margin(self) -> float:
+        """Sum of edge lengths (used by some split heuristics)."""
+        return sum(hi - lo for lo, hi in zip(self.low, self.high))
+
+    def union(self, other: "Rect") -> "Rect":
+        self._check_dimensions(other)
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.low, other.low)),
+            tuple(max(a, b) for a, b in zip(self.high, other.high)),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Extra area needed to include ``other`` (Guttman's ChooseLeaf cost)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        self._check_dimensions(other)
+        return all(
+            lo <= other_hi and other_lo <= hi
+            for lo, hi, other_lo, other_hi in zip(
+                self.low, self.high, other.low, other.high
+            )
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        self._check_dimensions(other)
+        return all(
+            lo <= other_lo and other_hi <= hi
+            for lo, hi, other_lo, other_hi in zip(
+                self.low, self.high, other.low, other.high
+            )
+        )
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        if len(point) != self.dimensions:
+            raise RTreeError("point dimension mismatch")
+        return all(
+            lo <= value <= hi
+            for lo, hi, value in zip(self.low, self.high, point)
+        )
+
+    def min_distance_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the nearest rect point.
+
+        Zero when the point is inside. This is the MINDIST bound used for
+        best-first nearest-neighbour traversal.
+        """
+        if len(point) != self.dimensions:
+            raise RTreeError("point dimension mismatch")
+        total = 0.0
+        for lo, hi, value in zip(self.low, self.high, point):
+            if value < lo:
+                total += (lo - value) ** 2
+            elif value > hi:
+                total += (value - hi) ** 2
+        return math.sqrt(total)
+
+    def dominates_point(self, point: Sequence[float]) -> bool:
+        """True when every *high* coordinate is >= the point's coordinate.
+
+        For a subtree MBR this is a necessary condition for the subtree to
+        contain an entry that dominates ``point`` componentwise — the
+        admissibility filter of the HAController lookup.
+        """
+        if len(point) != self.dimensions:
+            raise RTreeError("point dimension mismatch")
+        return all(hi >= value for hi, value in zip(self.high, point))
+
+    def _check_dimensions(self, other: "Rect") -> None:
+        if self.dimensions != other.dimensions:
+            raise RTreeError(
+                f"dimension mismatch: {self.dimensions} vs {other.dimensions}"
+            )

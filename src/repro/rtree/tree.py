@@ -1,0 +1,544 @@
+"""A from-scratch Guttman R-tree with quadratic split.
+
+Implements the classic dynamic index of [15] (Guttman, SIGMOD '84):
+ChooseLeaf insertion, quadratic-cost node splitting, AdjustTree bound
+propagation, deletion with CondenseTree re-insertion, rectangle/point
+search, and best-first (MINDIST priority queue) nearest-neighbour search
+with an optional entry predicate — the form the LAAR HAController needs to
+find the nearest input configuration that dominates the measured rates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterator, Optional, Sequence, TypeVar
+
+from repro.errors import RTreeError
+from repro.rtree.rect import Rect
+
+__all__ = ["RTree", "Entry"]
+
+V = TypeVar("V")
+
+
+def _even_chunks(items: list, target_count: int) -> list:
+    """Split ``items`` into ``target_count`` contiguous chunks whose sizes
+    differ by at most one (so no chunk is pathologically small)."""
+    n_groups = max(1, target_count)
+    base, extra = divmod(len(items), n_groups)
+    chunks = []
+    start = 0
+    for index in range(n_groups):
+        size = base + (1 if index < extra else 0)
+        if size:
+            chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _str_tile(items: list, rect_of, capacity: int, dimensions: int) -> list:
+    """Sort-Tile-Recursive grouping of ``items`` into lists of at most
+    ``capacity``, slicing one dimension per recursion level.
+
+    Groups are even-sized (within one element), so every tile holds at
+    least ``ceil(capacity / 2)`` items — which satisfies any legal
+    min-fill (``min_entries <= capacity // 2``) except for a single
+    under-full tile that becomes the tree's root.
+    """
+
+    def centre(item, axis: int) -> float:
+        rect = rect_of(item)
+        return (rect.low[axis] + rect.high[axis]) / 2.0
+
+    def tile(chunk: list, axis: int) -> list:
+        if len(chunk) <= capacity:
+            return [chunk]
+        ordered = sorted(chunk, key=lambda item: centre(item, axis))
+        n_groups = math.ceil(len(ordered) / capacity)
+        if axis >= dimensions - 1:
+            return _even_chunks(ordered, n_groups)
+        n_slabs = max(1, math.ceil(n_groups ** (1.0 / (dimensions - axis))))
+        result = []
+        for slab in _even_chunks(ordered, n_slabs):
+            result.extend(tile(slab, axis + 1))
+        return result
+
+    return tile(list(items), 0)
+
+
+@dataclass(frozen=True)
+class Entry(Generic[V]):
+    """A leaf entry: a rectangle (or point) with an attached value."""
+
+    rect: Rect
+    value: V
+
+
+@dataclass
+class _Node(Generic[V]):
+    leaf: bool
+    entries: list["Entry[V]"] = field(default_factory=list)
+    children: list["_Node[V]"] = field(default_factory=list)
+    rect: Optional[Rect] = None
+    parent: Optional["_Node[V]"] = None
+
+    def recompute_rect(self) -> None:
+        rects = (
+            [e.rect for e in self.entries]
+            if self.leaf
+            else [c.rect for c in self.children if c.rect is not None]
+        )
+        self.rect = Rect.bounding(rects) if rects else None
+
+    def fanout(self) -> int:
+        return len(self.entries) if self.leaf else len(self.children)
+
+
+class RTree(Generic[V]):
+    """A dynamic R-tree index.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity ``M``; a node with more than ``M`` entries splits.
+    min_entries:
+        Minimum fill ``m`` (``m <= M // 2``); under-full nodes are
+        condensed and their entries re-inserted on deletion.
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None):
+        if max_entries < 2:
+            raise RTreeError(f"max_entries must be >= 2, got {max_entries}")
+        self._max = max_entries
+        self._min = min_entries if min_entries is not None else max(
+            1, max_entries // 3
+        )
+        if not 1 <= self._min <= self._max // 2:
+            raise RTreeError(
+                f"min_entries must be in [1, {self._max // 2}], got {self._min}"
+            )
+        self._root: _Node[V] = _Node(leaf=True)
+        self._size = 0
+        self._dimensions: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dimensions(self) -> Optional[int]:
+        return self._dimensions
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        height = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def __iter__(self) -> Iterator[Entry[V]]:
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node: _Node[V]) -> Iterator[Entry[V]]:
+        if node.leaf:
+            yield from node.entries
+        else:
+            for child in node.children:
+                yield from self._iter_node(child)
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Sequence[tuple[Rect, V]],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "RTree[V]":
+        """Build a packed tree from a static entry set (STR packing).
+
+        Sort-Tile-Recursive: entries are sorted by centre coordinate and
+        recursively sliced into tiles of node capacity, one dimension at a
+        time, producing near-full leaves with good spatial locality; upper
+        levels pack consecutive nodes the same way. Much better fan-out
+        and query locality than repeated insertion for static data — the
+        HAController's configuration index is exactly that.
+        """
+        tree: RTree[V] = cls(max_entries=max_entries, min_entries=min_entries)
+        if not entries:
+            return tree
+        dimensions = entries[0][0].dimensions
+        for rect, _ in entries:
+            if rect.dimensions != dimensions:
+                raise RTreeError("mixed dimensions in bulk load")
+        tree._dimensions = dimensions
+
+        leaf_entries = [Entry(rect, value) for rect, value in entries]
+        tiles = _str_tile(
+            leaf_entries, lambda e: e.rect, tree._max, dimensions
+        )
+        nodes: list[_Node[V]] = []
+        for tile in tiles:
+            node: _Node[V] = _Node(leaf=True, entries=tile)
+            node.recompute_rect()
+            nodes.append(node)
+
+        while len(nodes) > 1:
+            tiles = _str_tile(
+                nodes, lambda n: n.rect, tree._max, dimensions
+            )
+            parents: list[_Node[V]] = []
+            for tile in tiles:
+                parent: _Node[V] = _Node(leaf=False, children=tile)
+                for child in tile:
+                    child.parent = parent
+                parent.recompute_rect()
+                parents.append(parent)
+            nodes = parents
+
+        tree._root = nodes[0]
+        tree._size = len(leaf_entries)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, value: V) -> None:
+        if self._dimensions is None:
+            self._dimensions = rect.dimensions
+        elif rect.dimensions != self._dimensions:
+            raise RTreeError(
+                f"entry has {rect.dimensions} dimensions, tree has"
+                f" {self._dimensions}"
+            )
+        self._insert_entry(Entry(rect, value))
+        self._size += 1
+
+    def insert_point(self, point: Sequence[float], value: V) -> None:
+        self.insert(Rect.from_point(point), value)
+
+    def _insert_entry(self, entry: Entry[V]) -> None:
+        leaf = self._choose_leaf(self._root, entry.rect)
+        leaf.entries.append(entry)
+        leaf.recompute_rect()
+        self._adjust_tree(leaf)
+
+    def _choose_leaf(self, node: _Node[V], rect: Rect) -> _Node[V]:
+        while not node.leaf:
+            node = min(
+                node.children,
+                key=lambda child: (
+                    child.rect.enlargement(rect),  # type: ignore[union-attr]
+                    child.rect.area(),  # type: ignore[union-attr]
+                ),
+            )
+        return node
+
+    def _adjust_tree(self, node: _Node[V]) -> None:
+        while True:
+            if node.fanout() > self._max:
+                sibling = self._split(node)
+                parent = node.parent
+                if parent is None:
+                    new_root: _Node[V] = _Node(leaf=False)
+                    new_root.children = [node, sibling]
+                    node.parent = new_root
+                    sibling.parent = new_root
+                    new_root.recompute_rect()
+                    self._root = new_root
+                    return
+                parent.children.append(sibling)
+                sibling.parent = parent
+                parent.recompute_rect()
+                node = parent
+            else:
+                node.recompute_rect()
+                if node.parent is None:
+                    return
+                node = node.parent
+
+    # ------------------------------------------------------------------
+    # Quadratic split (Guttman Sec. 3.5.2)
+    # ------------------------------------------------------------------
+
+    def _split(self, node: _Node[V]) -> _Node[V]:
+        if node.leaf:
+            items = list(node.entries)
+            rect_of = lambda item: item.rect  # noqa: E731
+        else:
+            items = list(node.children)
+            rect_of = lambda item: item.rect  # noqa: E731
+
+        seed_a, seed_b = self._pick_seeds(items, rect_of)
+        group_a = [items[seed_a]]
+        group_b = [items[seed_b]]
+        rect_a = rect_of(items[seed_a])
+        rect_b = rect_of(items[seed_b])
+        remaining = [
+            item
+            for index, item in enumerate(items)
+            if index not in (seed_a, seed_b)
+        ]
+
+        while remaining:
+            # If one group must take everything to reach minimum fill, do it.
+            if len(group_a) + len(remaining) == self._min:
+                group_a.extend(remaining)
+                rect_a = Rect.bounding([rect_a] + [rect_of(i) for i in remaining])
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min:
+                group_b.extend(remaining)
+                rect_b = Rect.bounding([rect_b] + [rect_of(i) for i in remaining])
+                remaining = []
+                break
+            item = self._pick_next(remaining, rect_a, rect_b, rect_of)
+            remaining.remove(item)
+            rect = rect_of(item)
+            enlarge_a = rect_a.enlargement(rect)
+            enlarge_b = rect_b.enlargement(rect)
+            if enlarge_a < enlarge_b or (
+                enlarge_a == enlarge_b and rect_a.area() <= rect_b.area()
+            ):
+                group_a.append(item)
+                rect_a = rect_a.union(rect)
+            else:
+                group_b.append(item)
+                rect_b = rect_b.union(rect)
+
+        sibling: _Node[V] = _Node(leaf=node.leaf)
+        if node.leaf:
+            node.entries = group_a
+            sibling.entries = group_b
+        else:
+            node.children = group_a
+            sibling.children = group_b
+            for child in group_b:
+                child.parent = sibling
+        node.recompute_rect()
+        sibling.recompute_rect()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(items, rect_of) -> tuple[int, int]:
+        """The pair wasting the most area if grouped together."""
+        worst = None
+        seeds = (0, 1)
+        for i, j in itertools.combinations(range(len(items)), 2):
+            rect_i, rect_j = rect_of(items[i]), rect_of(items[j])
+            waste = (
+                rect_i.union(rect_j).area() - rect_i.area() - rect_j.area()
+            )
+            if worst is None or waste > worst:
+                worst = waste
+                seeds = (i, j)
+        return seeds
+
+    @staticmethod
+    def _pick_next(remaining, rect_a, rect_b, rect_of):
+        """The item with the greatest preference for one group."""
+        best = None
+        best_diff = -1.0
+        for item in remaining:
+            rect = rect_of(item)
+            diff = abs(rect_a.enlargement(rect) - rect_b.enlargement(rect))
+            if diff > best_diff:
+                best_diff = diff
+                best = item
+        return best
+
+    # ------------------------------------------------------------------
+    # Deletion (FindLeaf / CondenseTree)
+    # ------------------------------------------------------------------
+
+    def delete(self, rect: Rect, value: V) -> bool:
+        """Remove one entry matching ``(rect, value)``; False if absent."""
+        leaf = self._find_leaf(self._root, rect, value)
+        if leaf is None:
+            return False
+        leaf.entries = [
+            e for e in leaf.entries if not (e.rect == rect and e.value == value)
+        ]
+        self._size -= 1
+        self._condense_tree(leaf)
+        # Shrink the root if it has a single child.
+        while not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        if self._size == 0:
+            self._dimensions = None
+        return True
+
+    def delete_point(self, point: Sequence[float], value: V) -> bool:
+        return self.delete(Rect.from_point(point), value)
+
+    def _find_leaf(
+        self, node: _Node[V], rect: Rect, value: V
+    ) -> Optional[_Node[V]]:
+        if node.rect is None or not node.rect.contains(rect):
+            return None
+        if node.leaf:
+            for entry in node.entries:
+                if entry.rect == rect and entry.value == value:
+                    return node
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, rect, value)
+            if found is not None:
+                return found
+        return None
+
+    def _condense_tree(self, node: _Node[V]) -> None:
+        orphans: list[Entry[V]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if node.fanout() < self._min:
+                parent.children.remove(node)
+                orphans.extend(self._iter_node(node))
+            else:
+                node.recompute_rect()
+            parent.recompute_rect()
+            node = parent
+        node.recompute_rect()
+        for entry in orphans:
+            self._insert_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def search(self, rect: Rect) -> list[Entry[V]]:
+        """All entries whose rectangle intersects ``rect``."""
+        results: list[Entry[V]] = []
+        self._search_node(self._root, rect, results)
+        return results
+
+    def _search_node(
+        self, node: _Node[V], rect: Rect, results: list[Entry[V]]
+    ) -> None:
+        if node.rect is None or not node.rect.intersects(rect):
+            return
+        if node.leaf:
+            results.extend(e for e in node.entries if e.rect.intersects(rect))
+        else:
+            for child in node.children:
+                self._search_node(child, rect, results)
+
+    def search_point(self, point: Sequence[float]) -> list[Entry[V]]:
+        return self.search(Rect.from_point(point))
+
+    def nearest(
+        self,
+        point: Sequence[float],
+        predicate: Callable[[Entry[V]], bool] | None = None,
+    ) -> Optional[Entry[V]]:
+        """The entry nearest to ``point`` (MINDIST best-first search).
+
+        ``predicate`` filters admissible entries; subtrees are only pruned
+        by distance, so the nearest entry *satisfying the predicate* is
+        returned. Returns None for an empty tree or when nothing matches.
+        """
+        if self._size == 0:
+            return None
+        counter = itertools.count()  # tie-breaker: heap needs total order
+        heap: list = []
+        if self._root.rect is not None:
+            heapq.heappush(
+                heap,
+                (
+                    self._root.rect.min_distance_to_point(point),
+                    next(counter),
+                    False,
+                    self._root,
+                ),
+            )
+        while heap:
+            distance, _, is_entry, payload = heapq.heappop(heap)
+            if is_entry:
+                return payload
+            node: _Node[V] = payload
+            if node.leaf:
+                for entry in node.entries:
+                    if predicate is not None and not predicate(entry):
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (
+                            entry.rect.min_distance_to_point(point),
+                            next(counter),
+                            True,
+                            entry,
+                        ),
+                    )
+            else:
+                for child in node.children:
+                    if child.rect is None:
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (
+                            child.rect.min_distance_to_point(point),
+                            next(counter),
+                            False,
+                            child,
+                        ),
+                    )
+        return None
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`RTreeError` if any structural invariant is broken.
+
+        Checks: bounding rectangles cover children, fanout within
+        [min, max] for non-root nodes, all leaves at the same depth, and
+        parent pointers consistent.
+        """
+        leaf_depths: set[int] = set()
+        self._check_node(self._root, None, 0, leaf_depths)
+        if len(leaf_depths) > 1:
+            raise RTreeError(f"leaves at different depths: {leaf_depths}")
+
+    def _check_node(
+        self,
+        node: _Node[V],
+        parent: Optional[_Node[V]],
+        depth: int,
+        leaf_depths: set[int],
+    ) -> None:
+        if node.parent is not parent:
+            raise RTreeError("broken parent pointer")
+        if parent is not None and not self._min <= node.fanout() <= self._max:
+            raise RTreeError(
+                f"node fanout {node.fanout()} outside"
+                f" [{self._min}, {self._max}]"
+            )
+        if node.fanout() > 0:
+            expected = Rect.bounding(
+                [e.rect for e in node.entries]
+                if node.leaf
+                else [c.rect for c in node.children]  # type: ignore[misc]
+            )
+            if node.rect != expected:
+                raise RTreeError("stale bounding rectangle")
+        if node.leaf:
+            leaf_depths.add(depth)
+        else:
+            if not node.children:
+                raise RTreeError("internal node without children")
+            for child in node.children:
+                self._check_node(child, node, depth + 1, leaf_depths)

@@ -1,0 +1,19 @@
+"""The Sec. 3 service model: contracts, SLAs, pricing, provisioning."""
+
+from repro.service.contract import (
+    SLA,
+    Contract,
+    PricingPlan,
+    ProvisionedApplication,
+    Provisioner,
+    SLAReport,
+)
+
+__all__ = [
+    "SLA",
+    "PricingPlan",
+    "Contract",
+    "SLAReport",
+    "ProvisionedApplication",
+    "Provisioner",
+]

@@ -1,0 +1,228 @@
+"""The PaaS service model of Section 3: contracts, SLAs, pricing plans.
+
+"Stream processing services are regulated by customer-provider contracts
+composed of (i) the stream processing application to be executed on the
+platform, (ii) an application descriptor ..., (iii) a SLA determining the
+targeted runtime quality requirements, and (iv) a pricing plan that
+defines the economical conditions under which the provider runs the
+customer application with the requested quality of service."
+
+This module makes that model executable: a :class:`Contract` bundles a
+descriptor with an :class:`SLA` (the paper's two example clauses —
+fault-tolerance via the IC bound, and maximum latency) and a
+:class:`PricingPlan` (the time-based fixed billing plan of Sec. 3); the
+:class:`Provisioner` turns a contract into a deployed LAAR configuration
+and its fare.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cost import cost_breakdown
+from repro.core.descriptor import ApplicationDescriptor
+from repro.core.deployment import Host, ReplicatedDeployment
+from repro.core.optimizer import (
+    OptimizationProblem,
+    SearchResult,
+    ft_search,
+)
+from repro.core.strategy import ActivationStrategy
+from repro.dsps.metrics import RunMetrics
+from repro.errors import InfeasibleError, ModelError
+from repro.placement import balanced_placement
+
+__all__ = [
+    "SLA",
+    "PricingPlan",
+    "Contract",
+    "SLAReport",
+    "ProvisionedApplication",
+    "Provisioner",
+]
+
+
+@dataclass(frozen=True)
+class SLA:
+    """The quality clauses of Sec. 3.
+
+    ``ic_target`` is the fault-tolerance clause (the guaranteed internal
+    completeness under the pessimistic failure model); ``max_latency`` is
+    the optional maximum-latency clause, checked at the given percentile
+    of observed end-to-end latencies.
+    """
+
+    ic_target: float
+    max_latency: Optional[float] = None
+    latency_percentile: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ic_target <= 1.0:
+            raise ModelError(
+                f"IC target must be in [0, 1], got {self.ic_target}"
+            )
+        if self.max_latency is not None and self.max_latency <= 0:
+            raise ModelError("max_latency must be > 0 when given")
+        if not 0.0 < self.latency_percentile <= 1.0:
+            raise ModelError("latency_percentile must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """The time-based fixed billing plan of Sec. 3.
+
+    The customer pays a flat fare per billing period ``T``; the fare
+    depends on the application and the agreed SLA through the CPU time
+    the chosen strategy is expected to consume: ``base_fee +
+    cpu_rate * expected CPU-seconds per period``.
+    """
+
+    base_fee: float = 0.0
+    cpu_rate: float = 1.0  # currency per CPU core-second
+    billing_period: float = 3600.0  # the paper's T, in seconds
+
+    def __post_init__(self) -> None:
+        if self.base_fee < 0 or self.cpu_rate < 0:
+            raise ModelError("fees and rates must be >= 0")
+        if self.billing_period <= 0:
+            raise ModelError("billing period must be > 0")
+
+    def fare(
+        self, strategy: ActivationStrategy
+    ) -> float:
+        """The per-period fare for running ``strategy``.
+
+        CPU cycle-seconds are converted to core-seconds host by host
+        (heterogeneous clock speeds are billed by actual core time).
+        """
+        deployment = strategy.deployment
+        breakdown = cost_breakdown(
+            strategy, billing_period=self.billing_period
+        )
+        cpu_seconds = sum(
+            cycles / deployment.host(host).cycles_per_core
+            for host, cycles in breakdown.per_host.items()
+        )
+        return self.base_fee + self.cpu_rate * cpu_seconds
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Items (ii)-(iv) of the Sec. 3 contract. The application itself
+    (item i) is represented by its descriptor's graph."""
+
+    descriptor: ApplicationDescriptor
+    sla: SLA
+    pricing: PricingPlan
+    name: str = "contract"
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """Post-run SLA compliance, from a simulated run's metrics."""
+
+    guaranteed_ic: float
+    ic_clause_met: bool
+    observed_latency: Optional[float]
+    latency_clause_met: bool
+
+    @property
+    def compliant(self) -> bool:
+        return self.ic_clause_met and self.latency_clause_met
+
+
+@dataclass(frozen=True)
+class ProvisionedApplication:
+    """A contract turned into a deployable LAAR configuration."""
+
+    contract: Contract
+    deployment: ReplicatedDeployment
+    strategy: ActivationStrategy
+    search: SearchResult
+
+    @property
+    def fare(self) -> float:
+        return self.contract.pricing.fare(self.strategy)
+
+    @property
+    def guaranteed_ic(self) -> float:
+        return self.search.best_ic
+
+    def sla_report(self, metrics: RunMetrics) -> SLAReport:
+        """Check a run's metrics against the contract's SLA clauses.
+
+        The IC clause is satisfied *a priori* by construction (FT-Search
+        only returns strategies meeting the bound); the latency clause is
+        checked against the observed percentile.
+        """
+        sla = self.contract.sla
+        ic_ok = self.guaranteed_ic >= sla.ic_target - 1e-9
+        if sla.max_latency is None:
+            observed = None
+            latency_ok = True
+        else:
+            observed = metrics.latency_percentile(sla.latency_percentile)
+            latency_ok = observed <= sla.max_latency
+        return SLAReport(
+            guaranteed_ic=self.guaranteed_ic,
+            ic_clause_met=ic_ok,
+            observed_latency=observed,
+            latency_clause_met=latency_ok,
+        )
+
+
+class Provisioner:
+    """The provider side: place, optimize, and price a contract."""
+
+    def __init__(
+        self,
+        hosts: list[Host],
+        replication_factor: int = 2,
+        search_time_limit: float = 10.0,
+    ) -> None:
+        if not hosts:
+            raise ModelError("the provider needs at least one host")
+        self._hosts = list(hosts)
+        self._k = replication_factor
+        self._time_limit = search_time_limit
+
+    def provision(self, contract: Contract) -> ProvisionedApplication:
+        """Run the Fig. 7 workflow for one contract.
+
+        Raises :class:`InfeasibleError` when no activation strategy can
+        satisfy the SLA on the provider's hosts — the provider must
+        refuse the contract (or renegotiate the SLA) rather than accept
+        a deal it would pay penalties on.
+        """
+        deployment = balanced_placement(
+            contract.descriptor, self._hosts, self._k
+        )
+        result = ft_search(
+            OptimizationProblem(
+                deployment, ic_target=contract.sla.ic_target
+            ),
+            time_limit=self._time_limit,
+            seed_incumbent=True,
+        )
+        if result.strategy is None:
+            raise InfeasibleError(
+                f"contract {contract.name!r}: no strategy satisfies"
+                f" IC >= {contract.sla.ic_target} on the offered hosts"
+                f" ({result.outcome.value})"
+            )
+        return ProvisionedApplication(
+            contract=contract,
+            deployment=deployment,
+            strategy=result.strategy,
+            search=result,
+        )
+
+    def quote(self, contract: Contract) -> float:
+        """The fare for a contract (provisioning it on the way)."""
+        provisioned = self.provision(contract)
+        fare = provisioned.fare
+        if not math.isfinite(fare):
+            raise ModelError("fare computation produced a non-finite value")
+        return fare

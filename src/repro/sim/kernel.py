@@ -1,0 +1,217 @@
+"""A from-scratch discrete-event simulation kernel.
+
+This is the substrate under :mod:`repro.dsps` (the stream platform
+simulator). It provides:
+
+* an :class:`Environment` with a monotonically advancing virtual clock and
+  a binary-heap event queue with deterministic FIFO tie-breaking;
+* cancellable scheduled callbacks (:class:`EventHandle`);
+* generator-coroutine *processes* (:class:`Process`) that ``yield``
+  either a float delay or a :class:`Signal` to wait on;
+* :class:`Signal`, a triggerable one-shot event carrying a value.
+
+The design follows the classic event-list simulation loop; it is
+deliberately minimal (no shared resources, no preemption) because the DSPS
+layer models CPU contention explicitly through per-core service queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Environment", "EventHandle", "Signal", "Process"]
+
+
+class EventHandle:
+    """A scheduled callback; ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Signal:
+    """A one-shot triggerable event processes can wait on.
+
+    ``trigger(value)`` wakes every waiting process (and future waiters
+    resume immediately). Triggering twice is an error — signals are
+    one-shot by design; recreate one per occurrence.
+    """
+
+    __slots__ = ("_env", "_triggered", "_value", "_waiters")
+
+    def __init__(self, env: "Environment") -> None:
+        self._env = env
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError("signal triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._env.schedule(0.0, lambda p=process: p._resume(value))
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._triggered:
+            self._env.schedule(
+                0.0, lambda p=process: p._resume(self._value)
+            )
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A generator-coroutine process.
+
+    The generator yields either a non-negative float (sleep for that many
+    simulated seconds) or a :class:`Signal` (sleep until triggered; the
+    ``yield`` evaluates to the signal's value). When the generator
+    returns, the process is *finished* and its :attr:`done` signal fires
+    with the generator's return value.
+    """
+
+    __slots__ = ("_env", "_generator", "done", "_alive")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Any, Any, Any],
+    ) -> None:
+        self._env = env
+        self._generator = generator
+        self.done = Signal(env)
+        self._alive = True
+        env.schedule(0.0, lambda: self._resume(None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self) -> None:
+        """Stop the process; its generator is closed, ``done`` never fires."""
+        if self._alive:
+            self._alive = False
+            self._generator.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.trigger(stop.value)
+            return
+        if isinstance(yielded, Signal):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0 or math.isnan(delay):
+                self._alive = False
+                raise SimulationError(
+                    f"process yielded an invalid delay: {yielded!r}"
+                )
+            self._env.schedule(delay, lambda: self._resume(None))
+        else:
+            self._alive = False
+            raise SimulationError(
+                f"process yielded an unsupported value: {yielded!r}"
+            )
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        handle = EventHandle(self._now + delay, callback)
+        heapq.heappush(self._queue, (handle.time, next(self._sequence), handle))
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        return self.schedule(time - self._now, callback)
+
+    def process(self, generator: Generator[Any, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def signal(self) -> Signal:
+        return Signal(self)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in time order.
+
+        With ``until`` set, the clock stops exactly at ``until`` (events
+        scheduled at ``until`` are processed; later ones stay queued).
+        Without it, runs until the queue drains.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, already at {self._now}"
+            )
+        while self._queue:
+            time, _, handle = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            if time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue went back in time")
+            self._now = time
+            self._events_processed += 1
+            handle.callback()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def peek(self) -> float:
+        """Time of the next pending event (inf when idle)."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else math.inf

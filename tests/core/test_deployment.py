@@ -1,0 +1,160 @@
+"""Unit tests for hosts, replicas, and replicated deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Host,
+    RateTable,
+    ReplicaId,
+    ReplicatedDeployment,
+)
+from repro.errors import DeploymentError
+
+GIGA = 1.0e9
+
+
+class TestHost:
+    def test_capacity(self):
+        host = Host("h", cores=4, cycles_per_core=2.0 * GIGA)
+        assert host.capacity == pytest.approx(8.0 * GIGA)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(DeploymentError):
+            Host("h", cores=0)
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(DeploymentError):
+            Host("h", cycles_per_core=0.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DeploymentError):
+            Host("")
+
+
+class TestReplicaId:
+    def test_rejects_negative_index(self):
+        with pytest.raises(DeploymentError):
+            ReplicaId("pe", -1)
+
+    def test_ordering_is_stable(self):
+        assert ReplicaId("a", 0) < ReplicaId("a", 1) < ReplicaId("b", 0)
+
+
+def manual_deployment(pipeline_descriptor, assignment=None):
+    hosts = [Host("h0", cores=2, cycles_per_core=GIGA),
+             Host("h1", cores=2, cycles_per_core=GIGA)]
+    if assignment is None:
+        assignment = {
+            ReplicaId("pe1", 0): "h0",
+            ReplicaId("pe1", 1): "h1",
+            ReplicaId("pe2", 0): "h0",
+            ReplicaId("pe2", 1): "h1",
+        }
+    return ReplicatedDeployment(pipeline_descriptor, hosts, assignment, 2)
+
+
+class TestDeploymentValidation:
+    def test_valid_deployment(self, pipeline_descriptor):
+        deployment = manual_deployment(pipeline_descriptor)
+        assert deployment.host_of(ReplicaId("pe1", 0)) == "h0"
+        assert set(deployment.replicas_on("h1")) == {
+            ReplicaId("pe1", 1),
+            ReplicaId("pe2", 1),
+        }
+
+    def test_replicas_sorted_by_topology(self, pipeline_descriptor):
+        deployment = manual_deployment(pipeline_descriptor)
+        assert deployment.replicas == (
+            ReplicaId("pe1", 0),
+            ReplicaId("pe1", 1),
+            ReplicaId("pe2", 0),
+            ReplicaId("pe2", 1),
+        )
+
+    def test_same_host_replicas_rejected(self, pipeline_descriptor):
+        assignment = {
+            ReplicaId("pe1", 0): "h0",
+            ReplicaId("pe1", 1): "h0",
+            ReplicaId("pe2", 0): "h0",
+            ReplicaId("pe2", 1): "h1",
+        }
+        with pytest.raises(DeploymentError, match="share a host"):
+            manual_deployment(pipeline_descriptor, assignment)
+
+    def test_missing_replica_rejected(self, pipeline_descriptor):
+        assignment = {
+            ReplicaId("pe1", 0): "h0",
+            ReplicaId("pe2", 0): "h0",
+            ReplicaId("pe2", 1): "h1",
+        }
+        with pytest.raises(DeploymentError, match="replicas 0..1"):
+            manual_deployment(pipeline_descriptor, assignment)
+
+    def test_unknown_pe_rejected(self, pipeline_descriptor):
+        assignment = {
+            ReplicaId("ghost", 0): "h0",
+            ReplicaId("ghost", 1): "h1",
+        }
+        with pytest.raises(DeploymentError, match="unknown PE"):
+            manual_deployment(pipeline_descriptor, assignment)
+
+    def test_unknown_host_rejected(self, pipeline_descriptor):
+        assignment = {
+            ReplicaId("pe1", 0): "h9",
+            ReplicaId("pe1", 1): "h1",
+            ReplicaId("pe2", 0): "h0",
+            ReplicaId("pe2", 1): "h1",
+        }
+        with pytest.raises(DeploymentError, match="unknown host"):
+            manual_deployment(pipeline_descriptor, assignment)
+
+    def test_bad_replication_factor(self, pipeline_descriptor):
+        with pytest.raises(DeploymentError):
+            ReplicatedDeployment(pipeline_descriptor, [Host("h")], {}, 0)
+
+
+class TestLoadQueries:
+    def test_host_load_all_active(self, pipeline_descriptor):
+        deployment = manual_deployment(pipeline_descriptor)
+        table = RateTable(pipeline_descriptor)
+        # h0 carries one replica of each PE; High config: 0.8e9 x 2.
+        assert deployment.host_load("h0", 1, table) == pytest.approx(1.6 * GIGA)
+
+    def test_host_load_respects_active_map(self, pipeline_descriptor):
+        deployment = manual_deployment(pipeline_descriptor)
+        table = RateTable(pipeline_descriptor)
+        active = {replica: False for replica in deployment.replicas}
+        active[ReplicaId("pe1", 0)] = True
+        assert deployment.host_load("h0", 1, table, active) == (
+            pytest.approx(0.8 * GIGA)
+        )
+
+    def test_overload_detection(self, pipeline_descriptor):
+        # Single-core 1 GHz hosts: High with everything active needs
+        # 1.6e9 > 1.0e9 per host.
+        hosts = [Host("h0", cores=1, cycles_per_core=GIGA),
+                 Host("h1", cores=1, cycles_per_core=GIGA)]
+        assignment = {
+            ReplicaId("pe1", 0): "h0",
+            ReplicaId("pe1", 1): "h1",
+            ReplicaId("pe2", 0): "h0",
+            ReplicaId("pe2", 1): "h1",
+        }
+        deployment = ReplicatedDeployment(
+            pipeline_descriptor, hosts, assignment, 2
+        )
+        table = RateTable(pipeline_descriptor)
+        assert not deployment.is_overloaded(0, table)
+        assert deployment.is_overloaded(1, table)
+        assert deployment.overloaded_hosts(1, table) == ("h0", "h1")
+
+
+class TestSerialisation:
+    def test_round_trip(self, pipeline_descriptor):
+        deployment = manual_deployment(pipeline_descriptor)
+        clone = ReplicatedDeployment.from_dict(
+            pipeline_descriptor, deployment.to_dict()
+        )
+        assert clone.to_dict() == deployment.to_dict()

@@ -1,0 +1,107 @@
+"""Unit tests for application descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ApplicationDescriptor,
+    ApplicationGraph,
+    ConfigurationSpace,
+    EdgeProfile,
+)
+from repro.errors import DescriptorError
+
+GIGA = 1.0e9
+
+
+def simple_graph():
+    return ApplicationGraph.build(
+        ["src"], ["p"], ["sink"], [("src", "p"), ("p", "sink")]
+    )
+
+
+def simple_space():
+    return ConfigurationSpace.two_level("src", 4.0, 8.0, 0.8)
+
+
+class TestEdgeProfile:
+    def test_rejects_negative_selectivity(self):
+        with pytest.raises(DescriptorError):
+            EdgeProfile(selectivity=-1.0, cpu_cost=1.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(DescriptorError):
+            EdgeProfile(selectivity=1.0, cpu_cost=-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DescriptorError):
+            EdgeProfile(selectivity=float("nan"), cpu_cost=1.0)
+
+
+class TestDescriptorValidation:
+    def test_missing_profile_rejected(self):
+        with pytest.raises(DescriptorError, match="missing profile"):
+            ApplicationDescriptor(simple_graph(), {}, simple_space())
+
+    def test_profile_for_unknown_edge_rejected(self):
+        profiles = {
+            ("src", "p"): EdgeProfile(1.0, 1.0),
+            ("src", "ghost"): EdgeProfile(1.0, 1.0),
+        }
+        with pytest.raises(DescriptorError, match="unknown edge"):
+            ApplicationDescriptor(simple_graph(), profiles, simple_space())
+
+    def test_profile_into_sink_rejected(self):
+        profiles = {
+            ("src", "p"): EdgeProfile(1.0, 1.0),
+            ("p", "sink"): EdgeProfile(1.0, 1.0),
+        }
+        with pytest.raises(DescriptorError, match="non-PE"):
+            ApplicationDescriptor(simple_graph(), profiles, simple_space())
+
+    def test_space_source_mismatch_rejected(self):
+        profiles = {("src", "p"): EdgeProfile(1.0, 1.0)}
+        wrong_space = ConfigurationSpace.two_level("other", 4.0, 8.0, 0.8)
+        with pytest.raises(DescriptorError, match="do not match"):
+            ApplicationDescriptor(simple_graph(), profiles, wrong_space)
+
+    def test_accessors(self):
+        profiles = {("src", "p"): EdgeProfile(0.5, 2.0)}
+        descriptor = ApplicationDescriptor(
+            simple_graph(), profiles, simple_space(), name="x"
+        )
+        assert descriptor.selectivity("src", "p") == 0.5
+        assert descriptor.cpu_cost("src", "p") == 2.0
+        assert descriptor.name == "x"
+        with pytest.raises(DescriptorError):
+            descriptor.selectivity("p", "src")
+
+
+class TestDescriptorSerialisation:
+    def test_json_round_trip(self, tmp_path, pipeline_descriptor):
+        path = tmp_path / "descriptor.json"
+        pipeline_descriptor.to_json(path)
+        clone = ApplicationDescriptor.from_json(path)
+        assert clone.to_dict() == pipeline_descriptor.to_dict()
+
+    def test_text_round_trip(self, pipeline_descriptor):
+        text = pipeline_descriptor.to_json()
+        clone = ApplicationDescriptor.from_json(text)
+        assert clone.to_dict() == pipeline_descriptor.to_dict()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(DescriptorError, match="invalid descriptor JSON"):
+            ApplicationDescriptor.from_json("{not json")
+
+
+class TestLoadHelper:
+    def test_pe_cycles_per_second(self, pipeline_descriptor):
+        # pe1: gamma=0.1e9, Delta(src, Low)=4 -> 0.4e9 cycles/s.
+        assert pipeline_descriptor.pe_cycles_per_second("pe1", 0) == (
+            pytest.approx(0.4 * GIGA)
+        )
+        # pe2 receives pe1's output (selectivity 1): same figure.
+        assert pipeline_descriptor.pe_cycles_per_second("pe2", 1) == (
+            pytest.approx(0.8 * GIGA)
+        )

@@ -1,0 +1,98 @@
+"""Tests for the Delta(x, c) rate recursion (linear load model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RateTable, expected_rates
+from tests.support import random_descriptor
+
+GIGA = 1.0e9
+
+
+class TestPipelineRates:
+    def test_source_rates_match_configurations(self, pipeline_descriptor):
+        rates = expected_rates(pipeline_descriptor)
+        assert rates["src"] == (4.0, 8.0)
+
+    def test_unit_selectivity_propagates_rates(self, pipeline_descriptor):
+        rates = expected_rates(pipeline_descriptor)
+        assert rates["pe1"] == (4.0, 8.0)
+        assert rates["pe2"] == (4.0, 8.0)
+
+    def test_sink_sums_inputs(self, pipeline_descriptor):
+        rates = expected_rates(pipeline_descriptor)
+        assert rates["sink"] == (4.0, 8.0)
+
+
+class TestDiamondRates:
+    def test_fan_out_and_fan_in(self, diamond_descriptor):
+        rates = expected_rates(diamond_descriptor)
+        # a passes src through: Low 5, High 10.
+        assert rates["a"] == (5.0, 10.0)
+        # b halves, c multiplies by 1.5.
+        assert rates["b"] == (2.5, 5.0)
+        assert rates["c"] == (7.5, 15.0)
+        # d = 1.0 * b + 0.8 * c.
+        assert rates["d"][0] == pytest.approx(2.5 + 0.8 * 7.5)
+        assert rates["d"][1] == pytest.approx(5.0 + 0.8 * 15.0)
+
+
+class TestRateTable:
+    def test_replica_load(self, pipeline_descriptor):
+        table = RateTable(pipeline_descriptor)
+        assert table.replica_load("pe1", 0) == pytest.approx(0.4 * GIGA)
+        assert table.replica_load("pe2", 1) == pytest.approx(0.8 * GIGA)
+
+    def test_pe_input_rate(self, diamond_descriptor):
+        table = RateTable(diamond_descriptor)
+        # d receives b's and c's streams unweighted: 2.5 + 7.5 in Low.
+        assert table.pe_input_rate("d", 0) == pytest.approx(10.0)
+
+    def test_total_pe_input_rate_is_bic_integrand(self, pipeline_descriptor):
+        table = RateTable(pipeline_descriptor)
+        # pe1 receives 4, pe2 receives 4 in Low.
+        assert table.total_pe_input_rate(0) == pytest.approx(8.0)
+
+    def test_replica_load_matrix_follows_topo_order(self, diamond_descriptor):
+        table = RateTable(diamond_descriptor)
+        matrix, pes = table.replica_load_matrix()
+        assert pes == diamond_descriptor.graph.pes
+        assert matrix.shape == (4, 2)
+        for i, pe in enumerate(pes):
+            for c in range(2):
+                assert matrix[i, c] == pytest.approx(table.replica_load(pe, c))
+
+
+class TestRateProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_rates_scale_linearly_with_source_rate(self, seed):
+        """The linear load model: doubling every source rate doubles every
+        component's rate (footnote 2 of the paper)."""
+        rng = random.Random(seed)
+        descriptor = random_descriptor(rng, n_pes=5)
+        rates = expected_rates(descriptor)
+        space = descriptor.configuration_space
+        # Compare the two configurations of the two-level space: rates must
+        # scale by the ratio of the source rates.
+        low = space[0].rate_of("src")
+        high = space[1].rate_of("src")
+        ratio = high / low
+        for name, row in rates.items():
+            if row[0] == 0:
+                assert row[1] == 0
+            else:
+                assert row[1] / row[0] == pytest.approx(ratio)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_rates_are_nonnegative(self, seed):
+        rng = random.Random(seed)
+        descriptor = random_descriptor(rng, n_pes=6)
+        for row in expected_rates(descriptor).values():
+            assert all(rate >= 0 for rate in row)

@@ -1,0 +1,62 @@
+"""Tests for the text renderers of core model objects."""
+
+from __future__ import annotations
+
+from repro.core import (
+    ActivationStrategy,
+    ReplicaId,
+    host_load_report,
+    strategy_table,
+)
+
+
+class TestStrategyTable:
+    def test_all_active_shows_full_bits(self, pipeline_deployment):
+        strategy = ActivationStrategy.all_active(pipeline_deployment)
+        table = strategy_table(strategy)
+        lines = table.splitlines()
+        assert "Low" in lines[0] and "High" in lines[0]
+        for line in lines[1:]:
+            assert "11" in line
+
+    def test_partial_activation_bits(self, pipeline_deployment):
+        strategy = ActivationStrategy.all_active(pipeline_deployment).replace(
+            {(ReplicaId("pe2", 0), 1): False}
+        )
+        table = strategy_table(strategy)
+        pe2_line = next(
+            line for line in table.splitlines() if line.startswith("pe2")
+        )
+        # Low column full, High column 01.
+        assert "11" in pe2_line and "01" in pe2_line
+
+    def test_one_row_per_pe(self, diamond_deployment):
+        strategy = ActivationStrategy.all_active(diamond_deployment)
+        lines = strategy_table(strategy).splitlines()
+        assert len(lines) == 1 + len(
+            diamond_deployment.descriptor.graph.pes
+        )
+
+
+class TestHostLoadReport:
+    def test_fractions_reported(self, pipeline_deployment):
+        strategy = ActivationStrategy.all_active(pipeline_deployment)
+        report = host_load_report(strategy)
+        lines = report.splitlines()
+        assert lines[0].startswith("host")
+        assert len(lines) == 1 + len(pipeline_deployment.host_names)
+        # The roomy two-core deployment: Low at 0.40, High at 0.80.
+        assert "0.40" in report and "0.80" in report
+
+    def test_overload_marker(self, pipeline_descriptor):
+        from repro.core import Host
+        from repro.placement import balanced_placement
+
+        hosts = [
+            Host("h0", cores=2, cycles_per_core=0.5e9),
+            Host("h1", cores=2, cycles_per_core=0.5e9),
+        ]
+        deployment = balanced_placement(pipeline_descriptor, hosts, 2)
+        strategy = ActivationStrategy.all_active(deployment)
+        report = host_load_report(strategy)
+        assert "1.60!" in report  # Eq. 11 violation flagged

@@ -1,0 +1,165 @@
+"""Tests for heartbeat-based failure detection (Sec. 5.1's HAProxy beats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host, ReplicaId
+from repro.dsps import (
+    InputTrace,
+    PlatformConfig,
+    StreamPlatform,
+    TraceSegment,
+)
+from repro.errors import SimulationError
+from repro.placement import balanced_placement
+
+GIGA = 1.0e9
+
+
+def build_platform(
+    pipeline_descriptor,
+    trace=None,
+    heartbeat_interval=0.5,
+    failover_delay=1.0,
+):
+    hosts = [
+        Host("h0", cores=2, cycles_per_core=0.5 * GIGA),
+        Host("h1", cores=2, cycles_per_core=0.5 * GIGA),
+    ]
+    deployment = balanced_placement(pipeline_descriptor, hosts, 2)
+    trace = trace or InputTrace([TraceSegment(4.0, 40.0, "Low")])
+    return StreamPlatform(
+        deployment,
+        {"src": trace},
+        config=PlatformConfig(
+            heartbeat_interval=heartbeat_interval,
+            failover_delay=failover_delay,
+        ),
+    )
+
+
+class TestValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            PlatformConfig(heartbeat_interval=0.0)
+
+    def test_interval_cannot_exceed_timeout(self):
+        with pytest.raises(SimulationError, match="not exceed"):
+            PlatformConfig(heartbeat_interval=2.0, failover_delay=1.0)
+
+
+class TestDetection:
+    def test_crash_detected_within_timeout_plus_interval(
+        self, pipeline_descriptor
+    ):
+        platform = build_platform(
+            pipeline_descriptor, heartbeat_interval=0.25, failover_delay=1.0
+        )
+        group = platform.group("pe1")
+        victim = group.primary
+        takeover_times = []
+
+        def watch():
+            while True:
+                yield 0.05
+                if group.primary is not None and group.primary is not victim:
+                    takeover_times.append(platform.env.now)
+                    return
+
+        platform.env.schedule_at(
+            10.0, lambda: platform.crash_replica(victim.replica_id)
+        )
+        platform.env.process(watch())
+        platform.run()
+        assert takeover_times, "no failover happened"
+        detection_latency = takeover_times[0] - 10.0
+        # Emergent: at least the timeout, at most timeout + ~2 intervals.
+        assert 1.0 - 0.3 <= detection_latency <= 1.0 + 0.6
+
+    def test_primary_role_persists_until_detection(
+        self, pipeline_descriptor
+    ):
+        platform = build_platform(
+            pipeline_descriptor, heartbeat_interval=0.5, failover_delay=1.5
+        )
+        group = platform.group("pe1")
+        victim = group.primary
+        platform.env.schedule_at(
+            5.0, lambda: platform.crash_replica(victim.replica_id)
+        )
+        # Just after the crash, before the timeout, the dead replica is
+        # still formally the primary (downstream sees silence).
+        platform.env.run(until=5.6)
+        assert group.primary is victim
+        platform.env.run(until=8.0)
+        assert group.primary is not victim
+
+    def test_deactivation_handover_is_still_immediate(
+        self, pipeline_descriptor
+    ):
+        platform = build_platform(pipeline_descriptor)
+        group = platform.group("pe2")
+        first = group.primary
+        platform.env.run(until=3.0)
+        first.deactivate()
+        assert group.primary is not None
+        assert group.primary is not first
+
+    def test_end_to_end_loss_bounded_by_detection_window(
+        self, pipeline_descriptor
+    ):
+        platform = build_platform(
+            pipeline_descriptor, heartbeat_interval=0.25, failover_delay=1.0
+        )
+        group = platform.group("pe1")
+        victim = group.primary
+        platform.env.schedule_at(
+            10.0, lambda: platform.crash_replica(victim.replica_id)
+        )
+        metrics = platform.run()
+        lost = metrics.total_input - metrics.total_output
+        # ~1.5 s of 4 t/s plus boundary effects.
+        assert 0 < lost <= 10
+
+
+class TestHeartbeatTraffic:
+    def test_messages_accumulate_with_fanout(self, pipeline_descriptor):
+        platform = build_platform(
+            pipeline_descriptor,
+            trace=InputTrace([TraceSegment(1.0, 20.0, "Low")]),
+            heartbeat_interval=0.5,
+        )
+        metrics = platform.run(until=20.0)
+        # pe1 beats go to pe2's 2 replicas, pe2's to the sink (fanout 1):
+        # per interval, 2 replicas x 2 + 2 x 1 = 6 messages; 40 intervals.
+        assert metrics.network.heartbeat_messages == pytest.approx(
+            240, abs=20
+        )
+
+    def test_crashed_replicas_stop_beating(self, pipeline_descriptor):
+        quiet = build_platform(
+            pipeline_descriptor,
+            trace=InputTrace([TraceSegment(1.0, 20.0, "Low")]),
+        )
+        for pe in ("pe1", "pe2"):
+            for replica in quiet.group(pe).members:
+                quiet.env.schedule_at(
+                    0.1, lambda r=replica: r.crash()
+                )
+        metrics = quiet.run(until=20.0)
+        # Only the beats before t=0.1 (none, interval 0.5) were sent.
+        assert metrics.network.heartbeat_messages == 0
+
+    def test_legacy_mode_sends_no_heartbeats(self, pipeline_descriptor):
+        hosts = [
+            Host("h0", cores=2, cycles_per_core=0.5 * GIGA),
+            Host("h1", cores=2, cycles_per_core=0.5 * GIGA),
+        ]
+        deployment = balanced_placement(pipeline_descriptor, hosts, 2)
+        platform = StreamPlatform(
+            deployment,
+            {"src": InputTrace([TraceSegment(1.0, 10.0, "Low")])},
+        )
+        metrics = platform.run()
+        assert metrics.network.heartbeat_messages == 0

@@ -1,0 +1,203 @@
+"""Tests for the processor-sharing host scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsps.hosts import HostScheduler
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def make(capacity=10.0, cycles_per_core=10.0):
+    env = Environment()
+    return env, HostScheduler(env, "h", capacity, cycles_per_core)
+
+
+class TestSingleJob:
+    def test_completion_time_is_cycles_over_capacity(self):
+        env, host = make(capacity=10.0)
+        done = []
+        host.submit("a", 20.0, lambda: done.append(env.now))
+        env.run()
+        assert done == [2.0]
+
+    def test_zero_cycle_job_completes_immediately(self):
+        env, host = make()
+        done = []
+        host.submit("a", 0.0, lambda: done.append(env.now))
+        env.run()
+        assert done == [0.0]
+
+    def test_negative_cycles_rejected(self):
+        env, host = make()
+        with pytest.raises(SimulationError):
+            host.submit("a", -1.0, lambda: None)
+
+    def test_double_submit_rejected(self):
+        env, host = make()
+        host.submit("a", 5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            host.submit("a", 5.0, lambda: None)
+
+    def test_invalid_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            HostScheduler(env, "h", 0.0, 1.0)
+
+
+class TestSharing:
+    def test_two_equal_jobs_halve_the_rate(self):
+        env, host = make(capacity=10.0)
+        done = {}
+        host.submit("a", 10.0, lambda: done.setdefault("a", env.now))
+        host.submit("b", 10.0, lambda: done.setdefault("b", env.now))
+        env.run()
+        # Both share 10 cycles/s: each runs at 5, finishing at t=2.
+        assert done == {"a": 2.0, "b": 2.0}
+
+    def test_short_job_releases_capacity(self):
+        env, host = make(capacity=10.0)
+        done = {}
+        host.submit("short", 5.0, lambda: done.setdefault("s", env.now))
+        host.submit("long", 15.0, lambda: done.setdefault("l", env.now))
+        env.run()
+        # Shared until t=1 (5 cycles each); then "long" gets the full
+        # 10 c/s for its remaining 10 cycles: done at t=2.
+        assert done["s"] == pytest.approx(1.0)
+        assert done["l"] == pytest.approx(2.0)
+
+    def test_late_arrival_shares_from_arrival(self):
+        env, host = make(capacity=10.0)
+        done = {}
+        host.submit("a", 10.0, lambda: done.setdefault("a", env.now))
+        env.schedule(
+            0.5,
+            lambda: host.submit(
+                "b", 10.0, lambda: done.setdefault("b", env.now)
+            ),
+        )
+        env.run()
+        # a: 5 cycles alone by t=0.5, then 5 c/s -> +1.0 s -> t=1.5.
+        assert done["a"] == pytest.approx(1.5)
+        # b: 5 cycles by t=1.5, full speed after -> t=2.0.
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_overload_throughput_equals_capacity(self):
+        env, host = make(capacity=10.0)
+        completed = []
+        for name in range(5):
+            host.submit(name, 10.0, lambda n=name: completed.append(n))
+        env.run()
+        # 50 cycles at 10 c/s: everything done by t=5.
+        assert env.now == pytest.approx(5.0)
+        assert sorted(completed) == list(range(5))
+        assert host.cycles_delivered == pytest.approx(50.0)
+
+
+class TestCancel:
+    def test_cancel_returns_consumed_cycles(self):
+        env, host = make(capacity=10.0)
+        host.submit("a", 10.0, lambda: None)
+        env.schedule(0.4, lambda: None)
+        env.run(until=0.4)
+        consumed = host.cancel("a")
+        assert consumed == pytest.approx(4.0)
+        assert host.busy_jobs == 0
+
+    def test_cancel_unknown_owner_is_noop(self):
+        env, host = make()
+        assert host.cancel("ghost") == 0.0
+
+    def test_cancel_speeds_up_survivors(self):
+        env, host = make(capacity=10.0)
+        done = {}
+        host.submit("a", 10.0, lambda: done.setdefault("a", env.now))
+        host.submit("b", 10.0, lambda: done.setdefault("b", env.now))
+        env.schedule(1.0, lambda: host.cancel("a"))
+        env.run()
+        # b gets 5 cycles by t=1 (sharing), then full speed: t=1.5.
+        assert done == {"b": 1.5}
+
+    def test_cpu_seconds_conversion(self):
+        env, host = make(capacity=20.0, cycles_per_core=10.0)
+        assert host.cpu_seconds(25.0) == pytest.approx(2.5)
+
+
+class TestConservation:
+    @staticmethod
+    def _run_random_workload(seed, n_jobs):
+        import random
+
+        from hypothesis import assume
+
+        rng = random.Random(seed)
+        env, host = make(capacity=10.0)
+        completed_cycles = []
+        cancelled_cycles = []
+        submitted = []
+
+        def submit(owner, cycles):
+            submitted.append(cycles)
+            host.submit(
+                owner, cycles, lambda c=cycles: completed_cycles.append(c)
+            )
+
+        for i in range(n_jobs):
+            delay = rng.uniform(0.0, 2.0)
+            cycles = rng.uniform(0.5, 20.0)
+            env.schedule(delay, lambda o=f"job{i}", c=cycles: submit(o, c))
+            if rng.random() < 0.3:
+                env.schedule(
+                    delay + rng.uniform(0.1, 1.0),
+                    lambda o=f"job{i}": cancelled_cycles.append(
+                        host.cancel(o)
+                    ),
+                )
+        env.run()
+        del assume
+        return host, submitted, completed_cycles, cancelled_cycles
+
+    def test_cycles_are_conserved(self):
+        """Delivered cycles == completed work + consumed-then-cancelled
+        work, within the half-cycle completion slack per job (no CPU time
+        is invented or lost by the PS bookkeeping)."""
+        import pytest as _pytest
+
+        for seed in range(8):
+            host, submitted, done, cancelled = self._run_random_workload(
+                seed, n_jobs=25
+            )
+            accounted = sum(done) + sum(cancelled)
+            slack = 0.5 * (len(done) + len(cancelled)) + 0.01
+            assert host.cycles_delivered == _pytest.approx(
+                accounted, abs=slack
+            )
+
+    def test_all_uncancelled_jobs_complete(self):
+        for seed in range(8):
+            host, submitted, done, cancelled = self._run_random_workload(
+                seed, n_jobs=25
+            )
+            # Every submitted job either completed or was cancelled.
+            cancel_events = len(cancelled)
+            assert len(done) + cancel_events >= len(submitted) - cancel_events
+
+
+class TestNumericalRobustness:
+    def test_many_tiny_jobs_terminate(self):
+        """Regression test: floating-point residue below one cycle must
+        not wedge the completion loop."""
+        env, host = make(capacity=1e9, cycles_per_core=1e9)
+        completed = []
+
+        def chain(n):
+            if n > 0:
+                host.submit(
+                    "w", 1e8 * 1.0000001, lambda: (completed.append(n),
+                                                   chain(n - 1)),
+                )
+
+        chain(200)
+        env.run()
+        assert len(completed) == 200

@@ -1,0 +1,57 @@
+"""Tests for the experiment result cache."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ExperimentScale,
+    StudyScale,
+    clear_cache,
+    get_study_results,
+)
+from repro.experiments import cache as cache_module
+
+
+class TestCache:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_study_results_cached_by_scale(self):
+        scale = StudyScale(
+            instances=2, ic_targets=(0.5,), time_limit=0.5,
+            host_range=(2, 2), pes_per_host_range=(2, 3),
+        )
+        first = get_study_results(scale)
+        second = get_study_results(scale)
+        assert first is second
+
+    def test_different_scale_misses(self):
+        base = dict(
+            ic_targets=(0.5,), time_limit=0.5,
+            host_range=(2, 2), pes_per_host_range=(2, 3),
+        )
+        first = get_study_results(StudyScale(instances=2, **base))
+        second = get_study_results(StudyScale(instances=3, **base))
+        assert first is not second
+        assert len(second.runs) == 3
+
+    def test_clear_cache_empties_all_stores(self):
+        scale = StudyScale(
+            instances=2, ic_targets=(0.5,), time_limit=0.5,
+            host_range=(2, 2), pes_per_host_range=(2, 3),
+        )
+        get_study_results(scale)
+        assert cache_module._study_cache
+        clear_cache()
+        assert not cache_module._study_cache
+        assert not cache_module._cluster_cache
+        assert not cache_module._fig3_cache
+
+    def test_scales_are_hashable_keys(self):
+        # Frozen dataclasses hash by value: equal scales share entries.
+        a = ExperimentScale(corpus_size=3, crash_corpus_size=2)
+        b = ExperimentScale(corpus_size=3, crash_corpus_size=2)
+        assert hash(a) == hash(b)
+        assert a == b

@@ -1,0 +1,111 @@
+"""Integration tests of the cluster experiment runner (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ClusterResults,
+    ExperimentScale,
+    FailureMode,
+    run_cluster_experiment,
+)
+from repro.workloads import GeneratorParams, generate_application
+
+
+@pytest.fixture(scope="module")
+def tiny_results() -> ClusterResults:
+    """A 2-application grid with short traces; shared across tests."""
+    scale = ExperimentScale(
+        corpus_size=2,
+        crash_corpus_size=1,
+        trace_seconds=30.0,
+        ft_time_limit=1.0,
+        ic_targets=(0.5,),
+    )
+    corpus = [
+        generate_application(
+            seed, params=GeneratorParams(n_pes=10), name=f"app-{seed}"
+        )
+        for seed in (21, 22)
+    ]
+    return run_cluster_experiment(scale, corpus=corpus)
+
+
+class TestScale:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(corpus_size=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(corpus_size=2, crash_corpus_size=5)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(trace_seconds=0.0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_SIZE", "4")
+        monkeypatch.setenv("REPRO_TRACE_SECONDS", "33.5")
+        scale = ExperimentScale.from_env()
+        assert scale.corpus_size == 4
+        assert scale.trace_seconds == 33.5
+
+    def test_env_override_rejects_junk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_SIZE", "lots")
+        with pytest.raises(ExperimentError):
+            ExperimentScale.from_env()
+
+
+class TestGrid:
+    def test_all_variants_present(self, tiny_results):
+        assert tiny_results.variant_names == ("NR", "SR", "GRD", "L.5")
+
+    def test_best_and_worst_for_every_app(self, tiny_results):
+        for app in tiny_results.apps:
+            for variant in tiny_results.variant_names:
+                tiny_results.get(app, variant, FailureMode.BEST)
+                tiny_results.get(app, variant, FailureMode.WORST)
+
+    def test_crash_runs_limited_to_subset(self, tiny_results):
+        assert len(tiny_results.crash_apps) == 1
+
+    def test_missing_run_raises(self, tiny_results):
+        with pytest.raises(ExperimentError):
+            tiny_results.get("ghost", "SR", FailureMode.BEST)
+
+    def test_nr_normalizations_are_one(self, tiny_results):
+        assert all(v == 1.0 for v in tiny_results.normalized_cpu("NR"))
+        assert all(
+            v == pytest.approx(1.0)
+            for v in tiny_results.peak_output_ratio("NR")
+        )
+
+    def test_measured_ic_rejects_best_mode(self, tiny_results):
+        with pytest.raises(ExperimentError):
+            tiny_results.measured_ic("SR", FailureMode.BEST)
+
+
+class TestShapes:
+    """The paper's qualitative findings, at tiny scale."""
+
+    def test_sr_costs_more_than_laar(self, tiny_results):
+        sr = sum(tiny_results.normalized_cpu("SR"))
+        laar = sum(tiny_results.normalized_cpu("L.5"))
+        assert sr > laar > len(tiny_results.apps)  # LAAR above NR's 1.0
+
+    def test_nr_processes_nothing_in_worst_case(self, tiny_results):
+        assert all(
+            v == 0.0
+            for v in tiny_results.measured_ic("NR", FailureMode.WORST)
+        )
+
+    def test_laar_honours_ic_bound_in_worst_case(self, tiny_results):
+        for value in tiny_results.measured_ic("L.5", FailureMode.WORST):
+            assert value >= 0.5 * 0.9  # small transition slack
+
+    def test_run_results_have_consistent_counters(self, tiny_results):
+        for app in tiny_results.apps:
+            run = tiny_results.get(app, "SR", FailureMode.BEST)
+            assert run.input > 0
+            assert 0 <= run.output
+            assert run.processed > 0
+            assert run.cpu_time > 0

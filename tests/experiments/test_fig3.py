@@ -1,0 +1,62 @@
+"""Tests for the Fig. 3 demonstration driver."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.experiments import build_pipeline_application, run_fig3
+from repro.experiments.figures import render_fig3
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(duration=45.0)
+
+
+class TestPipelineApplication:
+    def test_matches_section_41(self):
+        descriptor, deployment = build_pipeline_application()
+        assert list(descriptor.graph.pes) == ["pe1", "pe2"]
+        space = descriptor.configuration_space
+        assert space.by_label("Low").rate_of("src") == 4.0
+        assert space.by_label("High").rate_of("src") == 8.0
+        assert space.by_label("Low").probability == pytest.approx(0.8)
+        # 100 ms per tuple on the deployment's cores.
+        assert descriptor.cpu_cost("src", "pe1") == pytest.approx(0.1e9)
+
+
+class TestSeries:
+    def test_series_cover_the_run(self, fig3):
+        for series in (fig3.static, fig3.laar):
+            assert len(series.seconds) == 45
+            assert len(series.input_rate) == 45
+            assert len(series.output_rate) == 45
+            assert len(series.cpu_utilization) == 45
+
+    def test_static_saturates_in_high(self, fig3):
+        high = slice(17, 29)  # High window is [15, 30) plus settling
+        peak_cpu = max(fig3.static.cpu_utilization[high])
+        assert peak_cpu > 0.95
+        out = statistics.fmean(fig3.static.output_rate[high])
+        assert out < 6.0
+
+    def test_laar_follows_input(self, fig3):
+        high = slice(20, 29)
+        out = statistics.fmean(fig3.laar.output_rate[high])
+        assert out == pytest.approx(8.0, rel=0.15)
+
+    def test_laar_cpu_below_static_in_low(self, fig3):
+        # After the burst both are in Low; LAAR keeps a replica of pe2
+        # deactivated (its L.5 strategy), so it burns less CPU.
+        tail = slice(35, 44)
+        laar_cpu = statistics.fmean(fig3.laar.cpu_utilization[tail])
+        static_cpu = statistics.fmean(fig3.static.cpu_utilization[tail])
+        assert laar_cpu <= static_cpu + 1e-9
+
+    def test_render_contains_both_panels(self, fig3):
+        text = render_fig3(fig3)
+        assert "SR" in text
+        assert "LAAR" in text
+        assert "configuration switches" in text

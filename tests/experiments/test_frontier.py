@@ -1,0 +1,101 @@
+"""Tests for the IC / cost frontier sweep."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import OptimizationProblem, SearchOutcome, ft_search
+from repro.errors import ExperimentError
+from repro.experiments.frontier import (
+    FrontierPoint,
+    ic_cost_frontier,
+    render_frontier,
+)
+
+
+@pytest.fixture(scope="module")
+def frontier(request):
+    from repro.workloads import ClusterParams, GeneratorParams, generate_application
+
+    app = generate_application(
+        9,
+        params=GeneratorParams(n_pes=8),
+        cluster=ClusterParams(n_hosts=3, cores_per_host=6),
+    )
+    points = ic_cost_frontier(
+        app.deployment, targets=(0.0, 0.3, 0.5, 0.95), time_limit=2.0
+    )
+    return app, points
+
+
+class TestFrontier:
+    def test_empty_targets_rejected(self, pipeline_deployment):
+        with pytest.raises(ExperimentError):
+            ic_cost_frontier(pipeline_deployment, targets=())
+
+    def test_points_sorted_by_target(self, frontier):
+        _, points = frontier
+        targets = [p.target for p in points]
+        assert targets == sorted(targets)
+
+    def test_cost_monotone_over_feasible_targets(self, frontier):
+        _, points = frontier
+        feasible = [p for p in points if p.feasible]
+        assert len(feasible) >= 2
+        costs = [p.cost for p in feasible]
+        assert costs == sorted(costs)
+
+    def test_achieved_ic_meets_targets(self, frontier):
+        _, points = frontier
+        for point in points:
+            if point.feasible:
+                assert point.achieved_ic >= point.target - 1e-9
+
+    def test_infeasible_edge_reported(self, frontier):
+        _, points = frontier
+        # 0.95 is beyond what generated 8-PE apps can guarantee.
+        hardest = points[-1]
+        assert hardest.target == 0.95
+        assert not hardest.feasible
+        assert math.isinf(hardest.cost)
+
+    def test_penalty_mode_fills_the_infeasible_edge(self, frontier):
+        app, points = frontier
+        soft = ic_cost_frontier(
+            app.deployment,
+            targets=(0.95,),
+            time_limit=2.0,
+            penalty_weight=1e12,
+        )
+        assert soft[0].feasible  # penalty mode always returns something
+        assert 0.0 <= soft[0].achieved_ic <= 1.0
+
+    def test_matches_direct_search(self, frontier):
+        app, points = frontier
+        direct = ft_search(
+            OptimizationProblem(app.deployment, ic_target=0.5),
+            time_limit=2.0,
+        )
+        swept = next(p for p in points if p.target == 0.5)
+        if direct.outcome is SearchOutcome.OPTIMAL and (
+            swept.outcome is SearchOutcome.OPTIMAL
+        ):
+            assert swept.cost == pytest.approx(direct.best_cost, rel=1e-6)
+
+
+class TestRendering:
+    def test_render_contains_rows(self, frontier):
+        _, points = frontier
+        text = render_frontier(points, reference_cost=points[0].cost * 2)
+        assert "IC target" in text
+        assert "infeasible" in text
+        assert "0.30" in text
+
+    def test_render_without_reference(self):
+        points = [
+            FrontierPoint(0.5, SearchOutcome.OPTIMAL, 10.0, 0.5),
+        ]
+        text = render_frontier(points)
+        assert "-" in text

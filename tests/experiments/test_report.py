@@ -1,0 +1,89 @@
+"""Tests for the text rendering helpers."""
+
+from __future__ import annotations
+
+from repro.core.optimizer import PruneRule, SearchOutcome
+from repro.experiments import BoxStats
+from repro.experiments.report import (
+    ascii_boxplot,
+    format_box_table,
+    format_outcome_table,
+    format_prune_table,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text  # floats get three decimals
+        assert "bb" in text
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestAsciiBoxplot:
+    def test_markers_present(self):
+        stats = BoxStats.from_values([1, 2, 3, 4, 5, 6, 7, 8, 9])
+        line = ascii_boxplot(stats, 0.0, 10.0, width=40)
+        assert len(line) == 40
+        for marker in "[]M|":
+            assert marker in line
+
+    def test_median_between_quartiles(self):
+        # Quartiles far enough apart that the markers cannot collide.
+        stats = BoxStats.from_values([10, 20, 30, 40, 50])
+        line = ascii_boxplot(stats, 0.0, 60.0, width=60)
+        assert line.index("[") <= line.index("M") <= line.index("]")
+
+    def test_degenerate_range(self):
+        stats = BoxStats.from_values([5.0])
+        assert ascii_boxplot(stats, 5.0, 5.0, width=10) == "-" * 10
+
+
+class TestFigureTables:
+    def test_box_table_contains_variants(self):
+        table = format_box_table(
+            "title",
+            {
+                "NR": BoxStats.from_values([1.0, 1.0]),
+                "SR": BoxStats.from_values([1.8, 1.9]),
+            },
+        )
+        assert "NR" in table and "SR" in table and "title" in table
+
+    def test_outcome_table(self):
+        counts = {
+            0.5: {o: 1 for o in SearchOutcome},
+            0.9: {o: 2 for o in SearchOutcome},
+        }
+        table = format_outcome_table("fig4", counts)
+        assert "BST" in table and "TMO" in table
+        assert "0.5" in table and "0.9" in table
+
+    def test_prune_table(self):
+        shares = {rule: 0.25 for rule in PruneRule}
+        heights = {rule: 3.0 for rule in PruneRule}
+        table = format_prune_table("fig6", shares, heights)
+        for rule in PruneRule:
+            assert rule.value in table
+
+    def test_series_stride(self):
+        text = format_series(
+            "fig3",
+            list(range(10)),
+            {"in": [float(i) for i in range(10)]},
+            stride=5,
+        )
+        lines = text.splitlines()
+        # title + header + separator + rows for t=0 and t=5.
+        assert len(lines) == 5
+        assert lines[-1].startswith("5")

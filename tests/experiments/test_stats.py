@@ -1,0 +1,67 @@
+"""Tests for the box-plot statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.experiments import BoxStats
+
+
+class TestBoxStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            BoxStats.from_values([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ExperimentError):
+            BoxStats.from_values([1.0, float("nan")])
+
+    def test_single_value(self):
+        stats = BoxStats.from_values([3.0])
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.q1 == stats.q3 == 3.0
+        assert stats.outliers == ()
+
+    def test_known_quartiles(self):
+        stats = BoxStats.from_values([1, 2, 3, 4, 5])
+        assert stats.median == 3.0
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+        assert stats.mean == 3.0
+
+    def test_outlier_detection(self):
+        values = [1.0] * 10 + [100.0]
+        stats = BoxStats.from_values(values)
+        assert 100.0 in stats.outliers
+        assert stats.whisker_high == 1.0
+
+    def test_whiskers_within_fences(self):
+        stats = BoxStats.from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 30])
+        iqr = stats.q3 - stats.q1
+        assert stats.whisker_high <= stats.q3 + 1.5 * iqr
+        assert stats.whisker_low >= stats.q1 - 1.5 * iqr
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_property_ordering_invariants(self, values):
+        stats = BoxStats.from_values(values)
+        assert stats.minimum <= stats.whisker_low <= stats.q1
+        assert stats.q1 <= stats.median <= stats.q3
+        assert stats.q3 <= stats.whisker_high <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.count == len(values)
+        # Every outlier lies outside the whiskers.
+        for outlier in stats.outliers:
+            assert (
+                outlier < stats.whisker_low or outlier > stats.whisker_high
+            )

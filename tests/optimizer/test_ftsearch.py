@@ -1,0 +1,270 @@
+"""Tests for FT-Search: correctness against brute force, pruning, outcomes."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FTSearchConfig,
+    FTSearch,
+    Host,
+    OptimizationProblem,
+    PruneRule,
+    RateTable,
+    ReplicaId,
+    ReplicatedDeployment,
+    SearchOutcome,
+    cpu_constraint_violations,
+    ft_search,
+    internal_completeness,
+    strategy_cost,
+)
+from repro.errors import OptimizationError
+from tests.support import (
+    enumerate_strategies,
+    random_deployment,
+    random_descriptor,
+)
+
+GIGA = 1.0e9
+
+
+def brute_force_optimum(problem):
+    """Exhaustively evaluate all strategies; return (cost, ic) of the best."""
+    table = RateTable(problem.deployment.descriptor)
+    best = None
+    for strategy in enumerate_strategies(problem.deployment):
+        evaluation = problem.evaluate(strategy, table)
+        if not evaluation.feasible:
+            continue
+        if best is None or evaluation.cost < best[0] - 1e-9:
+            best = (evaluation.cost, evaluation.ic)
+    return best
+
+
+@pytest.fixture
+def tight_problem(pipeline_descriptor):
+    hosts = [Host("h0", cores=1, cycles_per_core=GIGA),
+             Host("h1", cores=1, cycles_per_core=GIGA)]
+    assignment = {
+        ReplicaId("pe1", 0): "h0",
+        ReplicaId("pe1", 1): "h1",
+        ReplicaId("pe2", 0): "h1",
+        ReplicaId("pe2", 1): "h0",
+    }
+    deployment = ReplicatedDeployment(
+        pipeline_descriptor, hosts, assignment, 2
+    )
+    return OptimizationProblem(deployment, ic_target=0.5)
+
+
+class TestPipelineSearch:
+    def test_finds_known_optimum(self, pipeline_deployment):
+        """On the roomy two-core deployment the hand-computed optimum for
+        an IC target of 0.5 keeps pe1 fully replicated everywhere and pe2
+        single everywhere: cost 1.44e9, IC exactly 0.5."""
+        problem = OptimizationProblem(pipeline_deployment, ic_target=0.5)
+        result = ft_search(problem, time_limit=30.0)
+        assert result.outcome is SearchOutcome.OPTIMAL
+        assert result.best_cost == pytest.approx(1.44 * GIGA)
+        assert result.best_ic == pytest.approx(0.5)
+
+    def test_solution_is_feasible(self, tight_problem):
+        result = ft_search(tight_problem, time_limit=30.0)
+        assert result.outcome is SearchOutcome.OPTIMAL
+        evaluation = tight_problem.evaluate(result.strategy)
+        assert evaluation.feasible
+        assert evaluation.cost == pytest.approx(result.best_cost)
+        assert evaluation.ic == pytest.approx(result.best_ic)
+
+    def test_incremental_bookkeeping_matches_model(self, tight_problem):
+        """The search's internal IC/cost accounting must agree with the
+        reference implementations in repro.core.ic / repro.core.cost."""
+        result = ft_search(tight_problem, time_limit=30.0)
+        assert internal_completeness(result.strategy) == pytest.approx(
+            result.best_ic
+        )
+        assert strategy_cost(result.strategy) == pytest.approx(
+            result.best_cost
+        )
+        assert cpu_constraint_violations(result.strategy) == []
+
+    def test_ic_one_requires_full_replication(self, pipeline_deployment):
+        problem = OptimizationProblem(pipeline_deployment, ic_target=1.0)
+        result = ft_search(problem, time_limit=30.0)
+        assert result.outcome is SearchOutcome.OPTIMAL
+        for pe in ("pe1", "pe2"):
+            for c in range(2):
+                assert result.strategy.fully_replicated(pe, c)
+
+    def test_infeasible_when_capacity_cannot_hold_one_replica(
+        self, pipeline_descriptor
+    ):
+        hosts = [Host("h0", cores=1, cycles_per_core=0.1 * GIGA),
+                 Host("h1", cores=1, cycles_per_core=0.1 * GIGA)]
+        assignment = {
+            ReplicaId("pe1", 0): "h0",
+            ReplicaId("pe1", 1): "h1",
+            ReplicaId("pe2", 0): "h1",
+            ReplicaId("pe2", 1): "h0",
+        }
+        deployment = ReplicatedDeployment(
+            pipeline_descriptor, hosts, assignment, 2
+        )
+        problem = OptimizationProblem(deployment, ic_target=0.0)
+        result = ft_search(problem, time_limit=30.0)
+        assert result.outcome is SearchOutcome.INFEASIBLE
+        assert result.strategy is None
+
+    def test_infeasible_when_ic_target_unreachable(self, tight_problem):
+        """The tight deployment cannot keep full replication in High, so
+        an IC demand of 1.0 is provably infeasible."""
+        problem = OptimizationProblem(
+            tight_problem.deployment, ic_target=1.0
+        )
+        result = ft_search(problem, time_limit=30.0)
+        assert result.outcome is SearchOutcome.INFEASIBLE
+
+    def test_node_budget_truncates(self, tight_problem):
+        result = ft_search(tight_problem, node_limit=1)
+        assert result.outcome in (
+            SearchOutcome.FEASIBLE,
+            SearchOutcome.TIMEOUT,
+        )
+
+    def test_rejects_non_two_fold_replication(self, pipeline_descriptor):
+        hosts = [Host("h0", cores=4, cycles_per_core=GIGA)]
+        assignment = {
+            ReplicaId("pe1", 0): "h0",
+            ReplicaId("pe2", 0): "h0",
+        }
+        deployment = ReplicatedDeployment(
+            pipeline_descriptor, hosts, assignment, replication_factor=1
+        )
+        problem = OptimizationProblem(deployment, ic_target=0.5)
+        with pytest.raises(OptimizationError, match="k=2"):
+            FTSearch(problem)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(OptimizationError):
+            FTSearchConfig(time_limit=-1.0)
+        with pytest.raises(OptimizationError):
+            FTSearchConfig(node_limit=0)
+        with pytest.raises(OptimizationError):
+            FTSearchConfig(penalty_weight=-2.0)
+
+
+class TestPruningStatistics:
+    def test_cpu_prunes_fire_on_tight_deployment(self, tight_problem):
+        result = ft_search(tight_problem, time_limit=30.0)
+        assert result.stats.prune_counts[PruneRule.CPU] > 0
+
+    def test_compl_prunes_fire_for_high_targets(self, pipeline_deployment):
+        problem = OptimizationProblem(pipeline_deployment, ic_target=0.9)
+        result = ft_search(problem, time_limit=30.0)
+        assert result.stats.prune_counts[PruneRule.COMPLETENESS] > 0
+
+    def test_prune_shares_sum_to_one(self, tight_problem):
+        result = ft_search(tight_problem, time_limit=30.0)
+        stats = result.stats
+        if stats.total_prunes:
+            total = sum(stats.prune_share(rule) for rule in PruneRule)
+            assert total == pytest.approx(1.0)
+
+    def test_heights_bounded_by_depth(self, tight_problem):
+        result = ft_search(tight_problem, time_limit=30.0)
+        stats = result.stats
+        for rule in PruneRule:
+            assert 0 <= stats.mean_prune_height(rule) <= stats.depth
+
+    def test_stats_merge(self, tight_problem):
+        a = ft_search(tight_problem, time_limit=30.0).stats
+        b = ft_search(tight_problem, time_limit=30.0).stats
+        merged = a.merge(b)
+        assert merged.nodes_expanded == a.nodes_expanded + b.nodes_expanded
+        for rule in PruneRule:
+            assert merged.prune_counts[rule] == (
+                a.prune_counts[rule] + b.prune_counts[rule]
+            )
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        ic_target=st.sampled_from([0.0, 0.3, 0.5, 0.7, 0.9, 1.0]),
+    )
+    def test_matches_exhaustive_enumeration(self, seed, ic_target):
+        """FT-Search must find exactly the brute-force optimum (or prove
+        infeasibility) on random 3-PE applications."""
+        rng = random.Random(seed)
+        descriptor = random_descriptor(rng, n_pes=3)
+        deployment = random_deployment(rng, descriptor)
+        problem = OptimizationProblem(deployment, ic_target=ic_target)
+        reference = brute_force_optimum(problem)
+        result = ft_search(problem, time_limit=60.0)
+        if reference is None:
+            assert result.outcome is SearchOutcome.INFEASIBLE
+        else:
+            assert result.outcome is SearchOutcome.OPTIMAL
+            assert result.best_cost == pytest.approx(
+                reference[0], rel=1e-6
+            )
+            # The found strategy must itself be feasible.
+            assert problem.evaluate(result.strategy).feasible
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_cost_monotone_in_ic_target(self, seed):
+        """A stricter IC target can never make the optimum cheaper."""
+        rng = random.Random(seed)
+        descriptor = random_descriptor(rng, n_pes=3)
+        deployment = random_deployment(rng, descriptor)
+        costs = []
+        for target in (0.2, 0.5, 0.8):
+            result = ft_search(
+                OptimizationProblem(deployment, ic_target=target),
+                time_limit=60.0,
+            )
+            if result.outcome is SearchOutcome.INFEASIBLE:
+                costs.append(math.inf)
+            else:
+                assert result.outcome is SearchOutcome.OPTIMAL
+                costs.append(result.best_cost)
+        assert costs == sorted(costs)
+
+
+class TestPenaltyMode:
+    def test_penalty_zero_ignores_ic(self, tight_problem):
+        """With no penalty weight, the optimizer returns the cheapest
+        CPU-feasible strategy regardless of IC."""
+        result = ft_search(tight_problem, time_limit=30.0, penalty_weight=0.0)
+        assert result.outcome is SearchOutcome.OPTIMAL
+        # Cheapest CPU-feasible strategy: single replica everywhere.
+        for pe in ("pe1", "pe2"):
+            for c in range(2):
+                assert result.strategy.active_count(pe, c) == 1
+
+    def test_huge_penalty_recovers_constraint_solution(self, tight_problem):
+        constrained = ft_search(tight_problem, time_limit=30.0)
+        penalized = ft_search(
+            tight_problem, time_limit=30.0, penalty_weight=1e15
+        )
+        assert penalized.outcome is SearchOutcome.OPTIMAL
+        assert penalized.best_ic >= constrained.best_ic - 1e-9
+        assert penalized.best_cost == pytest.approx(
+            constrained.best_cost, rel=1e-6
+        )
+
+    def test_penalty_trades_ic_for_cost(self, tight_problem):
+        cheap = ft_search(tight_problem, time_limit=30.0, penalty_weight=0.0)
+        strict = ft_search(
+            tight_problem, time_limit=30.0, penalty_weight=1e15
+        )
+        assert cheap.best_cost <= strict.best_cost + 1e-6
+        assert cheap.best_ic <= strict.best_ic + 1e-9

@@ -1,0 +1,152 @@
+"""Tests for the joint placement + activation search (future work iii)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Host,
+    OptimizationProblem,
+    ReplicaId,
+    cpu_constraint_violations,
+    ft_search,
+    internal_completeness,
+    joint_optimize,
+)
+from repro.core.optimizer.placement_search import _apply_move, _relocations
+from repro.errors import OptimizationError
+from repro.placement import balanced_placement
+
+GIGA = 1.0e9
+
+
+@pytest.fixture
+def roomy_hosts():
+    return [
+        Host("h0", cores=3, cycles_per_core=GIGA),
+        Host("h1", cores=3, cycles_per_core=GIGA),
+        Host("h2", cores=3, cycles_per_core=GIGA),
+    ]
+
+
+class TestRelocations:
+    def test_moves_preserve_anti_affinity(
+        self, diamond_descriptor, roomy_hosts
+    ):
+        deployment = balanced_placement(diamond_descriptor, roomy_hosts, 2)
+        for replica, host in _relocations(deployment):
+            siblings = {
+                deployment.host_of(other)
+                for other in deployment.replicas_of(replica.pe)
+                if other != replica
+            }
+            assert host not in siblings
+            assert host != deployment.host_of(replica)
+
+    def test_moves_respect_core_slots(self, diamond_descriptor):
+        # Two hosts exactly full: no legal relocation exists.
+        hosts = [
+            Host("h0", cores=4, cycles_per_core=GIGA),
+            Host("h1", cores=4, cycles_per_core=GIGA),
+        ]
+        deployment = balanced_placement(diamond_descriptor, hosts, 2)
+        assert _relocations(deployment) == []
+
+    def test_apply_move_produces_valid_deployment(
+        self, diamond_descriptor, roomy_hosts
+    ):
+        deployment = balanced_placement(diamond_descriptor, roomy_hosts, 2)
+        moves = _relocations(deployment)
+        assert moves
+        replica, host = moves[0]
+        moved = _apply_move(deployment, replica, host)
+        assert moved.host_of(replica) == host
+        # Everything else is unchanged.
+        for other in deployment.replicas:
+            if other != replica:
+                assert moved.host_of(other) == deployment.host_of(other)
+
+
+class TestJointOptimize:
+    def test_never_worse_than_balanced_baseline(
+        self, diamond_descriptor, roomy_hosts
+    ):
+        baseline = balanced_placement(diamond_descriptor, roomy_hosts, 2)
+        reference = ft_search(
+            OptimizationProblem(baseline, ic_target=0.5), time_limit=5.0
+        )
+        result = joint_optimize(
+            diamond_descriptor,
+            roomy_hosts,
+            ic_target=0.5,
+            search_time_limit=2.0,
+            max_rounds=2,
+        )
+        assert result.cost <= reference.best_cost * (1 + 1e-9)
+        assert result.improvement >= -1e-9
+        assert result.evaluated_placements >= 1
+
+    def test_returned_pair_is_consistent(
+        self, diamond_descriptor, roomy_hosts
+    ):
+        result = joint_optimize(
+            diamond_descriptor,
+            roomy_hosts,
+            ic_target=0.5,
+            search_time_limit=2.0,
+            max_rounds=1,
+        )
+        strategy = result.search.strategy
+        assert strategy is not None
+        # The strategy was built against the returned deployment.
+        assert strategy.deployment is result.deployment
+        assert internal_completeness(strategy) >= 0.5 - 1e-9
+        assert cpu_constraint_violations(strategy) == []
+
+    def test_finds_improvement_over_bad_initial_placement(
+        self, diamond_descriptor, roomy_hosts
+    ):
+        """Start from a deliberately skewed placement: the heavy PEs all
+        share host h0. The local search should relocate something."""
+        graph_pes = diamond_descriptor.graph.pes
+        assignment = {}
+        hosts_cycle = ["h0", "h1", "h2"]
+        for i, pe in enumerate(graph_pes):
+            assignment[ReplicaId(pe, 0)] = "h0" if i < 3 else "h1"
+            assignment[ReplicaId(pe, 1)] = "h2" if i < 3 else "h0"
+        from repro.core import ReplicatedDeployment
+
+        skewed = ReplicatedDeployment(
+            diamond_descriptor, roomy_hosts, assignment, 2
+        )
+        del hosts_cycle
+        result = joint_optimize(
+            diamond_descriptor,
+            roomy_hosts,
+            ic_target=0.5,
+            search_time_limit=2.0,
+            max_rounds=3,
+            initial=skewed,
+        )
+        # At minimum the search terminates with a feasible pair; on this
+        # skewed start it should also evaluate relocations.
+        assert result.evaluated_placements > 1
+
+    def test_infeasible_initial_raises(self, diamond_descriptor):
+        hosts = [
+            Host("h0", cores=4, cycles_per_core=0.001 * GIGA),
+            Host("h1", cores=4, cycles_per_core=0.001 * GIGA),
+        ]
+        with pytest.raises(OptimizationError, match="no activation"):
+            joint_optimize(
+                diamond_descriptor,
+                hosts,
+                ic_target=0.0,
+                search_time_limit=1.0,
+            )
+
+    def test_bad_rounds_rejected(self, diamond_descriptor, roomy_hosts):
+        with pytest.raises(OptimizationError):
+            joint_optimize(
+                diamond_descriptor, roomy_hosts, ic_target=0.5, max_rounds=0
+            )

@@ -1,0 +1,94 @@
+"""Tests for STR bulk loading."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RTreeError
+from repro.rtree import Rect, RTree
+
+
+def random_points(rng, n):
+    return [
+        ((rng.uniform(0, 100), rng.uniform(0, 100)), i) for i in range(n)
+    ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree: RTree[int] = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.nearest((0.0, 0.0)) is None
+
+    def test_single_entry(self):
+        tree = RTree.bulk_load([(Rect.from_point((1.0, 2.0)), "a")])
+        assert len(tree) == 1
+        assert tree.search_point((1.0, 2.0))[0].value == "a"
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(RTreeError, match="mixed dimensions"):
+            RTree.bulk_load(
+                [
+                    (Rect.from_point((1.0,)), 0),
+                    (Rect.from_point((1.0, 2.0)), 1),
+                ]
+            )
+
+    def test_all_entries_findable(self):
+        rng = random.Random(4)
+        points = random_points(rng, 200)
+        tree = RTree.bulk_load(
+            [(Rect.from_point(p), v) for p, v in points], max_entries=6
+        )
+        assert len(tree) == 200
+        tree.check_invariants()
+        for point, value in points:
+            assert value in [e.value for e in tree.search_point(point)]
+
+    def test_packed_tree_is_shallow(self):
+        rng = random.Random(5)
+        points = random_points(rng, 300)
+        entries = [(Rect.from_point(p), v) for p, v in points]
+        packed = RTree.bulk_load(entries, max_entries=8)
+        incremental: RTree[int] = RTree(max_entries=8)
+        for rect, value in entries:
+            incremental.insert(rect, value)
+        assert packed.height <= incremental.height
+        # 300 entries at fanout 8: height 3 suffices for a packed tree.
+        assert packed.height <= 3
+
+    def test_supports_updates_after_loading(self):
+        rng = random.Random(6)
+        points = random_points(rng, 60)
+        tree = RTree.bulk_load(
+            [(Rect.from_point(p), v) for p, v in points], max_entries=4
+        )
+        tree.insert_point((200.0, 200.0), 999)
+        assert tree.delete_point(points[0][0], points[0][1])
+        tree.check_invariants()
+        assert len(tree) == 60
+        assert tree.search_point((200.0, 200.0))[0].value == 999
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=150),
+        capacity=st.sampled_from([3, 4, 8]),
+    )
+    def test_property_invariants_and_nearest(self, seed, n, capacity):
+        rng = random.Random(seed)
+        points = random_points(rng, n)
+        tree = RTree.bulk_load(
+            [(Rect.from_point(p), v) for p, v in points],
+            max_entries=capacity,
+        )
+        tree.check_invariants()
+        query = (rng.uniform(0, 100), rng.uniform(0, 100))
+        found = tree.nearest(query)
+        best = min(math.dist(p, query) for p, _ in points)
+        assert math.dist(found.rect.low, query) == pytest.approx(best)

@@ -1,0 +1,92 @@
+"""Tests for the HAController configuration lookup (dominance + nearest)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationSpace
+from repro.errors import RTreeError
+from repro.rtree import ConfigurationIndex
+
+
+@pytest.fixture
+def two_level_index():
+    space = ConfigurationSpace.two_level("src", 4.0, 8.0, 0.8)
+    return ConfigurationIndex(space)
+
+
+class TestTwoLevelLookup:
+    def test_below_low_selects_low(self, two_level_index):
+        assert two_level_index.lookup({"src": 2.0}).label == "Low"
+
+    def test_exactly_low_selects_low(self, two_level_index):
+        assert two_level_index.lookup({"src": 4.0}).label == "Low"
+
+    def test_between_selects_high(self, two_level_index):
+        # 5 t/s exceeds Low: choosing Low would underestimate the load.
+        assert two_level_index.lookup({"src": 5.0}).label == "High"
+
+    def test_above_high_falls_back_to_high(self, two_level_index):
+        assert two_level_index.lookup({"src": 11.0}).label == "High"
+
+    def test_missing_source_rejected(self, two_level_index):
+        with pytest.raises(RTreeError, match="no measured rate"):
+            two_level_index.lookup({})
+
+    def test_negative_rate_rejected(self, two_level_index):
+        with pytest.raises(RTreeError, match=">= 0"):
+            two_level_index.lookup({"src": -1.0})
+
+
+class TestMultiSourceLookup:
+    def build_index(self):
+        space = ConfigurationSpace.from_source_rates(
+            {
+                "a": [(2.0, 0.5), (6.0, 0.5)],
+                "b": [(3.0, 0.5), (9.0, 0.5)],
+            }
+        )
+        return ConfigurationIndex(space), space
+
+    def test_dominance_is_componentwise(self):
+        index, _ = self.build_index()
+        # a=1 fits the a=2 level, but b=5 needs the b=9 level.
+        config = index.lookup({"a": 1.0, "b": 5.0})
+        assert config.rates == {"a": 2.0, "b": 9.0}
+
+    def test_nearest_among_dominating(self):
+        index, _ = self.build_index()
+        # (5.5, 2.0) is dominated by (6,3) at distance ~1.1 and by (6,9)
+        # much farther: the index picks the closest dominating corner.
+        config = index.lookup({"a": 5.5, "b": 2.0})
+        assert config.rates == {"a": 6.0, "b": 3.0}
+
+    def test_fallback_is_most_hungry(self):
+        index, space = self.build_index()
+        config = index.lookup({"a": 100.0, "b": 100.0})
+        assert config.rates == {"a": 6.0, "b": 9.0}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        a=st.floats(min_value=0.0, max_value=7.0),
+        b=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_property_never_underestimates(self, seed, a, b):
+        """Whenever some configuration dominates the measurement, the
+        lookup result dominates it too (the paper's guarantee)."""
+        index, space = self.build_index()
+        rates = {"a": a, "b": b}
+        dominating = [c for c in space if c.dominates(rates)]
+        config = index.lookup(rates)
+        if dominating:
+            assert config.dominates(rates)
+            # And it is the *nearest* dominating configuration.
+            best = min(dominating, key=lambda c: c.distance_to(rates))
+            assert config.distance_to(rates) == pytest.approx(
+                best.distance_to(rates)
+            )

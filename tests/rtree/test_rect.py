@@ -1,0 +1,93 @@
+"""Unit tests for the rectangle algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RTreeError
+from repro.rtree import Rect
+
+
+class TestConstruction:
+    def test_point_rect(self):
+        rect = Rect.from_point((1.0, 2.0))
+        assert rect.is_point
+        assert rect.area() == 0.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(RTreeError):
+            Rect((1.0,), (0.0,))
+
+    def test_nan_rejected(self):
+        with pytest.raises(RTreeError):
+            Rect((float("nan"),), (1.0,))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(RTreeError):
+            Rect((0.0,), (1.0, 2.0))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(RTreeError):
+            Rect((), ())
+
+
+class TestAlgebra:
+    def test_area(self):
+        assert Rect((0, 0), (2, 3)).area() == 6.0
+
+    def test_margin(self):
+        assert Rect((0, 0), (2, 3)).margin() == 5.0
+
+    def test_union(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.union(b) == Rect((0, 0), (3, 3))
+
+    def test_enlargement(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 0), (3, 1))
+        assert a.enlargement(b) == pytest.approx(3.0 - 1.0)
+
+    def test_intersects(self):
+        a = Rect((0, 0), (2, 2))
+        assert a.intersects(Rect((1, 1), (3, 3)))
+        assert a.intersects(Rect((2, 2), (3, 3)))  # touching counts
+        assert not a.intersects(Rect((3, 3), (4, 4)))
+
+    def test_contains(self):
+        outer = Rect((0, 0), (4, 4))
+        assert outer.contains(Rect((1, 1), (2, 2)))
+        assert not outer.contains(Rect((1, 1), (5, 2)))
+
+    def test_contains_point(self):
+        rect = Rect((0, 0), (2, 2))
+        assert rect.contains_point((1, 1))
+        assert rect.contains_point((2, 0))
+        assert not rect.contains_point((3, 0))
+
+    def test_bounding(self):
+        rects = [Rect((0, 0), (1, 1)), Rect((2, -1), (3, 0.5))]
+        assert Rect.bounding(rects) == Rect((0, -1), (3, 1))
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(RTreeError):
+            Rect.bounding([])
+
+
+class TestDistances:
+    def test_min_distance_inside_is_zero(self):
+        rect = Rect((0, 0), (2, 2))
+        assert rect.min_distance_to_point((1, 1)) == 0.0
+
+    def test_min_distance_axis(self):
+        rect = Rect((0, 0), (2, 2))
+        assert rect.min_distance_to_point((4, 1)) == pytest.approx(2.0)
+
+    def test_min_distance_corner(self):
+        rect = Rect((0, 0), (2, 2))
+        assert rect.min_distance_to_point((5, 6)) == pytest.approx(5.0)
+
+    def test_dominates_point(self):
+        rect = Rect.from_point((4.0, 8.0))
+        assert rect.dominates_point((4.0, 7.0))
+        assert not rect.dominates_point((4.5, 7.0))

@@ -1,0 +1,165 @@
+"""Unit and property tests for the Guttman R-tree."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RTreeError
+from repro.rtree import Rect, RTree
+
+
+def brute_force_nearest(points, query):
+    return min(
+        points,
+        key=lambda p: math.dist(p[0], query),
+    )
+
+
+class TestConstruction:
+    def test_bad_max_entries(self):
+        with pytest.raises(RTreeError):
+            RTree(max_entries=1)
+
+    def test_bad_min_entries(self):
+        with pytest.raises(RTreeError):
+            RTree(max_entries=4, min_entries=3)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.nearest((0.0, 0.0)) is None
+        assert tree.search_point((0.0, 0.0)) == []
+
+
+class TestInsertSearch:
+    def test_insert_and_point_search(self):
+        tree: RTree[str] = RTree(max_entries=4)
+        tree.insert_point((1.0, 1.0), "a")
+        tree.insert_point((2.0, 2.0), "b")
+        hits = tree.search_point((1.0, 1.0))
+        assert [e.value for e in hits] == ["a"]
+
+    def test_dimension_mismatch_rejected(self):
+        tree: RTree[str] = RTree()
+        tree.insert_point((1.0, 1.0), "a")
+        with pytest.raises(RTreeError):
+            tree.insert_point((1.0,), "b")
+
+    def test_split_keeps_everything_findable(self):
+        tree: RTree[int] = RTree(max_entries=4)
+        points = [(float(i), float(i % 7)) for i in range(50)]
+        for index, point in enumerate(points):
+            tree.insert_point(point, index)
+        assert len(tree) == 50
+        assert tree.height > 1
+        for index, point in enumerate(points):
+            values = [e.value for e in tree.search_point(point)]
+            assert index in values
+        tree.check_invariants()
+
+    def test_range_search(self):
+        tree: RTree[int] = RTree(max_entries=4)
+        for i in range(10):
+            tree.insert_point((float(i), 0.0), i)
+        hits = tree.search(Rect((2.5, -1.0), (6.5, 1.0)))
+        assert sorted(e.value for e in hits) == [3, 4, 5, 6]
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree: RTree[str] = RTree(max_entries=4)
+        tree.insert_point((1.0, 1.0), "a")
+        tree.insert_point((2.0, 2.0), "b")
+        assert tree.delete_point((1.0, 1.0), "a")
+        assert len(tree) == 1
+        assert tree.search_point((1.0, 1.0)) == []
+
+    def test_delete_missing_returns_false(self):
+        tree: RTree[str] = RTree()
+        tree.insert_point((1.0, 1.0), "a")
+        assert not tree.delete_point((9.0, 9.0), "a")
+        assert not tree.delete_point((1.0, 1.0), "other-value")
+        assert len(tree) == 1
+
+    def test_delete_condenses_tree(self):
+        tree: RTree[int] = RTree(max_entries=4)
+        for i in range(40):
+            tree.insert_point((float(i), float(i)), i)
+        for i in range(35):
+            assert tree.delete_point((float(i), float(i)), i)
+        assert len(tree) == 5
+        tree.check_invariants()
+        for i in range(35, 40):
+            assert tree.search_point((float(i), float(i)))
+
+
+class TestNearest:
+    def test_nearest_simple(self):
+        tree: RTree[str] = RTree(max_entries=4)
+        tree.insert_point((0.0, 0.0), "origin")
+        tree.insert_point((10.0, 10.0), "far")
+        assert tree.nearest((1.0, 1.0)).value == "origin"
+
+    def test_nearest_with_predicate(self):
+        tree: RTree[str] = RTree(max_entries=4)
+        tree.insert_point((1.0, 1.0), "near-but-filtered")
+        tree.insert_point((5.0, 5.0), "admissible")
+        found = tree.nearest(
+            (0.0, 0.0), predicate=lambda e: e.value.startswith("adm")
+        )
+        assert found.value == "admissible"
+
+    def test_nearest_none_matches(self):
+        tree: RTree[str] = RTree()
+        tree.insert_point((1.0, 1.0), "a")
+        assert tree.nearest((0.0, 0.0), predicate=lambda e: False) is None
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_points=st.integers(min_value=1, max_value=120),
+        max_entries=st.sampled_from([3, 4, 8]),
+    )
+    def test_nearest_matches_brute_force(self, seed, n_points, max_entries):
+        rng = random.Random(seed)
+        tree: RTree[int] = RTree(max_entries=max_entries)
+        points = []
+        for index in range(n_points):
+            point = (rng.uniform(0, 100), rng.uniform(0, 100))
+            points.append((point, index))
+            tree.insert_point(point, index)
+        query = (rng.uniform(0, 100), rng.uniform(0, 100))
+        expected_point, _ = brute_force_nearest(points, query)
+        found = tree.nearest(query)
+        assert math.dist(found.rect.low, query) == pytest.approx(
+            math.dist(expected_point, query)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_ops=st.integers(min_value=5, max_value=80),
+    )
+    def test_invariants_under_mixed_workload(self, seed, n_ops):
+        rng = random.Random(seed)
+        tree: RTree[int] = RTree(max_entries=4)
+        live: list[tuple[tuple[float, float], int]] = []
+        for op in range(n_ops):
+            if live and rng.random() < 0.4:
+                point, value = live.pop(rng.randrange(len(live)))
+                assert tree.delete_point(point, value)
+            else:
+                point = (rng.uniform(0, 50), rng.uniform(0, 50))
+                tree.insert_point(point, op)
+                live.append((point, op))
+            tree.check_invariants()
+        assert len(tree) == len(live)
+        for point, value in live:
+            assert value in [e.value for e in tree.search_point(point)]

@@ -1,0 +1,177 @@
+"""Tests for the Sec. 3 service model (contracts, pricing, provisioning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host, static_replication
+from repro.dsps import two_level_trace
+from repro.errors import InfeasibleError, ModelError
+from repro.laar import ExtendedApplication, MiddlewareConfig
+from repro.service import (
+    SLA,
+    Contract,
+    PricingPlan,
+    Provisioner,
+)
+
+GIGA = 1.0e9
+
+
+@pytest.fixture
+def provider_hosts():
+    return [
+        Host("h0", cores=2, cycles_per_core=0.5 * GIGA),
+        Host("h1", cores=2, cycles_per_core=0.5 * GIGA),
+    ]
+
+
+@pytest.fixture
+def pipeline_contract(pipeline_descriptor):
+    return Contract(
+        descriptor=pipeline_descriptor,
+        sla=SLA(ic_target=0.5, max_latency=1.5),
+        pricing=PricingPlan(base_fee=10.0, cpu_rate=0.01,
+                            billing_period=3600.0),
+        name="pipeline-deal",
+    )
+
+
+class TestValidation:
+    def test_sla_bounds(self):
+        with pytest.raises(ModelError):
+            SLA(ic_target=1.2)
+        with pytest.raises(ModelError):
+            SLA(ic_target=0.5, max_latency=0.0)
+        with pytest.raises(ModelError):
+            SLA(ic_target=0.5, latency_percentile=0.0)
+
+    def test_pricing_bounds(self):
+        with pytest.raises(ModelError):
+            PricingPlan(base_fee=-1.0)
+        with pytest.raises(ModelError):
+            PricingPlan(billing_period=0.0)
+
+    def test_provider_needs_hosts(self):
+        with pytest.raises(ModelError):
+            Provisioner(hosts=[])
+
+
+class TestPricing:
+    def test_fare_tracks_cpu_time(self, pipeline_deployment):
+        plan = PricingPlan(base_fee=5.0, cpu_rate=0.02,
+                           billing_period=1000.0)
+        strategy = static_replication(pipeline_deployment)
+        # SR: 1.92e9 cycles/s expected; hosts at 1e9 cycles/core-s ->
+        # 1.92 core-s per second -> 1920 core-s per period.
+        assert plan.fare(strategy) == pytest.approx(5.0 + 0.02 * 1920.0)
+
+    def test_longer_period_costs_more(self, pipeline_deployment):
+        strategy = static_replication(pipeline_deployment)
+        short = PricingPlan(cpu_rate=1.0, billing_period=100.0)
+        long = PricingPlan(cpu_rate=1.0, billing_period=200.0)
+        assert long.fare(strategy) == pytest.approx(
+            2.0 * short.fare(strategy)
+        )
+
+
+class TestProvisioning:
+    def test_provision_meets_sla(
+        self, pipeline_contract, provider_hosts
+    ):
+        provisioned = Provisioner(provider_hosts).provision(
+            pipeline_contract
+        )
+        assert provisioned.guaranteed_ic >= 0.5 - 1e-9
+        assert provisioned.fare > pipeline_contract.pricing.base_fee
+
+    def test_laar_fare_below_static_fare(
+        self, pipeline_contract, provider_hosts
+    ):
+        provisioned = Provisioner(provider_hosts).provision(
+            pipeline_contract
+        )
+        sr_fare = pipeline_contract.pricing.fare(
+            static_replication(provisioned.deployment)
+        )
+        assert provisioned.fare < sr_fare
+
+    def test_stricter_sla_costs_more(
+        self, pipeline_descriptor, provider_hosts
+    ):
+        pricing = PricingPlan(cpu_rate=1.0)
+        fares = []
+        for target in (0.4, 0.6):
+            contract = Contract(
+                descriptor=pipeline_descriptor,
+                sla=SLA(ic_target=target),
+                pricing=pricing,
+            )
+            fares.append(Provisioner(provider_hosts).quote(contract))
+        assert fares[0] <= fares[1]
+
+    def test_impossible_sla_is_refused(
+        self, pipeline_descriptor, provider_hosts
+    ):
+        contract = Contract(
+            descriptor=pipeline_descriptor,
+            sla=SLA(ic_target=1.0),  # High overloads at full replication
+            pricing=PricingPlan(),
+        )
+        with pytest.raises(InfeasibleError, match="no strategy"):
+            Provisioner(provider_hosts).provision(contract)
+
+
+class TestSLAReport:
+    def run_provisioned(self, provisioned, duration=60.0):
+        trace = {"src": two_level_trace(4.0, 8.0, duration=duration)}
+        app = ExtendedApplication(
+            provisioned.deployment,
+            provisioned.strategy,
+            trace,
+            middleware_config=MiddlewareConfig(monitor_interval=1.0),
+        )
+        return app.run()
+
+    def test_compliant_run(self, pipeline_contract, provider_hosts):
+        provisioned = Provisioner(provider_hosts).provision(
+            pipeline_contract
+        )
+        metrics = self.run_provisioned(provisioned)
+        report = provisioned.sla_report(metrics)
+        assert report.ic_clause_met
+        assert report.latency_clause_met
+        assert report.compliant
+        assert report.observed_latency is not None
+        assert report.observed_latency <= 1.5
+
+    def test_latency_violation_detected(
+        self, pipeline_descriptor, provider_hosts
+    ):
+        """An SLA with an absurdly tight latency bound is violated by the
+        same (otherwise healthy) run."""
+        contract = Contract(
+            descriptor=pipeline_descriptor,
+            sla=SLA(ic_target=0.5, max_latency=0.01),
+            pricing=PricingPlan(),
+        )
+        provisioned = Provisioner(provider_hosts).provision(contract)
+        metrics = self.run_provisioned(provisioned)
+        report = provisioned.sla_report(metrics)
+        assert report.ic_clause_met
+        assert not report.latency_clause_met
+        assert not report.compliant
+
+    def test_no_latency_clause_always_met(
+        self, pipeline_descriptor, provider_hosts
+    ):
+        contract = Contract(
+            descriptor=pipeline_descriptor,
+            sla=SLA(ic_target=0.5),
+            pricing=PricingPlan(),
+        )
+        provisioned = Provisioner(provider_hosts).provision(contract)
+        metrics = self.run_provisioned(provisioned, duration=30.0)
+        report = provisioned.sla_report(metrics)
+        assert report.observed_latency is None
+        assert report.latency_clause_met

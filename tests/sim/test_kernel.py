@@ -1,0 +1,221 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        log = []
+        env.schedule(2.0, lambda: log.append("b"))
+        env.schedule(1.0, lambda: log.append("a"))
+        env.schedule(3.0, lambda: log.append("c"))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_fifo(self):
+        env = Environment()
+        log = []
+        for name in "abc":
+            env.schedule(1.0, lambda n=name: log.append(n))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        env = Environment()
+        seen = []
+        env.schedule(5.0, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [5.0]
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        env = Environment()
+        log = []
+        handle = env.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        env.run()
+        assert log == []
+
+    def test_run_until_stops_the_clock(self):
+        env = Environment()
+        log = []
+        env.schedule(1.0, lambda: log.append(1))
+        env.schedule(10.0, lambda: log.append(10))
+        env.run(until=5.0)
+        assert log == [1]
+        assert env.now == 5.0
+        env.run()
+        assert log == [1, 10]
+
+    def test_run_until_is_inclusive(self):
+        env = Environment()
+        log = []
+        env.schedule(5.0, lambda: log.append("edge"))
+        env.run(until=5.0)
+        assert log == ["edge"]
+
+    def test_run_until_past_rejected(self):
+        env = Environment()
+        env.schedule(5.0, lambda: None)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_schedule_at(self):
+        env = Environment(start_time=10.0)
+        seen = []
+        env.schedule_at(12.0, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [12.0]
+        with pytest.raises(SimulationError):
+            env.schedule_at(5.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        env = Environment()
+        log = []
+
+        def first():
+            log.append(("first", env.now))
+            env.schedule(1.0, lambda: log.append(("second", env.now)))
+
+        env.schedule(1.0, first)
+        env.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == math.inf
+        handle = env.schedule(3.0, lambda: None)
+        assert env.peek() == 3.0
+        handle.cancel()
+        assert env.peek() == math.inf
+
+
+class TestProcesses:
+    def test_timeout_yields_advance_clock(self):
+        env = Environment()
+        trace = []
+
+        def worker():
+            trace.append(env.now)
+            yield 1.5
+            trace.append(env.now)
+            yield 2.5
+            trace.append(env.now)
+
+        env.process(worker())
+        env.run()
+        assert trace == [0.0, 1.5, 4.0]
+
+    def test_signal_wakes_process_with_value(self):
+        env = Environment()
+        received = []
+
+        def waiter(signal):
+            value = yield signal
+            received.append((env.now, value))
+
+        signal = env.signal()
+        env.process(waiter(signal))
+        env.schedule(3.0, lambda: signal.trigger("payload"))
+        env.run()
+        assert received == [(3.0, "payload")]
+
+    def test_pre_triggered_signal_resumes_immediately(self):
+        env = Environment()
+        received = []
+        signal = env.signal()
+        signal.trigger(42)
+
+        def waiter():
+            value = yield signal
+            received.append(value)
+
+        env.process(waiter())
+        env.run()
+        assert received == [42]
+
+    def test_signal_double_trigger_rejected(self):
+        env = Environment()
+        signal = env.signal()
+        signal.trigger()
+        with pytest.raises(SimulationError):
+            signal.trigger()
+
+    def test_done_signal_carries_return_value(self):
+        env = Environment()
+        results = []
+
+        def worker():
+            yield 1.0
+            return "finished"
+
+        def watcher(process):
+            value = yield process.done
+            results.append(value)
+
+        process = env.process(worker())
+        env.process(watcher(process))
+        env.run()
+        assert results == ["finished"]
+
+    def test_interrupt_stops_process(self):
+        env = Environment()
+        trace = []
+
+        def worker():
+            trace.append("start")
+            yield 5.0
+            trace.append("never")
+
+        process = env.process(worker())
+        env.schedule(1.0, process.interrupt)
+        env.run()
+        assert trace == ["start"]
+        assert not process.alive
+
+    def test_invalid_yield_raises(self):
+        env = Environment()
+
+        def worker():
+            yield "nonsense"
+
+        env.process(worker())
+        with pytest.raises(SimulationError, match="unsupported"):
+            env.run()
+
+    def test_many_interleaved_processes_deterministic(self):
+        env = Environment()
+        log = []
+
+        def worker(name, period):
+            for _ in range(3):
+                yield period
+                log.append((env.now, name))
+
+        env.process(worker("fast", 1.0))
+        env.process(worker("slow", 1.5))
+        env.run()
+        # At t=3.0 both workers fire; "slow" enqueued its event earlier
+        # (at t=1.5 vs t=2.0), so FIFO tie-breaking runs it first.
+        assert log == [
+            (1.0, "fast"),
+            (1.5, "slow"),
+            (2.0, "fast"),
+            (3.0, "slow"),
+            (3.0, "fast"),
+            (4.5, "slow"),
+        ]

@@ -1,0 +1,202 @@
+"""Tests for the command-line interface (the Fig. 7 workflow)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "app.json"
+    code = main(
+        [
+            "generate",
+            "--seed", "3",
+            "--pes", "8",
+            "--hosts", "3",
+            "--cores-per-host", "6",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def strategy_path(bundle_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "strategy.json"
+    code = main(
+        [
+            "optimize",
+            str(bundle_path),
+            "--ic", "0.4",
+            "--time-limit", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_bundle_is_valid_json(self, bundle_path):
+        payload = json.loads(bundle_path.read_text())
+        assert payload["format"].startswith("repro-application-bundle")
+        assert payload["low_rate"] < payload["high_rate"]
+        assert len(payload["descriptor"]["graph"]["pes"]) == 8
+
+    def test_generate_deterministic(self, bundle_path, tmp_path):
+        other = tmp_path / "again.json"
+        assert main(
+            [
+                "generate", "--seed", "3", "--pes", "8",
+                "--hosts", "3", "--cores-per-host", "6",
+                "--out", str(other),
+            ]
+        ) == 0
+        assert json.loads(other.read_text()) == json.loads(
+            bundle_path.read_text()
+        )
+
+
+class TestOptimize:
+    def test_strategy_file_written(self, strategy_path):
+        payload = json.loads(strategy_path.read_text())
+        assert payload["activations"]
+
+    def test_infeasible_target_fails(self, bundle_path, tmp_path, capsys):
+        code = main(
+            [
+                "optimize", str(bundle_path),
+                "--ic", "1.0",
+                "--time-limit", "3",
+                "--out", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 1
+        assert "no strategy" in capsys.readouterr().err
+
+    def test_missing_bundle_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "optimize", str(tmp_path / "ghost.json"),
+                "--ic", "0.5", "--out", str(tmp_path / "s.json"),
+            ]
+        )
+        assert code == 1
+
+
+class TestEvaluate:
+    def test_feasible_strategy_reports_zero_exit(
+        self, bundle_path, strategy_path, capsys
+    ):
+        code = main(
+            ["evaluate", str(bundle_path), "--strategy", str(strategy_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pessimistic IC" in out
+        assert "satisfied" in out
+
+
+class TestSimulate:
+    def test_best_case_run(self, bundle_path, strategy_path, capsys, tmp_path):
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--duration", "20",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out_file.read_text())
+        assert report["input"] > 0
+        assert report["output"] > 0
+
+    def test_worst_case_run(self, bundle_path, strategy_path, capsys):
+        code = main(
+            [
+                "simulate", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--duration", "20",
+                "--failure", "worst",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst case" in out
+
+    def test_crash_run(self, bundle_path, strategy_path, capsys):
+        code = main(
+            [
+                "simulate", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--duration", "30",
+                "--failure", "crash",
+            ]
+        )
+        assert code == 0
+        assert "host crash" in capsys.readouterr().out
+
+
+class TestEvaluateVerbose:
+    def test_verbose_prints_matrix_and_loads(
+        self, bundle_path, strategy_path, capsys
+    ):
+        code = main(
+            [
+                "evaluate", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "activation matrix" in out
+        assert "host load / capacity" in out
+
+
+class TestExperimentCommand:
+    def test_fig4_renders_at_tiny_scale(self, monkeypatch, capsys):
+        from repro.experiments import clear_cache
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_STUDY_SIZE", "2")
+        monkeypatch.setenv("REPRO_STUDY_TIME_LIMIT", "0.3")
+        code = main(["experiment", "fig4"])
+        clear_cache()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+
+    def test_all_writes_report(self, monkeypatch, capsys, tmp_path):
+        from repro.experiments import clear_cache
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_STUDY_SIZE", "2")
+        monkeypatch.setenv("REPRO_STUDY_TIME_LIMIT", "0.3")
+        monkeypatch.setenv("REPRO_CORPUS_SIZE", "1")
+        monkeypatch.setenv("REPRO_CRASH_CORPUS", "1")
+        monkeypatch.setenv("REPRO_TRACE_SECONDS", "20")
+        monkeypatch.setenv("REPRO_FT_TIME_LIMIT", "1.0")
+        report = tmp_path / "REPORT.md"
+        code = main(["experiment", "all", "--out", str(report)])
+        clear_cache()
+        assert code == 0
+        assert "Fig. 12" in report.read_text()
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

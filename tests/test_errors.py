@@ -1,0 +1,57 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DeploymentError,
+    DescriptorError,
+    ExperimentError,
+    GraphError,
+    InfeasibleError,
+    ModelError,
+    OptimizationError,
+    ReproError,
+    RTreeError,
+    SimulationError,
+    StrategyError,
+    WorkloadError,
+)
+
+LEAF_ERRORS = [
+    GraphError,
+    DescriptorError,
+    DeploymentError,
+    StrategyError,
+    InfeasibleError,
+    OptimizationError,
+    SimulationError,
+    RTreeError,
+    WorkloadError,
+    ExperimentError,
+    ModelError,
+]
+
+
+@pytest.mark.parametrize("error", LEAF_ERRORS)
+def test_every_error_is_a_repro_error(error):
+    assert issubclass(error, ReproError)
+    with pytest.raises(ReproError):
+        raise error("boom")
+
+
+def test_model_errors_group_structural_failures():
+    for error in (GraphError, DescriptorError, DeploymentError, StrategyError):
+        assert issubclass(error, ModelError)
+
+
+def test_infeasible_is_an_optimization_error():
+    assert issubclass(InfeasibleError, OptimizationError)
+
+
+def test_catching_the_base_class_catches_library_failures():
+    from repro.core import ApplicationGraph
+
+    with pytest.raises(ReproError):
+        ApplicationGraph.build([], [], [], [])

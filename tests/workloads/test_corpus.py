@@ -1,0 +1,105 @@
+"""Tests for application bundle / corpus persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    GeneratorParams,
+    bundle_from_dict,
+    bundle_to_dict,
+    generate_application,
+    load_bundle,
+    load_corpus,
+    save_bundle,
+    save_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def small_apps():
+    params = GeneratorParams(n_pes=6)
+    return [
+        generate_application(seed, params=params, name=f"bundle-{seed}")
+        for seed in (60, 61)
+    ]
+
+
+class TestBundleRoundTrip:
+    def test_dict_round_trip(self, small_apps):
+        app = small_apps[0]
+        clone = bundle_from_dict(bundle_to_dict(app))
+        assert clone.descriptor.to_dict() == app.descriptor.to_dict()
+        assert clone.deployment.to_dict() == app.deployment.to_dict()
+        assert clone.low_rate == app.low_rate
+        assert clone.high_rate == app.high_rate
+        assert clone.seed == app.seed
+
+    def test_file_round_trip(self, small_apps, tmp_path):
+        app = small_apps[0]
+        path = tmp_path / "app.json"
+        save_bundle(app, path)
+        clone = load_bundle(path)
+        assert clone.name == app.name
+        assert clone.descriptor.to_dict() == app.descriptor.to_dict()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(WorkloadError, match="not an application bundle"):
+            bundle_from_dict({"format": "something-else"})
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(WorkloadError, match="invalid bundle JSON"):
+            load_bundle(path)
+
+    def test_loaded_bundle_is_usable(self, small_apps, tmp_path):
+        """A reloaded bundle drives the optimizer like the original."""
+        from repro.core import OptimizationProblem, ft_search
+
+        app = small_apps[0]
+        path = tmp_path / "app.json"
+        save_bundle(app, path)
+        clone = load_bundle(path)
+        original = ft_search(
+            OptimizationProblem(app.deployment, ic_target=0.3),
+            time_limit=2.0, seed_incumbent=True,
+        )
+        reloaded = ft_search(
+            OptimizationProblem(clone.deployment, ic_target=0.3),
+            time_limit=2.0, seed_incumbent=True,
+        )
+        assert original.strategy is not None
+        assert reloaded.strategy is not None
+        assert reloaded.best_cost == pytest.approx(
+            original.best_cost, rel=1e-6
+        )
+
+
+class TestCorpus:
+    def test_save_and_load_corpus(self, small_apps, tmp_path):
+        directory = tmp_path / "corpus"
+        paths = save_corpus(small_apps, directory)
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+        loaded = load_corpus(directory)
+        assert [a.name for a in loaded] == [a.name for a in small_apps]
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not a corpus directory"):
+            load_corpus(tmp_path / "ghost")
+
+    def test_load_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(WorkloadError, match="no bundles"):
+            load_corpus(empty)
+
+    def test_bundle_files_are_valid_json(self, small_apps, tmp_path):
+        paths = save_corpus(small_apps, tmp_path / "c")
+        for path in paths:
+            payload = json.loads(path.read_text())
+            assert payload["format"].startswith("repro-application-bundle")

@@ -1,0 +1,139 @@
+"""Tests for operator profiling: run -> descriptor round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Host, RateTable
+from repro.dsps import InputTrace, StreamPlatform, TraceSegment
+from repro.errors import WorkloadError
+from repro.placement import balanced_placement
+from repro.workloads import (
+    infer_source_rates,
+    measured_edge_profile,
+    profile_application,
+    windowed_rates,
+)
+
+GIGA = 1.0e9
+
+
+class TestWindowedRates:
+    def test_uniform_arrivals(self):
+        arrivals = [0.25 * i for i in range(40)]  # 4 t/s for 10 s
+        rates = windowed_rates(arrivals, duration=10.0, window=1.0)
+        assert len(rates) == 10
+        assert all(rate == pytest.approx(4.0) for rate in rates)
+
+    def test_out_of_range_arrivals_ignored(self):
+        rates = windowed_rates([-1.0, 0.5, 99.0], duration=2.0, window=1.0)
+        assert rates == [1.0, 0.0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            windowed_rates([1.0], duration=2.0, window=0.0)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            windowed_rates([1.0], duration=0.0, window=1.0)
+
+
+class TestInferSourceRates:
+    def test_two_level_trace_recovered(self):
+        # 4 t/s for 20 s, then 8 t/s for 10 s.
+        arrivals = [0.25 * i for i in range(1, 81)]
+        arrivals += [20.0 + 0.125 * i for i in range(1, 81)]
+        table = infer_source_rates(arrivals, duration=30.0, bins=2)
+        assert len(table) == 2
+        (low, p_low), (high, p_high) = table
+        assert low < high
+        assert p_low == pytest.approx(2.0 / 3.0, abs=0.05)
+        assert p_high == pytest.approx(1.0 / 3.0, abs=0.05)
+        # Upper-edge binning: the inferred levels cover the true rates.
+        assert high >= 8.0 - 1e-9
+        assert low >= 4.0 - 1e-9
+
+    def test_probabilities_sum_to_one(self):
+        arrivals = [0.1 * i for i in range(1, 300)]
+        table = infer_source_rates(arrivals, duration=30.0, bins=4)
+        assert sum(p for _, p in table) == pytest.approx(1.0)
+
+
+class TestProfileRoundTrip:
+    @pytest.fixture(scope="class")
+    def profiled(self, request):
+        """Run the diamond app, then rebuild its descriptor from metrics."""
+        # Rebuild the diamond fixture locally (class-scoped fixture
+        # cannot depend on the function-scoped conftest one).
+        from tests.conftest import diamond_descriptor as _fixture  # noqa: F401
+        from repro.core import (
+            ApplicationDescriptor,
+            ApplicationGraph,
+            ConfigurationSpace,
+            EdgeProfile,
+        )
+
+        graph = ApplicationGraph.build(
+            ["src"], ["a", "b", "c", "d"], ["sink"],
+            [("src", "a"), ("a", "b"), ("a", "c"), ("b", "d"),
+             ("c", "d"), ("d", "sink")],
+        )
+        space = ConfigurationSpace.two_level("src", 5.0, 10.0, 0.75)
+        true_profiles = {
+            ("src", "a"): EdgeProfile(1.0, 0.02 * GIGA),
+            ("a", "b"): EdgeProfile(0.5, 0.03 * GIGA),
+            ("a", "c"): EdgeProfile(1.5, 0.01 * GIGA),
+            ("b", "d"): EdgeProfile(1.0, 0.02 * GIGA),
+            ("c", "d"): EdgeProfile(0.8, 0.015 * GIGA),
+        }
+        descriptor = ApplicationDescriptor(
+            graph, true_profiles, space, name="diamond"
+        )
+        hosts = [Host("h0", cores=4, cycles_per_core=GIGA),
+                 Host("h1", cores=4, cycles_per_core=GIGA)]
+        deployment = balanced_placement(descriptor, hosts, 2)
+        platform = StreamPlatform(
+            deployment,
+            {"src": InputTrace([TraceSegment(5.0, 120.0, "Low")])},
+        )
+        metrics = platform.run()
+        profiled = profile_application(
+            graph,
+            metrics,
+            source_rates={"src": [(5.0, 0.75), (10.0, 0.25)]},
+            cycles_per_core=GIGA,
+        )
+        return descriptor, profiled
+
+    def test_selectivities_recovered(self, profiled):
+        truth, inferred = profiled
+        for pe in truth.graph.pes:
+            for edge in truth.graph.pe_input_edges(pe):
+                assert inferred.selectivity(edge.tail, pe) == pytest.approx(
+                    truth.selectivity(edge.tail, pe), rel=0.05
+                )
+
+    def test_cpu_costs_recovered(self, profiled):
+        truth, inferred = profiled
+        for pe in truth.graph.pes:
+            for edge in truth.graph.pe_input_edges(pe):
+                assert inferred.cpu_cost(edge.tail, pe) == pytest.approx(
+                    truth.cpu_cost(edge.tail, pe), rel=0.05
+                )
+
+    def test_profiled_descriptor_predicts_same_rates(self, profiled):
+        truth, inferred = profiled
+        true_rates = RateTable(truth)
+        inferred_rates = RateTable(inferred)
+        for pe in truth.graph.pes:
+            for c in range(2):
+                assert inferred_rates.rate(pe, c) == pytest.approx(
+                    true_rates.rate(pe, c), rel=0.06
+                )
+
+    def test_unexercised_edge_raises(self, profiled):
+        truth, _ = profiled
+        from repro.dsps.metrics import RunMetrics
+
+        with pytest.raises(WorkloadError, match="never processed"):
+            measured_edge_profile(RunMetrics(), "a", "src", GIGA)
