@@ -1,0 +1,105 @@
+"""FT-Search core microbenchmark: fast core vs reference implementation.
+
+Runs both engines on one pinned, fully-exhaustible instance (no time
+budget, so the node count is deterministic and identical for both — the
+equivalence property tests guarantee it) and reports nodes expanded per
+second. Writes ``BENCH_ftsearch.json`` next to this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_ftsearch.py [--smoke]
+
+``--smoke`` switches to a much smaller instance and a single round — a
+seconds-long CI sanity check of the harness, not a measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.optimizer import (
+    FTSearch,
+    FTSearchConfig,
+    OptimizationProblem,
+    ReferenceFTSearch,
+)
+from repro.workloads.generator import (
+    ClusterParams,
+    GeneratorParams,
+    generate_application,
+)
+
+OUT_PATH = Path(__file__).parent / "BENCH_ftsearch.json"
+
+#: The pinned reference instance: ~40k nodes to exhaustion, large enough
+#: that per-node work dominates setup but small enough to rerun in
+#: seconds. Changing it invalidates speedup comparisons across commits.
+FULL = dict(seed=2, n_pes=10, n_hosts=4, cores_per_host=5, ic_target=0.6)
+SMOKE = dict(seed=2014, n_pes=6, n_hosts=3, cores_per_host=4, ic_target=0.6)
+
+
+def _instance(spec: dict) -> OptimizationProblem:
+    app = generate_application(
+        spec["seed"],
+        params=GeneratorParams(n_pes=spec["n_pes"], tuple_budget=2000.0),
+        cluster=ClusterParams(
+            n_hosts=spec["n_hosts"], cores_per_host=spec["cores_per_host"]
+        ),
+        name="bench",
+    )
+    return OptimizationProblem(app.deployment, ic_target=spec["ic_target"])
+
+
+def _time_engine(engine_cls, problem, rounds: int) -> tuple[float, int]:
+    """Best-of-``rounds`` wall time and the (deterministic) node count."""
+    config = FTSearchConfig(time_limit=None)
+    best = float("inf")
+    nodes = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = engine_cls(problem, config).run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        nodes = result.stats.nodes_expanded
+    return best, nodes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny instance, one round: harness sanity check only",
+    )
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args()
+
+    spec = SMOKE if args.smoke else FULL
+    rounds = args.rounds or (1 if args.smoke else 3)
+    problem = _instance(spec)
+
+    fast_time, fast_nodes = _time_engine(FTSearch, problem, rounds)
+    ref_time, ref_nodes = _time_engine(ReferenceFTSearch, problem, rounds)
+    assert fast_nodes == ref_nodes, "engines diverged — run the equivalence tests"
+
+    report = {
+        "instance": spec,
+        "mode": "smoke" if args.smoke else "full",
+        "rounds": rounds,
+        "nodes_expanded": fast_nodes,
+        "fast_seconds": round(fast_time, 4),
+        "reference_seconds": round(ref_time, 4),
+        "fast_nodes_per_sec": round(fast_nodes / fast_time),
+        "reference_nodes_per_sec": round(ref_nodes / ref_time),
+        "speedup": round(ref_time / fast_time, 2),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

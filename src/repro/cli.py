@@ -209,17 +209,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.report_all import generate_report
 
         target = args.out or "REPORT.md"
-        generate_report(path=target)
+        generate_report(path=target, jobs=args.jobs)
         print(f"full report written to {target}")
         return 0
     if name == "fig3":
         print(figures.render_fig3(get_fig3_data()))
     elif name in ("fig4", "fig5", "fig6"):
-        study = get_study_results()
+        study = get_study_results(jobs=args.jobs)
         renderer = getattr(figures, f"render_{name}")
         print(renderer(study))
     elif name in ("fig9", "fig10", "fig11", "fig12"):
-        results = get_cluster_results()
+        results = get_cluster_results(jobs=args.jobs)
         renderer = getattr(figures, f"render_{name}")
         print(renderer(results))
     else:  # pragma: no cover - argparse choices prevent this
@@ -302,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--out", default=None,
         help="with 'all': report file to write (default REPORT.md)",
+    )
+    experiment.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the experiment grids"
+        " (default: REPRO_JOBS, then the CPU count; 1 = serial)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

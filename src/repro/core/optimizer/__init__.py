@@ -10,11 +10,13 @@ from repro.core.optimizer.ftsearch import FTSearch, FTSearchConfig, ft_search
 from repro.core.optimizer.outcomes import SearchOutcome, SearchResult
 from repro.core.optimizer.placement_search import JointResult, joint_optimize
 from repro.core.optimizer.problem import OptimizationProblem, StrategyEvaluation
+from repro.core.optimizer.reference import ReferenceFTSearch
 from repro.core.optimizer.stats import PruneRule, SearchStats
 
 __all__ = [
     "FTSearch",
     "FTSearchConfig",
+    "ReferenceFTSearch",
     "ft_search",
     "SearchOutcome",
     "SearchResult",

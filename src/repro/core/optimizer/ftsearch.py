@@ -32,6 +32,16 @@ paper reports makes CPU and IC constraints fail faster.
 The search is *anytime*: it keeps the best solution found so far and, on
 budget expiry, returns it (outcome SOL) or, when the space was exhausted,
 proves optimality (BST) or infeasibility (NUL).
+
+Implementation note — this module holds the *fast core*: all per-node
+state lives in flat, integer-indexed lists precomputed by ``_prepare``
+(the variable order is ``config_pos * n_pes + pe_pos``, so ``depth_of``
+is plain arithmetic), descent is an explicit iterative loop rather than
+recursion, and domain values are small integer codes ordered through
+shared constant tuples. The original recursive, dict-keyed implementation
+is retained verbatim in :mod:`repro.core.optimizer.reference` as the
+behavioural oracle: both cores must produce identical outcomes, costs,
+node/value counters, and per-rule prune statistics.
 """
 
 from __future__ import annotations
@@ -53,9 +63,26 @@ __all__ = ["FTSearchConfig", "FTSearch", "ft_search"]
 
 # Domain values for one (PE, configuration) variable: activation states of
 # (replica 0, replica 1). The all-inactive state is excluded by Eq. 12.
+# The fast core encodes them as integers; code 0 must stay "both active"
+# (the value DOM removes), codes 1/2 are the single-replica values.
 _BOTH = (True, True)
 _ONLY_0 = (True, False)
 _ONLY_1 = (False, True)
+_VALUE_TUPLES = (_BOTH, _ONLY_0, _ONLY_1)
+_CODE_OF_VALUE = {_BOTH: 0, _ONLY_0: 1, _ONLY_1: 2}
+
+# The four possible per-node value orderings ("both" first unless DOM
+# excluded it; then the single whose host is less loaded).
+_ORDER_B01 = (0, 1, 2)
+_ORDER_B10 = (0, 2, 1)
+_ORDER_01 = (1, 2)
+_ORDER_10 = (2, 1)
+
+# PruneRule <-> flat counter index (the fast core counts prunes in plain
+# lists and rebuilds the SearchStats dicts once at the end of the run).
+_RULES = (PruneRule.CPU, PruneRule.COMPLETENESS, PruneRule.COST,
+          PruneRule.DOMAIN)
+_CPU_I, _COMPL_I, _COST_I, _DOM_I = 0, 1, 2, 3
 
 _REL_EPS = 1e-9
 
@@ -116,7 +143,11 @@ class FTSearchConfig:
 
 
 class _BudgetExpired(Exception):
-    """Internal signal: unwind the recursion, the budget is spent."""
+    """Internal signal: unwind the recursion, the budget is spent.
+
+    Only the retained reference implementation raises this; the fast
+    core's iterative loop breaks out with a flag instead.
+    """
 
 
 class FTSearch:
@@ -156,58 +187,63 @@ class FTSearch:
         self._prob = [space[c].probability for c in range(self._n_configs)]
 
         # Variable order: most resource-hungry configuration first, PEs in
-        # topological order within each configuration.
+        # topological order within each configuration. Because the order
+        # is exactly config_pos * n_pes + pe_pos, depth_of is arithmetic.
+        n_pes = len(self._pes)
         self._vars: list[tuple[int, str]] = [
             (c, pe) for c in self._config_order for pe in self._pes
         ]
-        self._depth_of = {var: d for d, var in enumerate(self._vars)}
         self._n_vars = len(self._vars)
+        config_pos = {c: i for i, c in enumerate(self._config_order)}
+
+        def depth_of(c: int, pe: str) -> int:
+            return config_pos[c] * n_pes + self._pe_pos[pe]
 
         # Per-(PE, config) CPU load of one active replica, and hosts.
-        self._load = {
+        load = {
             (pe, c): self._rate_table.replica_load(pe, c)
             for pe in self._pes
             for c in range(self._n_configs)
         }
-        self._hosts = {
+        hosts_of = {
             pe: (
                 deployment.host_of(ReplicaId(pe, 0)),
                 deployment.host_of(ReplicaId(pe, 1)),
             )
             for pe in self._pes
         }
-        self._capacity = {
-            h.name: h.capacity for h in deployment.hosts
-        }
+        self._hosts = tuple(deployment.hosts)
+        host_index = {h.name: i for i, h in enumerate(self._hosts)}
+        capacity = {h.name: h.capacity for h in self._hosts}
 
         # Predecessor structure split by kind, with selectivities for the
         # Delta-hat recursion and plain sums for the FIC integrand.
-        self._pe_preds: dict[str, list[tuple[str, float]]] = {}
-        self._source_inflow_sel: dict[tuple[str, int], float] = {}
-        self._source_inflow_sum: dict[tuple[str, int], float] = {}
-        self._pe_succs: dict[str, list[str]] = {pe: [] for pe in self._pes}
+        pe_preds: dict[str, list[tuple[str, float]]] = {}
+        source_inflow_sel: dict[tuple[str, int], float] = {}
+        source_inflow_sum: dict[tuple[str, int], float] = {}
+        pe_succs: dict[str, list[str]] = {pe: [] for pe in self._pes}
         for pe in self._pes:
-            pe_preds: list[tuple[str, float]] = []
+            preds: list[tuple[str, float]] = []
             for edge in graph.pe_input_edges(pe):
                 selectivity = descriptor.selectivity(edge.tail, pe)
                 if edge.tail in self._pe_pos:
-                    pe_preds.append((edge.tail, selectivity))
-                    self._pe_succs[edge.tail].append(pe)
+                    preds.append((edge.tail, selectivity))
+                    pe_succs[edge.tail].append(pe)
                 else:  # source predecessor: Delta-hat equals Delta
                     for c in range(self._n_configs):
                         key = (pe, c)
                         rate = self._rate_table.rate(edge.tail, c)
-                        self._source_inflow_sel[key] = (
-                            self._source_inflow_sel.get(key, 0.0)
+                        source_inflow_sel[key] = (
+                            source_inflow_sel.get(key, 0.0)
                             + selectivity * rate
                         )
-                        self._source_inflow_sum[key] = (
-                            self._source_inflow_sum.get(key, 0.0) + rate
+                        source_inflow_sum[key] = (
+                            source_inflow_sum.get(key, 0.0) + rate
                         )
-            self._pe_preds[pe] = pe_preds
-        self._has_source_pred = {
+            pe_preds[pe] = preds
+        has_source_pred = {
             pe: any(
-                self._source_inflow_sum.get((pe, c), 0.0) > 0.0
+                source_inflow_sum.get((pe, c), 0.0) > 0.0
                 for c in range(self._n_configs)
             )
             for pe in self._pes
@@ -229,7 +265,7 @@ class FTSearch:
         # COST bound: minimum (single-replica) cost of each variable, with
         # suffix sums over the variable order for O(1) lower bounds.
         min_cost = [
-            self._prob[c] * self._load[(pe, c)] for (c, pe) in self._vars
+            self._prob[c] * load[(pe, c)] for (c, pe) in self._vars
         ]
         self._suffix_min_cost = [0.0] * (self._n_vars + 1)
         for d in range(self._n_vars - 1, -1, -1):
@@ -239,14 +275,100 @@ class FTSearch:
 
         # BIC contribution of whole configurations ordered after a given
         # position in the variable order (for the COMPL upper bound).
-        self._suffix_bic_by_config: list[float] = [0.0] * (
+        suffix_bic_by_config: list[float] = [0.0] * (
             len(self._config_order) + 1
         )
         for i in range(len(self._config_order) - 1, -1, -1):
             c = self._config_order[i]
-            self._suffix_bic_by_config[i] = (
-                self._suffix_bic_by_config[i + 1] + self._bic_c[c]
+            suffix_bic_by_config[i] = (
+                suffix_bic_by_config[i + 1] + self._bic_c[c]
             )
+
+        # ---- Flat per-depth arrays (the fast core's working set) -----
+        # For every depth d, with (c, pe) = vars[d]:
+        #   load/cost of one replica, flat host-load indices and
+        #   effective capacities of the two hosts, source inflows, and
+        #   predecessor lists as (pred_depth, selectivity) pairs.
+        n_configs = self._n_configs
+        self._d_load = [load[(pe, c)] for (c, pe) in self._vars]
+        self._d_prob = [self._prob[c] for (c, pe) in self._vars]
+        self._d_prob_load = min_cost  # prob[c] * load, same product
+        self._d_h0 = [0] * self._n_vars
+        self._d_h1 = [0] * self._n_vars
+        self._d_cap0 = [0.0] * self._n_vars
+        self._d_cap1 = [0.0] * self._n_vars
+        self._d_src_sel = [0.0] * self._n_vars
+        self._d_src_sum = [0.0] * self._n_vars
+        self._d_preds: list[tuple[tuple[int, float], ...]] = (
+            [()] * self._n_vars
+        )
+        self._d_pred_depths: list[tuple[int, ...]] = [()] * self._n_vars
+        self._d_succs: list[tuple[int, ...]] = [()] * self._n_vars
+        self._d_dom_source = [False] * self._n_vars
+        self._d_suffix_bic = [0.0] * self._n_vars
+        one_minus_eps = 1 - _REL_EPS
+        for d, (c, pe) in enumerate(self._vars):
+            host0, host1 = hosts_of[pe]
+            self._d_h0[d] = host_index[host0] * n_configs + c
+            self._d_h1[d] = host_index[host1] * n_configs + c
+            self._d_cap0[d] = capacity[host0] * one_minus_eps
+            self._d_cap1[d] = capacity[host1] * one_minus_eps
+            self._d_src_sel[d] = source_inflow_sel.get((pe, c), 0.0)
+            self._d_src_sum[d] = source_inflow_sum.get((pe, c), 0.0)
+            self._d_preds[d] = tuple(
+                (depth_of(c, pred), selectivity)
+                for pred, selectivity in pe_preds[pe]
+            )
+            self._d_pred_depths[d] = tuple(
+                pd for pd, _ in self._d_preds[d]
+            )
+            self._d_succs[d] = tuple(
+                depth_of(c, succ) for succ in pe_succs[pe]
+            )
+            self._d_dom_source[d] = (
+                has_source_pred[pe] and self._d_src_sum[d] > 0.0
+            )
+            self._d_suffix_bic[d] = suffix_bic_by_config[d // n_pes + 1]
+
+        # COMPL rest-plan: for every depth, the walk over the remaining
+        # PEs of the same configuration in topological order. Each entry
+        # is (var_depth, pe_pos, src_sel, src_sum, preds) with preds as
+        # (code, ref, selectivity): code 0 reads the candidate value's
+        # Delta-hat, code 1 reads the walk's own upper bound at pe
+        # position ref, code 2 reads the assigned Delta-hat at depth ref.
+        self._d_rest: list[tuple] = [()] * self._n_vars
+        for d, (c, pe) in enumerate(self._vars):
+            position = self._pe_pos[pe]
+            entries = []
+            for pos in range(position + 1, n_pes):
+                rest_pe = self._pes[pos]
+                preds = []
+                for pred, selectivity in pe_preds[rest_pe]:
+                    pred_pos = self._pe_pos[pred]
+                    if pred_pos == position:
+                        preds.append((0, 0, selectivity))
+                    elif pred_pos > position:
+                        preds.append((1, pred_pos, selectivity))
+                    else:
+                        preds.append(
+                            (2, depth_of(c, pred), selectivity)
+                        )
+                entries.append((
+                    depth_of(c, rest_pe),
+                    pos,
+                    source_inflow_sel.get((rest_pe, c), 0.0),
+                    source_inflow_sum.get((rest_pe, c), 0.0),
+                    tuple(preds),
+                ))
+            self._d_rest[d] = tuple(entries)
+
+        # Effective capacity per flat (host, config) index, for the leaf
+        # CPU check when the CPU rule is disabled.
+        self._cap_flat = [
+            host.capacity * one_minus_eps
+            for host in self._hosts
+            for _ in range(n_configs)
+        ]
 
     # ------------------------------------------------------------------
     # Search
@@ -254,32 +376,28 @@ class FTSearch:
 
     def run(self) -> SearchResult:
         """Execute the search and classify the outcome."""
-        self._stats = SearchStats(depth=self._n_vars)
+        n_vars = self._n_vars
         self._start = time.monotonic()
         self._deadline = (
             None
             if self._config.time_limit is None
             else self._start + self._config.time_limit
         )
-        self._budget_expired = False
 
         # Mutable search state.
-        self._assigned: list[Optional[tuple[bool, bool]]] = (
-            [None] * self._n_vars
+        self._assigned: list[int] = [-1] * n_vars  # value code or -1
+        self._delta_hat: list[float] = [0.0] * n_vars
+        self._host_load: list[float] = (
+            [0.0] * (len(self._hosts) * self._n_configs)
         )
-        self._delta_hat: list[float] = [0.0] * self._n_vars
-        self._host_load: dict[tuple[str, int], float] = {
-            (host, c): 0.0
-            for host in self._capacity
-            for c in range(self._n_configs)
-        }
-        self._dom_excluded: list[bool] = [False] * self._n_vars
-        self._fic_assigned = 0.0
-        self._cost_assigned = 0.0
+        self._dom_excluded: list[bool] = [False] * n_vars
+        self._prune_counts = [0, 0, 0, 0]
+        self._prune_heights = [0, 0, 0, 0]
+        self._solutions_found = 0
 
         self._best_cost = math.inf
         self._best_objective = math.inf
-        self._best_assignment: Optional[list[tuple[bool, bool]]] = None
+        self._best_assignment: Optional[list[int]] = None
         self._best_ic = 0.0
         self._best_time: Optional[float] = None
         self._first_cost: Optional[float] = None
@@ -288,11 +406,18 @@ class FTSearch:
         if self._config.seed_incumbent:
             self._install_greedy_incumbent()
 
-        exhausted = True
-        try:
-            self._descend(0)
-        except _BudgetExpired:
-            exhausted = False
+        exhausted, nodes, values_tried = self._search()
+
+        stats = SearchStats(
+            nodes_expanded=nodes,
+            values_tried=values_tried,
+            solutions_found=self._solutions_found,
+            depth=n_vars,
+        )
+        for i, rule in enumerate(_RULES):
+            stats.prune_counts[rule] = self._prune_counts[i]
+            stats.prune_height_sums[rule] = self._prune_heights[i]
+        self._stats = stats
 
         elapsed = time.monotonic() - self._start
         strategy = None
@@ -316,7 +441,7 @@ class FTSearch:
             first_solution_time=self._first_time,
             best_solution_time=self._best_time,
             elapsed=elapsed,
-            stats=self._stats,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -357,306 +482,368 @@ class FTSearch:
         self._best_objective = objective
         self._best_ic = ic
         self._best_assignment = [
-            (
+            _CODE_OF_VALUE[(
                 strategy.is_active(ReplicaId(pe, 0), c),
                 strategy.is_active(ReplicaId(pe, 1), c),
-            )
+            )]
             for (c, pe) in self._vars
         ]
         self._best_time = 0.0
 
     # ------------------------------------------------------------------
-    # Recursion
+    # The iterative descent (hot loop)
     # ------------------------------------------------------------------
 
-    def _descend(self, depth: int) -> None:
-        if depth == self._n_vars:
-            self._record_solution()
-            return
+    def _search(self) -> tuple[bool, int, int]:
+        """Run the depth-first descent; returns (exhausted, nodes, values).
 
-        self._stats.nodes_expanded += 1
-        self._check_budget()
+        This is the recursive reference `_descend` unrolled into one
+        loop: the search path is always depth 0..n_vars, so the "stack"
+        is a set of flat per-depth arrays (pending value order/index and
+        the undo record of the applied value). Everything hot is bound to
+        locals; all per-node data comes from the integer-indexed arrays
+        built in ``_prepare``.
+        """
+        # Static per-depth data.
+        n_vars = self._n_vars
+        d_load = self._d_load
+        d_prob = self._d_prob
+        d_prob_load = self._d_prob_load
+        d_h0, d_h1 = self._d_h0, self._d_h1
+        d_cap0, d_cap1 = self._d_cap0, self._d_cap1
+        d_src_sel, d_src_sum = self._d_src_sel, self._d_src_sum
+        d_preds = self._d_preds
+        d_rest = self._d_rest
+        d_suffix_bic = self._d_suffix_bic
+        suffix_min_cost = self._suffix_min_cost
+        bic = self._bic
+        fic_target_thresh = self._fic_target - _REL_EPS * bic
+        ic_target = self._problem.ic_target
+        one_minus_eps = 1 - _REL_EPS
+        monotonic = time.monotonic
 
-        c, pe = self._vars[depth]
-        height = self._n_vars - depth
-        penalty = self._config.penalty_weight
-        disabled = self._config.disabled_rules
+        # Budgets and modes.
+        config = self._config
+        node_limit = config.node_limit
+        deadline = self._deadline
+        penalty = config.penalty_weight
+        disabled = config.disabled_rules
+        cpu_on = PruneRule.CPU not in disabled
+        compl_on = PruneRule.COMPLETENESS not in disabled
+        cost_on = PruneRule.COST not in disabled
+        dom_on = PruneRule.DOMAIN not in disabled
+        need_fic_upper = penalty is not None or compl_on
+        compl_prune_on = penalty is None and compl_on
 
-        for value in self._ordered_values(depth, c, pe):
-            self._stats.values_tried += 1
-            active_count = (1 if value[0] else 0) + (1 if value[1] else 0)
+        # Mutable search state.
+        assigned = self._assigned
+        delta_hat = self._delta_hat
+        host_load = self._host_load
+        dom_excluded = self._dom_excluded
+        prune_counts = self._prune_counts
+        prune_heights = self._prune_heights
+        upper_by_pos = [0.0] * len(self._pes)  # COMPL walk scratch
 
-            # --- CPU pruning (Eq. 11, strict inequality) -----------------
-            load = self._load[(pe, c)]
-            host0, host1 = self._hosts[pe]
-            if PruneRule.CPU not in disabled:
-                cpu_ok = True
-                if value[0] and (
-                    self._host_load[(host0, c)] + load
-                    >= self._capacity[host0] * (1 - _REL_EPS)
+        # Per-depth frames: pending values and the applied-value undo log.
+        f_values: list[tuple] = [()] * n_vars
+        f_idx = [0] * n_vars
+        ap_v = [0] * n_vars
+        ap_fic = [0.0] * n_vars
+        ap_cost = [0.0] * n_vars
+        ap_trail: list[Optional[list[int]]] = [None] * n_vars
+
+        fic_assigned = 0.0
+        cost_assigned = 0.0
+        best_thresh = (
+            self._best_cost if penalty is None else self._best_objective
+        ) * one_minus_eps
+
+        nodes = 0
+        values_tried = 0
+        expired = False
+        depth = 0
+        entering = True
+
+        while True:
+            if entering:
+                # --- Node entry: count, budget check, value order -----
+                nodes += 1
+                if node_limit is not None and nodes > node_limit:
+                    expired = True
+                    break
+                if (
+                    deadline is not None
+                    and not nodes & 63
+                    and monotonic() > deadline
                 ):
-                    cpu_ok = False
-                if value[1] and (
-                    self._host_load[(host1, c)] + load
-                    >= self._capacity[host1] * (1 - _REL_EPS)
-                ):
-                    cpu_ok = False
-                if not cpu_ok:
-                    self._stats.record_prune(PruneRule.CPU, height)
-                    continue
-
-            # --- Delta-hat and FIC contribution of this value -----------
-            if value == _BOTH:
-                delta_hat = self._inflow_selectivity_weighted(depth, c, pe)
-                fic_contrib = self._prob[c] * self._inflow_plain(depth, c, pe)
+                    expired = True
+                    break
+                if host_load[d_h0[depth]] <= host_load[d_h1[depth]]:
+                    values = _ORDER_01 if dom_excluded[depth] else _ORDER_B01
+                else:
+                    values = _ORDER_10 if dom_excluded[depth] else _ORDER_B10
+                f_values[depth] = values
+                idx = 0
+                entering = False
             else:
-                delta_hat = 0.0
-                fic_contrib = 0.0
+                values = f_values[depth]
+                idx = f_idx[depth]
 
-            # --- COMPL pruning (IC upper bound) --------------------------
-            compl_enabled = PruneRule.COMPLETENESS not in disabled
-            fic_upper = None
-            if penalty is not None or compl_enabled:
-                fic_upper = (
-                    self._fic_assigned
-                    + fic_contrib
-                    + self._fic_upper_bound_rest(depth, c, pe, delta_hat)
-                )
-            if penalty is None and compl_enabled:
-                if fic_upper < self._fic_target - _REL_EPS * self._bic:
-                    self._stats.record_prune(PruneRule.COMPLETENESS, height)
+            # Per-node constants, hoisted out of the value loop.
+            height = n_vars - depth
+            h0 = d_h0[depth]
+            h1 = d_h1[depth]
+            load = d_load[depth]
+            cap0 = d_cap0[depth]
+            cap1 = d_cap1[depth]
+            preds = d_preds[depth]
+            rest = d_rest[depth]
+            suffix_bic = d_suffix_bic[depth]
+            prob_c = d_prob[depth]
+            prob_load = d_prob_load[depth]
+            min_cost_rest = suffix_min_cost[depth + 1]
+            n_values = len(values)
+            leaf = depth + 1 == n_vars
+            # Both single-replica values contribute Delta-hat 0, so their
+            # COMPL upper bound is the same float — compute it once per
+            # node visit (the sibling descent restores all state exactly).
+            fic_upper_single: Optional[float] = None
+            descend = False
+
+            while idx < n_values:
+                v = values[idx]
+                idx += 1
+                values_tried += 1
+
+                # --- CPU pruning (Eq. 11, strict inequality) ----------
+                if cpu_on and (
+                    (v != 2 and host_load[h0] + load >= cap0)
+                    or (v != 1 and host_load[h1] + load >= cap1)
+                ):
+                    prune_counts[_CPU_I] += 1
+                    prune_heights[_CPU_I] += height
                     continue
 
-            # --- COST pruning (cost lower bound) -------------------------
-            value_cost = self._prob[c] * load * active_count
-            if PruneRule.COST not in disabled:
-                cost_lower = (
-                    self._cost_assigned
-                    + value_cost
-                    + self._suffix_min_cost[depth + 1]
-                )
-                if penalty is None:
-                    bound = cost_lower
-                    best = self._best_cost
+                # --- Delta-hat and FIC contribution of this value -----
+                if v == 0:
+                    dh = d_src_sel[depth]
+                    plain = d_src_sum[depth]
+                    for pd, sel in preds:
+                        x = delta_hat[pd]
+                        dh += sel * x
+                        plain += x
+                    fic_contrib = d_prob[depth] * plain
                 else:
-                    ic_upper = min(1.0, fic_upper / self._bic)
-                    deficit = max(0.0, self._problem.ic_target - ic_upper)
-                    bound = cost_lower + penalty * deficit
-                    best = self._best_objective
-                if bound >= best * (1 - _REL_EPS):
-                    self._stats.record_prune(PruneRule.COST, height)
+                    dh = 0.0
+                    fic_contrib = 0.0
+
+                # --- COMPL pruning (IC upper bound) -------------------
+                if need_fic_upper:
+                    if v != 0 and fic_upper_single is not None:
+                        fic_upper = fic_upper_single
+                    else:
+                        # Walk the rest of this configuration assuming
+                        # full replication except where DOM excluded it;
+                        # whole configurations not yet started add their
+                        # full BIC.
+                        total = 0.0
+                        for vd, pos, isel, isum, rest_preds in rest:
+                            if dom_excluded[vd]:
+                                upper_by_pos[pos] = 0.0
+                                continue
+                            for code, ref, sel in rest_preds:
+                                if code == 0:
+                                    x = dh
+                                elif code == 1:
+                                    x = upper_by_pos[ref]
+                                else:
+                                    x = delta_hat[ref]
+                                isel += sel * x
+                                isum += x
+                            upper_by_pos[pos] = isel
+                            total += prob_c * isum
+                        # Group (total + suffix) exactly like the
+                        # reference helper so the float result is
+                        # bit-identical.
+                        total += suffix_bic
+                        fic_upper = fic_assigned + fic_contrib + total
+                        if v != 0:
+                            fic_upper_single = fic_upper
+                    if compl_prune_on and fic_upper < fic_target_thresh:
+                        prune_counts[_COMPL_I] += 1
+                        prune_heights[_COMPL_I] += height
+                        continue
+
+                # --- COST pruning (cost lower bound) ------------------
+                value_cost = prob_load * 2 if v == 0 else prob_load
+                if cost_on:
+                    cost_lower = (
+                        cost_assigned
+                        + value_cost
+                        + min_cost_rest
+                    )
+                    if penalty is None:
+                        bound = cost_lower
+                    else:
+                        ic_upper = fic_upper / bic
+                        if ic_upper > 1.0:
+                            ic_upper = 1.0
+                        deficit = ic_target - ic_upper
+                        if deficit < 0.0:
+                            deficit = 0.0
+                        bound = cost_lower + penalty * deficit
+                    if bound >= best_thresh:
+                        prune_counts[_COST_I] += 1
+                        prune_heights[_COST_I] += height
+                        continue
+
+                # --- Accept the value ---------------------------------
+                assigned[depth] = v
+                delta_hat[depth] = dh
+                if v != 2:
+                    host_load[h0] += load
+                if v != 1:
+                    host_load[h1] += load
+                fic_assigned += fic_contrib
+                cost_assigned += value_cost
+                trail: Optional[list[int]] = None
+                if dom_on and dh == 0.0:
+                    trail = []
+                    self._propagate_domain(depth, trail)
+
+                if depth + 1 == n_vars:
+                    # Leaf: record, undo in place, try the next value.
+                    self._record_solution(fic_assigned, cost_assigned)
+                    best_thresh = (
+                        self._best_cost
+                        if penalty is None
+                        else self._best_objective
+                    ) * one_minus_eps
+                    if trail:
+                        for sd in trail:
+                            dom_excluded[sd] = False
+                    if v != 2:
+                        host_load[h0] -= load
+                    if v != 1:
+                        host_load[h1] -= load
+                    fic_assigned -= fic_contrib
+                    cost_assigned -= value_cost
+                    assigned[depth] = -1
+                    delta_hat[depth] = 0.0
                     continue
 
-            # --- Accept the value, recurse, undo -------------------------
-            trail = self._apply(depth, c, pe, value, delta_hat, fic_contrib,
-                                value_cost)
-            self._descend(depth + 1)
-            self._undo(depth, c, pe, value, delta_hat, fic_contrib,
-                       value_cost, trail)
+                # Interior node: push the frame and descend.
+                f_idx[depth] = idx
+                ap_v[depth] = v
+                ap_fic[depth] = fic_contrib
+                ap_cost[depth] = value_cost
+                ap_trail[depth] = trail
+                depth += 1
+                descend = True
+                break
 
-    def _ordered_values(
-        self, depth: int, c: int, pe: str
-    ) -> list[tuple[bool, bool]]:
-        """Value ordering: "both active" first (maximizes IC headroom),
-        then the single replica whose host is currently less loaded.
-
-        Trying _BOTH first makes the first feasible solution behave like a
-        greedy maximal-replication strategy, which the CPU prune then
-        trims exactly where hosts saturate — the search reaches a feasible
-        leaf quickly, enabling COST pruning early (the anytime behaviour
-        Fig. 5 measures).
-        """
-        host0, host1 = self._hosts[pe]
-        load0 = self._host_load[(host0, c)]
-        load1 = self._host_load[(host1, c)]
-        singles = (
-            [_ONLY_0, _ONLY_1] if load0 <= load1 else [_ONLY_1, _ONLY_0]
-        )
-        if self._dom_excluded[depth]:
-            return singles
-        return [_BOTH] + singles
-
-    # ------------------------------------------------------------------
-    # Incremental bookkeeping
-    # ------------------------------------------------------------------
-
-    def _inflow_selectivity_weighted(
-        self, depth: int, c: int, pe: str
-    ) -> float:
-        """sum_j delta(x_j, pe) * Delta-hat(x_j, c) over assigned preds."""
-        total = self._source_inflow_sel.get((pe, c), 0.0)
-        for pred, selectivity in self._pe_preds[pe]:
-            total += selectivity * self._delta_hat[self._depth_of[(c, pred)]]
-        return total
-
-    def _inflow_plain(self, depth: int, c: int, pe: str) -> float:
-        """sum_j Delta-hat(x_j, c) over predecessors (FIC integrand)."""
-        total = self._source_inflow_sum.get((pe, c), 0.0)
-        for pred, _ in self._pe_preds[pe]:
-            total += self._delta_hat[self._depth_of[(c, pred)]]
-        return total
-
-    def _fic_upper_bound_rest(
-        self, depth: int, c: int, pe: str, delta_hat_here: float
-    ) -> float:
-        """Maximum FIC the variables after ``depth`` could still add.
-
-        For the rest of the current configuration, walk the remaining PEs
-        in topological order assuming full replication (phi = 1) except
-        where DOM has excluded it; whole configurations not yet started
-        contribute their full BIC share. Activations only ever reduce
-        Delta-hat, so this is a sound upper bound.
-        """
-        position_in_config = self._pe_pos[pe]
-        config_position = depth // len(self._pes)
-
-        upper: dict[str, float] = {}
-        total = 0.0
-        for pos in range(position_in_config + 1, len(self._pes)):
-            rest_pe = self._pes[pos]
-            var_depth = self._depth_of[(c, rest_pe)]
-            if self._dom_excluded[var_depth]:
-                upper[rest_pe] = 0.0
+            if descend:
+                entering = True
                 continue
-            inflow_sel = self._source_inflow_sel.get((rest_pe, c), 0.0)
-            inflow_sum = self._source_inflow_sum.get((rest_pe, c), 0.0)
-            for pred, selectivity in self._pe_preds[rest_pe]:
-                if pred == pe:
-                    value = delta_hat_here
-                elif pred in upper:
-                    value = upper[pred]
-                else:
-                    value = self._delta_hat[self._depth_of[(c, pred)]]
-                inflow_sel += selectivity * value
-                inflow_sum += value
-            upper[rest_pe] = inflow_sel
-            total += self._prob[c] * inflow_sum
 
-        # Configurations wholly after the current one in exploration order.
-        total += self._suffix_bic_by_config[config_position + 1]
-        return total
+            # Node exhausted: backtrack (undo the parent's applied value).
+            if depth == 0:
+                break
+            depth -= 1
+            v = ap_v[depth]
+            trail = ap_trail[depth]
+            if trail:
+                for sd in trail:
+                    dom_excluded[sd] = False
+            load = d_load[depth]
+            if v != 2:
+                host_load[d_h0[depth]] -= load
+            if v != 1:
+                host_load[d_h1[depth]] -= load
+            fic_assigned -= ap_fic[depth]
+            cost_assigned -= ap_cost[depth]
+            assigned[depth] = -1
+            delta_hat[depth] = 0.0
 
-    def _apply(
-        self,
-        depth: int,
-        c: int,
-        pe: str,
-        value: tuple[bool, bool],
-        delta_hat: float,
-        fic_contrib: float,
-        value_cost: float,
-    ) -> list[int]:
-        self._assigned[depth] = value
-        self._delta_hat[depth] = delta_hat
-        load = self._load[(pe, c)]
-        host0, host1 = self._hosts[pe]
-        if value[0]:
-            self._host_load[(host0, c)] += load
-        if value[1]:
-            self._host_load[(host1, c)] += load
-        self._fic_assigned += fic_contrib
-        self._cost_assigned += value_cost
+        return not expired, nodes, values_tried
 
-        trail: list[int] = []
-        if delta_hat == 0.0 and (
-            PruneRule.DOMAIN not in self._config.disabled_rules
-        ):
-            self._propagate_domain(c, pe, trail)
-        return trail
+    # ------------------------------------------------------------------
+    # Domain propagation
+    # ------------------------------------------------------------------
 
-    def _undo(
-        self,
-        depth: int,
-        c: int,
-        pe: str,
-        value: tuple[bool, bool],
-        delta_hat: float,
-        fic_contrib: float,
-        value_cost: float,
-        trail: list[int],
-    ) -> None:
-        for excluded_depth in trail:
-            self._dom_excluded[excluded_depth] = False
-        load = self._load[(pe, c)]
-        host0, host1 = self._hosts[pe]
-        if value[0]:
-            self._host_load[(host0, c)] -= load
-        if value[1]:
-            self._host_load[(host1, c)] -= load
-        self._fic_assigned -= fic_contrib
-        self._cost_assigned -= value_cost
-        self._assigned[depth] = None
-        self._delta_hat[depth] = 0.0
-
-    def _propagate_domain(self, c: int, pe: str, trail: list[int]) -> None:
+    def _propagate_domain(self, depth: int, trail: list[int]) -> None:
         """Forward domain propagation (DOM, Sec. 4.5).
 
-        ``pe`` just became dead in configuration ``c`` (its Delta-hat is
-        zero under the pessimistic model). For every successor whose
-        predecessors are now *all* incapable of delivering tuples in
-        ``c``, full replication cannot improve IC ("no replication
-        forwarding"), so remove the "both active" value from its domain;
-        recurse, because the exclusion makes the successor dead as well.
+        The variable at ``depth`` just became dead in its configuration
+        (its Delta-hat is zero under the pessimistic model). For every
+        successor whose predecessors are now *all* incapable of
+        delivering tuples, full replication cannot improve IC ("no
+        replication forwarding"), so remove the "both active" value from
+        its domain; recurse, because the exclusion makes the successor
+        dead as well. Recursion depth is bounded by the PE count of one
+        configuration, so the explicit-stack treatment of the main
+        descent is unnecessary here.
         """
-        for succ in self._pe_succs[pe]:
-            var_depth = self._depth_of[(c, succ)]
-            if self._assigned[var_depth] is not None:
+        assigned = self._assigned
+        delta_hat = self._delta_hat
+        dom_excluded = self._dom_excluded
+        n_vars = self._n_vars
+        for sd in self._d_succs[depth]:
+            if assigned[sd] != -1:
                 continue
-            if self._dom_excluded[var_depth]:
+            if dom_excluded[sd]:
                 continue
-            if self._has_source_pred[succ] and (
-                self._source_inflow_sum.get((succ, c), 0.0) > 0.0
-            ):
+            if self._d_dom_source[sd]:
                 continue
             dead = True
-            for pred, _ in self._pe_preds[succ]:
-                pred_depth = self._depth_of[(c, pred)]
-                pred_value = self._assigned[pred_depth]
-                if pred_value is None:
-                    if not self._dom_excluded[pred_depth]:
+            for pd in self._d_pred_depths[sd]:
+                if assigned[pd] == -1:
+                    if not dom_excluded[pd]:
                         dead = False
                         break
-                elif self._delta_hat[pred_depth] > 0.0:
+                elif delta_hat[pd] > 0.0:
                     dead = False
                     break
             if not dead:
                 continue
-            self._dom_excluded[var_depth] = True
-            trail.append(var_depth)
-            self._stats.record_prune(
-                PruneRule.DOMAIN, self._n_vars - var_depth
-            )
-            self._propagate_domain(c, succ, trail)
+            dom_excluded[sd] = True
+            trail.append(sd)
+            self._prune_counts[_DOM_I] += 1
+            self._prune_heights[_DOM_I] += n_vars - sd
+            self._propagate_domain(sd, trail)
 
     # ------------------------------------------------------------------
-    # Solutions and budget
+    # Solutions
     # ------------------------------------------------------------------
 
-    def _record_solution(self) -> None:
+    def _record_solution(
+        self, fic_assigned: float, cost_assigned: float
+    ) -> None:
         disabled = self._config.disabled_rules
         # With pruning rules disabled, the constraints they enforced
         # during descent must hold at the leaf instead.
         if PruneRule.CPU in disabled:
-            for (host, _), load in self._host_load.items():
-                if load >= self._capacity[host] * (1 - _REL_EPS):
+            cap_flat = self._cap_flat
+            for i, load in enumerate(self._host_load):
+                if load >= cap_flat[i]:
                     return
         if (
             PruneRule.COMPLETENESS in disabled
             and self._config.penalty_weight is None
-            and self._fic_assigned < self._fic_target - _REL_EPS * self._bic
+            and fic_assigned < self._fic_target - _REL_EPS * self._bic
         ):
             return
 
         # Clamp float residue from the incremental +=/-= bookkeeping.
-        ic = max(0.0, self._fic_assigned / self._bic)
-        cost = self._cost_assigned
+        ic = max(0.0, fic_assigned / self._bic)
+        cost = cost_assigned
         if self._config.penalty_weight is None:
             objective = cost
         else:
             deficit = max(0.0, self._problem.ic_target - ic)
             objective = cost + self._config.penalty_weight * deficit
 
-        self._stats.solutions_found += 1
+        self._solutions_found += 1
         now = time.monotonic() - self._start
         if self._first_cost is None:
             self._first_cost = cost
@@ -667,29 +854,15 @@ class FTSearch:
             self._best_objective = objective
             self._best_cost = cost
             self._best_ic = ic
-            self._best_assignment = [
-                value for value in self._assigned if value is not None
-            ]
+            self._best_assignment = self._assigned.copy()
             self._best_time = now
 
-    def _check_budget(self) -> None:
-        if (
-            self._config.node_limit is not None
-            and self._stats.nodes_expanded > self._config.node_limit
-        ):
-            raise _BudgetExpired
-        if self._deadline is not None and (
-            self._stats.nodes_expanded % 64 == 0
-            and time.monotonic() > self._deadline
-        ):
-            raise _BudgetExpired
-
     def _build_strategy(
-        self, assignment: list[tuple[bool, bool]]
+        self, assignment: list[int]
     ) -> ActivationStrategy:
         activations: dict[tuple[ReplicaId, int], bool] = {}
         for depth, (c, pe) in enumerate(self._vars):
-            value = assignment[depth]
+            value = _VALUE_TUPLES[assignment[depth]]
             activations[(ReplicaId(pe, 0), c)] = value[0]
             activations[(ReplicaId(pe, 1), c)] = value[1]
         name = f"L{self._problem.ic_target:g}"
@@ -705,6 +878,7 @@ def ft_search(
     penalty_weight: Optional[float] = None,
     disabled_rules: frozenset = frozenset(),
     seed_incumbent: bool = False,
+    hungry_configs_first: bool = True,
 ) -> SearchResult:
     """Convenience wrapper: build and run an :class:`FTSearch`."""
     config = FTSearchConfig(
@@ -713,5 +887,6 @@ def ft_search(
         penalty_weight=penalty_weight,
         disabled_rules=frozenset(disabled_rules),
         seed_incumbent=seed_incumbent,
+        hungry_configs_first=hungry_configs_first,
     )
     return FTSearch(problem, config).run()

@@ -1,0 +1,618 @@
+"""The retained reference implementation of FT-Search.
+
+This is the original recursive, dict-keyed FT-Search core, kept verbatim
+as the behavioural oracle for the optimized iterative core in
+:mod:`repro.core.optimizer.ftsearch`. The two implementations must agree
+*exactly* — same outcome, best cost/IC, node and value counters, and
+per-rule prune statistics — which
+``tests/optimizer/test_ftsearch_equivalence.py`` asserts on seeded random
+instances and ``benchmarks/perf/bench_ftsearch.py`` uses to measure the
+speedup. Keep this module slow-but-obvious; performance work belongs in
+the fast core only.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+from repro.core.deployment import ReplicaId
+from repro.core.optimizer.ftsearch import FTSearchConfig, _BudgetExpired
+from repro.core.optimizer.outcomes import SearchOutcome, SearchResult
+from repro.core.optimizer.problem import OptimizationProblem
+from repro.core.optimizer.stats import PruneRule, SearchStats
+from repro.core.rates import RateTable
+from repro.core.strategy import ActivationStrategy
+from repro.errors import OptimizationError
+
+__all__ = ["ReferenceFTSearch"]
+
+# Domain values for one (PE, configuration) variable: activation states of
+# (replica 0, replica 1). The all-inactive state is excluded by Eq. 12.
+_BOTH = (True, True)
+_ONLY_0 = (True, False)
+_ONLY_1 = (False, True)
+
+_REL_EPS = 1e-9
+
+
+class ReferenceFTSearch:
+    """One reference FT-Search run over a fixed :class:`OptimizationProblem`."""
+
+    def __init__(
+        self,
+        problem: OptimizationProblem,
+        config: FTSearchConfig | None = None,
+    ) -> None:
+        if problem.deployment.replication_factor != 2:
+            raise OptimizationError(
+                "FT-Search only supports two-fold replication (k=2), got"
+                f" k={problem.deployment.replication_factor}"
+            )
+        self._problem = problem
+        self._config = config or FTSearchConfig()
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    # Static problem data
+    # ------------------------------------------------------------------
+
+    def _prepare(self) -> None:
+        deployment = self._problem.deployment
+        descriptor = deployment.descriptor
+        graph = descriptor.graph
+        space = descriptor.configuration_space
+        self._rate_table = RateTable(descriptor)
+
+        self._pes: tuple[str, ...] = graph.pes
+        self._pe_pos = {pe: i for i, pe in enumerate(self._pes)}
+        self._config_order: tuple[int, ...] = space.sorted_by_total_rate(
+            descending=self._config.hungry_configs_first
+        )
+        self._n_configs = len(space)
+        self._prob = [space[c].probability for c in range(self._n_configs)]
+
+        # Variable order: most resource-hungry configuration first, PEs in
+        # topological order within each configuration.
+        self._vars: list[tuple[int, str]] = [
+            (c, pe) for c in self._config_order for pe in self._pes
+        ]
+        self._depth_of = {var: d for d, var in enumerate(self._vars)}
+        self._n_vars = len(self._vars)
+
+        # Per-(PE, config) CPU load of one active replica, and hosts.
+        self._load = {
+            (pe, c): self._rate_table.replica_load(pe, c)
+            for pe in self._pes
+            for c in range(self._n_configs)
+        }
+        self._hosts = {
+            pe: (
+                deployment.host_of(ReplicaId(pe, 0)),
+                deployment.host_of(ReplicaId(pe, 1)),
+            )
+            for pe in self._pes
+        }
+        self._capacity = {
+            h.name: h.capacity for h in deployment.hosts
+        }
+
+        # Predecessor structure split by kind, with selectivities for the
+        # Delta-hat recursion and plain sums for the FIC integrand.
+        self._pe_preds: dict[str, list[tuple[str, float]]] = {}
+        self._source_inflow_sel: dict[tuple[str, int], float] = {}
+        self._source_inflow_sum: dict[tuple[str, int], float] = {}
+        self._pe_succs: dict[str, list[str]] = {pe: [] for pe in self._pes}
+        for pe in self._pes:
+            pe_preds: list[tuple[str, float]] = []
+            for edge in graph.pe_input_edges(pe):
+                selectivity = descriptor.selectivity(edge.tail, pe)
+                if edge.tail in self._pe_pos:
+                    pe_preds.append((edge.tail, selectivity))
+                    self._pe_succs[edge.tail].append(pe)
+                else:  # source predecessor: Delta-hat equals Delta
+                    for c in range(self._n_configs):
+                        key = (pe, c)
+                        rate = self._rate_table.rate(edge.tail, c)
+                        self._source_inflow_sel[key] = (
+                            self._source_inflow_sel.get(key, 0.0)
+                            + selectivity * rate
+                        )
+                        self._source_inflow_sum[key] = (
+                            self._source_inflow_sum.get(key, 0.0) + rate
+                        )
+            self._pe_preds[pe] = pe_preds
+        self._has_source_pred = {
+            pe: any(
+                self._source_inflow_sum.get((pe, c), 0.0) > 0.0
+                for c in range(self._n_configs)
+            )
+            for pe in self._pes
+        }
+
+        # BIC per configuration (probability-weighted) and in total.
+        self._bic_c = [
+            self._prob[c] * self._rate_table.total_pe_input_rate(c)
+            for c in range(self._n_configs)
+        ]
+        self._bic = sum(self._bic_c)
+        if self._bic <= 0:
+            raise OptimizationError(
+                "BIC is zero: the application processes no tuples, the IC"
+                " constraint is undefined"
+            )
+        self._fic_target = self._problem.ic_target * self._bic
+
+        # COST bound: minimum (single-replica) cost of each variable, with
+        # suffix sums over the variable order for O(1) lower bounds.
+        min_cost = [
+            self._prob[c] * self._load[(pe, c)] for (c, pe) in self._vars
+        ]
+        self._suffix_min_cost = [0.0] * (self._n_vars + 1)
+        for d in range(self._n_vars - 1, -1, -1):
+            self._suffix_min_cost[d] = (
+                self._suffix_min_cost[d + 1] + min_cost[d]
+            )
+
+        # BIC contribution of whole configurations ordered after a given
+        # position in the variable order (for the COMPL upper bound).
+        self._suffix_bic_by_config: list[float] = [0.0] * (
+            len(self._config_order) + 1
+        )
+        for i in range(len(self._config_order) - 1, -1, -1):
+            c = self._config_order[i]
+            self._suffix_bic_by_config[i] = (
+                self._suffix_bic_by_config[i + 1] + self._bic_c[c]
+            )
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        """Execute the search and classify the outcome."""
+        self._stats = SearchStats(depth=self._n_vars)
+        self._start = time.monotonic()
+        self._deadline = (
+            None
+            if self._config.time_limit is None
+            else self._start + self._config.time_limit
+        )
+        self._budget_expired = False
+
+        # Mutable search state.
+        self._assigned: list[Optional[tuple[bool, bool]]] = (
+            [None] * self._n_vars
+        )
+        self._delta_hat: list[float] = [0.0] * self._n_vars
+        self._host_load: dict[tuple[str, int], float] = {
+            (host, c): 0.0
+            for host in self._capacity
+            for c in range(self._n_configs)
+        }
+        self._dom_excluded: list[bool] = [False] * self._n_vars
+        self._fic_assigned = 0.0
+        self._cost_assigned = 0.0
+
+        self._best_cost = math.inf
+        self._best_objective = math.inf
+        self._best_assignment: Optional[list[tuple[bool, bool]]] = None
+        self._best_ic = 0.0
+        self._best_time: Optional[float] = None
+        self._first_cost: Optional[float] = None
+        self._first_time: Optional[float] = None
+
+        if self._config.seed_incumbent:
+            self._install_greedy_incumbent()
+
+        exhausted = True
+        try:
+            self._descend(0)
+        except _BudgetExpired:
+            exhausted = False
+
+        elapsed = time.monotonic() - self._start
+        strategy = None
+        if self._best_assignment is not None:
+            strategy = self._build_strategy(self._best_assignment)
+
+        if strategy is not None:
+            outcome = (
+                SearchOutcome.OPTIMAL if exhausted else SearchOutcome.FEASIBLE
+            )
+        else:
+            outcome = (
+                SearchOutcome.INFEASIBLE if exhausted else SearchOutcome.TIMEOUT
+            )
+        return SearchResult(
+            outcome=outcome,
+            strategy=strategy,
+            best_cost=self._best_cost if strategy is not None else math.inf,
+            best_ic=self._best_ic,
+            first_solution_cost=self._first_cost,
+            first_solution_time=self._first_time,
+            best_solution_time=self._best_time,
+            elapsed=elapsed,
+            stats=self._stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Incumbent seeding
+    # ------------------------------------------------------------------
+
+    def _install_greedy_incumbent(self) -> None:
+        """Try the greedy-deactivation strategy as an initial incumbent.
+
+        When the GRD strategy (CPU-feasible by construction) also happens
+        to satisfy the IC target, it becomes the starting best solution:
+        the search is anytime-safe from the first node and COST pruning
+        bites immediately. Failures are silently ignored — seeding is a
+        pure accelerator.
+        """
+        from repro.core.baselines import greedy_deactivation
+        from repro.core.cost import strategy_cost
+        from repro.core.ic import internal_completeness
+
+        try:
+            strategy = greedy_deactivation(
+                self._problem.deployment, self._rate_table
+            )
+        except OptimizationError:
+            return
+        ic = internal_completeness(
+            strategy, rate_table=self._rate_table
+        )
+        deficit = max(0.0, self._problem.ic_target - ic)
+        if self._config.penalty_weight is None and deficit > 0:
+            return
+        cost = strategy_cost(strategy, self._rate_table)
+        if self._config.penalty_weight is None:
+            objective = cost
+        else:
+            objective = cost + self._config.penalty_weight * deficit
+        self._best_cost = cost
+        self._best_objective = objective
+        self._best_ic = ic
+        self._best_assignment = [
+            (
+                strategy.is_active(ReplicaId(pe, 0), c),
+                strategy.is_active(ReplicaId(pe, 1), c),
+            )
+            for (c, pe) in self._vars
+        ]
+        self._best_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+
+    def _descend(self, depth: int) -> None:
+        if depth == self._n_vars:
+            self._record_solution()
+            return
+
+        self._stats.nodes_expanded += 1
+        self._check_budget()
+
+        c, pe = self._vars[depth]
+        height = self._n_vars - depth
+        penalty = self._config.penalty_weight
+        disabled = self._config.disabled_rules
+
+        for value in self._ordered_values(depth, c, pe):
+            self._stats.values_tried += 1
+            active_count = (1 if value[0] else 0) + (1 if value[1] else 0)
+
+            # --- CPU pruning (Eq. 11, strict inequality) -----------------
+            load = self._load[(pe, c)]
+            host0, host1 = self._hosts[pe]
+            if PruneRule.CPU not in disabled:
+                cpu_ok = True
+                if value[0] and (
+                    self._host_load[(host0, c)] + load
+                    >= self._capacity[host0] * (1 - _REL_EPS)
+                ):
+                    cpu_ok = False
+                if value[1] and (
+                    self._host_load[(host1, c)] + load
+                    >= self._capacity[host1] * (1 - _REL_EPS)
+                ):
+                    cpu_ok = False
+                if not cpu_ok:
+                    self._stats.record_prune(PruneRule.CPU, height)
+                    continue
+
+            # --- Delta-hat and FIC contribution of this value -----------
+            if value == _BOTH:
+                delta_hat = self._inflow_selectivity_weighted(depth, c, pe)
+                fic_contrib = self._prob[c] * self._inflow_plain(depth, c, pe)
+            else:
+                delta_hat = 0.0
+                fic_contrib = 0.0
+
+            # --- COMPL pruning (IC upper bound) --------------------------
+            compl_enabled = PruneRule.COMPLETENESS not in disabled
+            fic_upper = None
+            if penalty is not None or compl_enabled:
+                fic_upper = (
+                    self._fic_assigned
+                    + fic_contrib
+                    + self._fic_upper_bound_rest(depth, c, pe, delta_hat)
+                )
+            if penalty is None and compl_enabled:
+                if fic_upper < self._fic_target - _REL_EPS * self._bic:
+                    self._stats.record_prune(PruneRule.COMPLETENESS, height)
+                    continue
+
+            # --- COST pruning (cost lower bound) -------------------------
+            value_cost = self._prob[c] * load * active_count
+            if PruneRule.COST not in disabled:
+                cost_lower = (
+                    self._cost_assigned
+                    + value_cost
+                    + self._suffix_min_cost[depth + 1]
+                )
+                if penalty is None:
+                    bound = cost_lower
+                    best = self._best_cost
+                else:
+                    ic_upper = min(1.0, fic_upper / self._bic)
+                    deficit = max(0.0, self._problem.ic_target - ic_upper)
+                    bound = cost_lower + penalty * deficit
+                    best = self._best_objective
+                if bound >= best * (1 - _REL_EPS):
+                    self._stats.record_prune(PruneRule.COST, height)
+                    continue
+
+            # --- Accept the value, recurse, undo -------------------------
+            trail = self._apply(depth, c, pe, value, delta_hat, fic_contrib,
+                                value_cost)
+            self._descend(depth + 1)
+            self._undo(depth, c, pe, value, delta_hat, fic_contrib,
+                       value_cost, trail)
+
+    def _ordered_values(
+        self, depth: int, c: int, pe: str
+    ) -> list[tuple[bool, bool]]:
+        """Value ordering: "both active" first (maximizes IC headroom),
+        then the single replica whose host is currently less loaded.
+
+        Trying _BOTH first makes the first feasible solution behave like a
+        greedy maximal-replication strategy, which the CPU prune then
+        trims exactly where hosts saturate — the search reaches a feasible
+        leaf quickly, enabling COST pruning early (the anytime behaviour
+        Fig. 5 measures).
+        """
+        host0, host1 = self._hosts[pe]
+        load0 = self._host_load[(host0, c)]
+        load1 = self._host_load[(host1, c)]
+        singles = (
+            [_ONLY_0, _ONLY_1] if load0 <= load1 else [_ONLY_1, _ONLY_0]
+        )
+        if self._dom_excluded[depth]:
+            return singles
+        return [_BOTH] + singles
+
+    # ------------------------------------------------------------------
+    # Incremental bookkeeping
+    # ------------------------------------------------------------------
+
+    def _inflow_selectivity_weighted(
+        self, depth: int, c: int, pe: str
+    ) -> float:
+        """sum_j delta(x_j, pe) * Delta-hat(x_j, c) over assigned preds."""
+        total = self._source_inflow_sel.get((pe, c), 0.0)
+        for pred, selectivity in self._pe_preds[pe]:
+            total += selectivity * self._delta_hat[self._depth_of[(c, pred)]]
+        return total
+
+    def _inflow_plain(self, depth: int, c: int, pe: str) -> float:
+        """sum_j Delta-hat(x_j, c) over predecessors (FIC integrand)."""
+        total = self._source_inflow_sum.get((pe, c), 0.0)
+        for pred, _ in self._pe_preds[pe]:
+            total += self._delta_hat[self._depth_of[(c, pred)]]
+        return total
+
+    def _fic_upper_bound_rest(
+        self, depth: int, c: int, pe: str, delta_hat_here: float
+    ) -> float:
+        """Maximum FIC the variables after ``depth`` could still add.
+
+        For the rest of the current configuration, walk the remaining PEs
+        in topological order assuming full replication (phi = 1) except
+        where DOM has excluded it; whole configurations not yet started
+        contribute their full BIC share. Activations only ever reduce
+        Delta-hat, so this is a sound upper bound.
+        """
+        position_in_config = self._pe_pos[pe]
+        config_position = depth // len(self._pes)
+
+        upper: dict[str, float] = {}
+        total = 0.0
+        for pos in range(position_in_config + 1, len(self._pes)):
+            rest_pe = self._pes[pos]
+            var_depth = self._depth_of[(c, rest_pe)]
+            if self._dom_excluded[var_depth]:
+                upper[rest_pe] = 0.0
+                continue
+            inflow_sel = self._source_inflow_sel.get((rest_pe, c), 0.0)
+            inflow_sum = self._source_inflow_sum.get((rest_pe, c), 0.0)
+            for pred, selectivity in self._pe_preds[rest_pe]:
+                if pred == pe:
+                    value = delta_hat_here
+                elif pred in upper:
+                    value = upper[pred]
+                else:
+                    value = self._delta_hat[self._depth_of[(c, pred)]]
+                inflow_sel += selectivity * value
+                inflow_sum += value
+            upper[rest_pe] = inflow_sel
+            total += self._prob[c] * inflow_sum
+
+        # Configurations wholly after the current one in exploration order.
+        total += self._suffix_bic_by_config[config_position + 1]
+        return total
+
+    def _apply(
+        self,
+        depth: int,
+        c: int,
+        pe: str,
+        value: tuple[bool, bool],
+        delta_hat: float,
+        fic_contrib: float,
+        value_cost: float,
+    ) -> list[int]:
+        self._assigned[depth] = value
+        self._delta_hat[depth] = delta_hat
+        load = self._load[(pe, c)]
+        host0, host1 = self._hosts[pe]
+        if value[0]:
+            self._host_load[(host0, c)] += load
+        if value[1]:
+            self._host_load[(host1, c)] += load
+        self._fic_assigned += fic_contrib
+        self._cost_assigned += value_cost
+
+        trail: list[int] = []
+        if delta_hat == 0.0 and (
+            PruneRule.DOMAIN not in self._config.disabled_rules
+        ):
+            self._propagate_domain(c, pe, trail)
+        return trail
+
+    def _undo(
+        self,
+        depth: int,
+        c: int,
+        pe: str,
+        value: tuple[bool, bool],
+        delta_hat: float,
+        fic_contrib: float,
+        value_cost: float,
+        trail: list[int],
+    ) -> None:
+        for excluded_depth in trail:
+            self._dom_excluded[excluded_depth] = False
+        load = self._load[(pe, c)]
+        host0, host1 = self._hosts[pe]
+        if value[0]:
+            self._host_load[(host0, c)] -= load
+        if value[1]:
+            self._host_load[(host1, c)] -= load
+        self._fic_assigned -= fic_contrib
+        self._cost_assigned -= value_cost
+        self._assigned[depth] = None
+        self._delta_hat[depth] = 0.0
+
+    def _propagate_domain(self, c: int, pe: str, trail: list[int]) -> None:
+        """Forward domain propagation (DOM, Sec. 4.5).
+
+        ``pe`` just became dead in configuration ``c`` (its Delta-hat is
+        zero under the pessimistic model). For every successor whose
+        predecessors are now *all* incapable of delivering tuples in
+        ``c``, full replication cannot improve IC ("no replication
+        forwarding"), so remove the "both active" value from its domain;
+        recurse, because the exclusion makes the successor dead as well.
+        """
+        for succ in self._pe_succs[pe]:
+            var_depth = self._depth_of[(c, succ)]
+            if self._assigned[var_depth] is not None:
+                continue
+            if self._dom_excluded[var_depth]:
+                continue
+            if self._has_source_pred[succ] and (
+                self._source_inflow_sum.get((succ, c), 0.0) > 0.0
+            ):
+                continue
+            dead = True
+            for pred, _ in self._pe_preds[succ]:
+                pred_depth = self._depth_of[(c, pred)]
+                pred_value = self._assigned[pred_depth]
+                if pred_value is None:
+                    if not self._dom_excluded[pred_depth]:
+                        dead = False
+                        break
+                elif self._delta_hat[pred_depth] > 0.0:
+                    dead = False
+                    break
+            if not dead:
+                continue
+            self._dom_excluded[var_depth] = True
+            trail.append(var_depth)
+            self._stats.record_prune(
+                PruneRule.DOMAIN, self._n_vars - var_depth
+            )
+            self._propagate_domain(c, succ, trail)
+
+    # ------------------------------------------------------------------
+    # Solutions and budget
+    # ------------------------------------------------------------------
+
+    def _record_solution(self) -> None:
+        disabled = self._config.disabled_rules
+        # With pruning rules disabled, the constraints they enforced
+        # during descent must hold at the leaf instead.
+        if PruneRule.CPU in disabled:
+            for (host, _), load in self._host_load.items():
+                if load >= self._capacity[host] * (1 - _REL_EPS):
+                    return
+        if (
+            PruneRule.COMPLETENESS in disabled
+            and self._config.penalty_weight is None
+            and self._fic_assigned < self._fic_target - _REL_EPS * self._bic
+        ):
+            return
+
+        # Clamp float residue from the incremental +=/-= bookkeeping.
+        ic = max(0.0, self._fic_assigned / self._bic)
+        cost = self._cost_assigned
+        if self._config.penalty_weight is None:
+            objective = cost
+        else:
+            deficit = max(0.0, self._problem.ic_target - ic)
+            objective = cost + self._config.penalty_weight * deficit
+
+        self._stats.solutions_found += 1
+        now = time.monotonic() - self._start
+        if self._first_cost is None:
+            self._first_cost = cost
+            self._first_time = now
+        if objective < self._best_objective * (1 - _REL_EPS) or (
+            self._best_assignment is None
+        ):
+            self._best_objective = objective
+            self._best_cost = cost
+            self._best_ic = ic
+            self._best_assignment = [
+                value for value in self._assigned if value is not None
+            ]
+            self._best_time = now
+
+    def _check_budget(self) -> None:
+        if (
+            self._config.node_limit is not None
+            and self._stats.nodes_expanded > self._config.node_limit
+        ):
+            raise _BudgetExpired
+        if self._deadline is not None and (
+            self._stats.nodes_expanded % 64 == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise _BudgetExpired
+
+    def _build_strategy(
+        self, assignment: list[tuple[bool, bool]]
+    ) -> ActivationStrategy:
+        activations: dict[tuple[ReplicaId, int], bool] = {}
+        for depth, (c, pe) in enumerate(self._vars):
+            value = assignment[depth]
+            activations[(ReplicaId(pe, 0), c)] = value[0]
+            activations[(ReplicaId(pe, 1), c)] = value[1]
+        name = f"L{self._problem.ic_target:g}"
+        return ActivationStrategy(
+            self._problem.deployment, activations, name=name
+        )
+
+

@@ -30,19 +30,31 @@ _fig3_cache: dict[float, Fig3Data] = {}
 
 def get_cluster_results(
     scale: Optional[ExperimentScale] = None,
+    jobs: Optional[int] = None,
 ) -> ClusterResults:
-    """The cluster experiment grid for ``scale``, memoised per process."""
+    """The cluster experiment grid for ``scale``, memoised per process.
+
+    ``jobs`` only controls how a cache miss is computed (process-pool
+    fan-out, see :mod:`repro.experiments.parallel`); results are
+    identical for every worker count, so it is not part of the key.
+    """
     scale = scale or ExperimentScale.from_env()
     if scale not in _cluster_cache:
-        _cluster_cache[scale] = run_cluster_experiment(scale)
+        _cluster_cache[scale] = run_cluster_experiment(scale, jobs=jobs)
     return _cluster_cache[scale]
 
 
-def get_study_results(scale: Optional[StudyScale] = None) -> StudyResults:
-    """The FT-Search study for ``scale``, memoised per process."""
+def get_study_results(
+    scale: Optional[StudyScale] = None,
+    jobs: Optional[int] = None,
+) -> StudyResults:
+    """The FT-Search study for ``scale``, memoised per process.
+
+    ``jobs`` is a compute knob only, like in :func:`get_cluster_results`.
+    """
     scale = scale or StudyScale.from_env()
     if scale not in _study_cache:
-        _study_cache[scale] = run_ftsearch_study(scale)
+        _study_cache[scale] = run_ftsearch_study(scale, jobs=jobs)
     return _study_cache[scale]
 
 

@@ -30,6 +30,7 @@ from repro.dsps.failures import (
 from repro.dsps.platform import PlatformConfig
 from repro.dsps.traces import two_level_trace
 from repro.errors import ExperimentError
+from repro.experiments.parallel import run_tasks
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.variants import VariantSet, build_variants
 from repro.laar.middleware import ExtendedApplication, MiddlewareConfig
@@ -146,6 +147,25 @@ class ClusterResults:
         ]
 
 
+def _run_seed(
+    scale: ExperimentScale, app_seed: int, variant: str, mode: FailureMode
+) -> int:
+    """The explicit per-run RNG seed (host-crash planning).
+
+    Derived from static task keys only, never from shared RNG state, so
+    a run draws the same crash plan whether it executes serially or on
+    any worker of the process pool.
+    """
+    variant_part = sum(ord(ch) * 31 ** i for i, ch in enumerate(variant))
+    mode_part = list(FailureMode).index(mode)
+    return (
+        (scale.base_seed + 101) * 1_000_003
+        + app_seed * 7919
+        + variant_part * 13
+        + mode_part
+    )
+
+
 def _run_one(
     variants: VariantSet,
     variant: str,
@@ -211,52 +231,74 @@ def _run_one(
     )
 
 
+def _variant_task(
+    task: tuple[GeneratedApplication, tuple[float, ...], float],
+) -> Optional[VariantSet]:
+    """Pool worker: build one application's variant set (None = skip)."""
+    app, ic_targets, time_limit = task
+    try:
+        return build_variants(
+            app, ic_targets=ic_targets, time_limit=time_limit
+        )
+    except ExperimentError:
+        return None
+
+
+def _run_task(
+    task: tuple[VariantSet, str, FailureMode, ExperimentScale, int],
+) -> RunResult:
+    """Pool worker: one (application, variant, failure-mode) run."""
+    variants, variant, mode, scale, seed = task
+    return _run_one(variants, variant, mode, scale, random.Random(seed))
+
+
 def run_cluster_experiment(
     scale: Optional[ExperimentScale] = None,
     corpus: Optional[list[GeneratedApplication]] = None,
+    jobs: Optional[int] = None,
 ) -> ClusterResults:
     """Run the full Sec. 5.3 experiment grid.
 
     Applications whose variants cannot be built (FT-Search budget too
     small for a feasible strategy) are skipped, like failed deployments
     in the paper's corpus.
+
+    ``jobs`` fans the grid out over a process pool (two phases: variant
+    construction per application, then one task per (application,
+    variant, failure-mode) run); results are independent of the worker
+    count — see :mod:`repro.experiments.parallel` for the resolution
+    order of ``jobs`` / ``REPRO_JOBS``.
     """
     scale = scale or ExperimentScale.from_env()
     if corpus is None:
         corpus = generate_corpus(scale.corpus_size, scale.base_seed)
 
-    rows: list[RunResult] = []
+    built = run_tasks(
+        _variant_task,
+        [(app, scale.ic_targets, scale.ft_time_limit) for app in corpus],
+        jobs=jobs,
+    )
+
+    tasks: list[tuple[VariantSet, str, FailureMode, ExperimentScale, int]] = []
     variant_names: tuple[str, ...] = ()
-    crash_rng = random.Random(scale.base_seed + 101)
     usable = 0
-    for index, app in enumerate(corpus):
-        try:
-            variants = build_variants(
-                app,
-                ic_targets=scale.ic_targets,
-                time_limit=scale.ft_time_limit,
-            )
-        except ExperimentError:
+    for variants in built:
+        if variants is None:
             continue
         usable += 1
         variant_names = variants.names
-        run_crash = usable <= scale.crash_corpus_size
+        # Like the paper's 40-app crash subset: the first
+        # crash_corpus_size usable applications, in corpus order.
+        modes = [FailureMode.BEST, FailureMode.WORST]
+        if usable <= scale.crash_corpus_size:
+            modes.append(FailureMode.CRASH)
         for variant in variants.names:
-            rows.append(
-                _run_one(variants, variant, FailureMode.BEST, scale,
-                         crash_rng)
-            )
-            rows.append(
-                _run_one(variants, variant, FailureMode.WORST, scale,
-                         crash_rng)
-            )
-            if run_crash:
-                rows.append(
-                    _run_one(variants, variant, FailureMode.CRASH, scale,
-                             crash_rng)
-                )
-    if not rows:
+            for mode in modes:
+                seed = _run_seed(scale, variants.app.seed, variant, mode)
+                tasks.append((variants, variant, mode, scale, seed))
+    if not tasks:
         raise ExperimentError(
             "no application in the corpus produced a full variant set"
         )
+    rows = run_tasks(_run_task, tasks, jobs=jobs)
     return ClusterResults(scale, variant_names, rows)

@@ -31,6 +31,7 @@ from repro.core.optimizer import (
     ft_search,
 )
 from repro.errors import DeploymentError, WorkloadError
+from repro.experiments.parallel import resolve_jobs, run_tasks
 from repro.experiments.scale import StudyScale
 from repro.workloads.generator import (
     ClusterParams,
@@ -127,26 +128,54 @@ def _study_instance(
         return None
 
 
+def _instance_task(
+    task: tuple[int, StudyScale],
+) -> Optional[list[StudyRun]]:
+    """Pool worker: one study instance — generate it (None when the seed
+    defeats the placement) and run FT-Search for every IC target."""
+    seed, scale = task
+    app = _study_instance(seed, scale)
+    if app is None:
+        return None
+    runs = []
+    for target in scale.ic_targets:
+        result = ft_search(
+            OptimizationProblem(app.deployment, ic_target=target),
+            time_limit=scale.time_limit,
+        )
+        runs.append(_to_run(app, target, result))
+    return runs
+
+
 def run_ftsearch_study(
     scale: Optional[StudyScale] = None,
+    jobs: Optional[int] = None,
 ) -> StudyResults:
-    """Run the full Fig. 4-6 study grid."""
+    """Run the full Fig. 4-6 study grid.
+
+    ``jobs`` fans instances out over a process pool (one task per
+    instance; see :mod:`repro.experiments.parallel`). Seeds are scanned
+    in ascending waves and results merged in seed order, so the set of
+    instances — the first ``scale.instances`` viable seeds — is the same
+    for every worker count; only wall-clock-derived fields (``elapsed``
+    and the time ratios) can differ between runs.
+    """
     scale = scale or StudyScale.from_env()
+    n_jobs = resolve_jobs(jobs)
+    wave = max(2 * n_jobs, 8) if n_jobs > 1 else 1
     runs: list[StudyRun] = []
     produced = 0
     seed = scale.base_seed
     while produced < scale.instances:
-        app = _study_instance(seed, scale)
-        seed += 1
-        if app is None:
-            continue
-        produced += 1
-        for target in scale.ic_targets:
-            result = ft_search(
-                OptimizationProblem(app.deployment, ic_target=target),
-                time_limit=scale.time_limit,
-            )
-            runs.append(_to_run(app, target, result))
+        tasks = [(s, scale) for s in range(seed, seed + wave)]
+        seed += wave
+        for instance_runs in run_tasks(_instance_task, tasks, jobs=n_jobs):
+            if instance_runs is None:
+                continue
+            produced += 1
+            runs.extend(instance_runs)
+            if produced == scale.instances:
+                break
     return StudyResults(scale, runs)
 
 

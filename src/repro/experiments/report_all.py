@@ -39,14 +39,19 @@ def generate_report(
     path: Optional[str | Path] = None,
     cluster_scale: Optional[ExperimentScale] = None,
     study_scale: Optional[StudyScale] = None,
+    jobs: Optional[int] = None,
 ) -> str:
-    """Render every figure into one report; optionally write it to a file."""
+    """Render every figure into one report; optionally write it to a file.
+
+    ``jobs`` fans the underlying experiment grids out over a process
+    pool on cache misses (see :mod:`repro.experiments.parallel`).
+    """
     cluster_scale = cluster_scale or ExperimentScale.from_env()
     study_scale = study_scale or StudyScale.from_env()
 
     fig3 = get_fig3_data()
-    study = get_study_results(study_scale)
-    cluster = get_cluster_results(cluster_scale)
+    study = get_study_results(study_scale, jobs=jobs)
+    cluster = get_cluster_results(cluster_scale, jobs=jobs)
 
     sections = [
         _HEADER.format(

@@ -13,7 +13,11 @@ REPRO_TRACE_SECONDS     input trace length
 REPRO_FT_TIME_LIMIT     FT-Search budget per (app, IC target)
 REPRO_STUDY_SIZE        instances in the FT-Search study
 REPRO_STUDY_TIME_LIMIT  FT-Search budget per study instance
+REPRO_JOBS              worker processes for the grids (1 = serial)
 ======================  =======================================
+
+``REPRO_JOBS`` is read by :mod:`repro.experiments.parallel` (not here:
+it is a compute knob, not part of a scale value or any cache key).
 """
 
 from __future__ import annotations

@@ -150,6 +150,7 @@ class Environment:
         self._queue: list[tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._events_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -157,7 +158,13 @@ class Environment:
 
     @property
     def events_processed(self) -> int:
+        """Events whose callback actually ran (cancelled ones excluded)."""
         return self._events_processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Cancelled events discarded from the queue so far."""
+        return self._events_cancelled
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -196,12 +203,13 @@ class Environment:
                 f"cannot run until {until}, already at {self._now}"
             )
         while self._queue:
+            self._purge_cancelled()
+            if not self._queue:
+                break
             time, _, handle = self._queue[0]
             if until is not None and time > until:
                 break
             heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
             if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue went back in time")
             self._now = time
@@ -212,6 +220,12 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next pending event (inf when idle)."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+        self._purge_cancelled()
         return self._queue[0][0] if self._queue else math.inf
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled events from the head of the queue lazily."""
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._events_cancelled += 1

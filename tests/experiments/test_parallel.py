@@ -1,0 +1,149 @@
+"""The process-parallel experiment fabric: knob resolution and the
+serial/parallel bit-identity contract.
+
+The determinism tests pin a corpus of small applications whose
+FT-Search runs exhaust their search spaces well inside the time budget:
+an anytime search truncated by wall clock is inherently
+timing-dependent, so bit-identity is only a meaningful contract for
+runs whose budgets never bind. Wall-clock-derived fields (``elapsed``,
+the time ratios) are excluded for the same reason.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cluster import run_cluster_experiment
+from repro.experiments.ftsearch_study import run_ftsearch_study
+from repro.experiments.parallel import resolve_jobs, run_tasks
+from repro.experiments.scale import ExperimentScale, StudyScale
+from repro.workloads.generator import (
+    ClusterParams,
+    GeneratorParams,
+    generate_corpus,
+)
+
+
+# ----------------------------------------------------------------------
+# resolve_jobs
+# ----------------------------------------------------------------------
+
+def test_explicit_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert resolve_jobs(3) == 3
+
+
+def test_env_variable_used_when_no_argument(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+
+
+def test_defaults_to_cpu_count(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == (os.cpu_count() or 1)
+
+
+def test_junk_env_value_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ExperimentError):
+        resolve_jobs()
+
+
+@pytest.mark.parametrize("jobs", (0, -2))
+def test_non_positive_jobs_rejected(jobs):
+    with pytest.raises(ExperimentError):
+        resolve_jobs(jobs)
+
+
+# ----------------------------------------------------------------------
+# run_tasks
+# ----------------------------------------------------------------------
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def test_serial_path_preserves_order():
+    assert run_tasks(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+
+def test_pool_preserves_order():
+    tasks = list(range(20))
+    assert run_tasks(_square, tasks, jobs=4) == [x * x for x in tasks]
+
+
+def test_single_task_stays_in_process():
+    # Local closures are unpicklable: this only passes on the in-process
+    # path, which run_tasks must take for a single task.
+    marker = []
+
+    def worker(x):
+        marker.append(x)
+        return x
+
+    assert run_tasks(worker, [42], jobs=8) == [42]
+    assert marker == [42]
+
+
+# ----------------------------------------------------------------------
+# Serial / parallel bit-identity
+# ----------------------------------------------------------------------
+
+#: Small enough that every FT-Search run exhausts its space (BST/NUL)
+#: far inside the budget — see the module docstring.
+_TINY = ExperimentScale(
+    corpus_size=2,
+    crash_corpus_size=1,
+    trace_seconds=8.0,
+    ft_time_limit=5.0,
+)
+
+
+def _tiny_corpus():
+    return generate_corpus(
+        _TINY.corpus_size,
+        _TINY.base_seed,
+        params=GeneratorParams(n_pes=6, tuple_budget=2000.0),
+        cluster=ClusterParams(n_hosts=3, cores_per_host=4),
+    )
+
+
+def test_cluster_experiment_bit_identical_across_jobs():
+    corpus = _tiny_corpus()
+    serial = run_cluster_experiment(_TINY, corpus=corpus, jobs=1)
+    parallel = run_cluster_experiment(_TINY, corpus=corpus, jobs=4)
+
+    assert serial.variant_names == parallel.variant_names
+    assert set(serial._rows) == set(parallel._rows)
+    for key, row in serial._rows.items():
+        # RunResult is a frozen dataclass of scalars: == is bit-identity.
+        assert parallel._rows[key] == row
+
+
+def test_ftsearch_study_deterministic_fields_identical_across_jobs():
+    scale = StudyScale(instances=4, ic_targets=(0.5, 0.7), time_limit=5.0)
+    serial = run_ftsearch_study(scale, jobs=1)
+    parallel = run_ftsearch_study(scale, jobs=4)
+
+    assert len(serial.runs) == len(parallel.runs)
+    for a, b in zip(serial.runs, parallel.runs):
+        assert (a.app, a.n_hosts, a.n_pes, a.ic_target) == (
+            b.app, b.n_hosts, b.n_pes, b.ic_target
+        )
+        # Searches at this scale exhaust (BST/NUL), so everything but
+        # the wall-clock fields must match bit-for-bit.
+        assert a.outcome is b.outcome
+        assert a.best_cost == b.best_cost
+        assert a.cost_ratio == b.cost_ratio
+        assert a.stats == b.stats
+
+
+def test_jobs_env_reaches_the_grid(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    corpus = _tiny_corpus()
+    via_env = run_cluster_experiment(_TINY, corpus=corpus)
+    explicit = run_cluster_experiment(_TINY, corpus=corpus, jobs=1)
+    assert via_env._rows == explicit._rows

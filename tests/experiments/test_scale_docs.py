@@ -21,6 +21,7 @@ ENV_KNOBS = (
     "REPRO_FT_TIME_LIMIT",
     "REPRO_STUDY_SIZE",
     "REPRO_STUDY_TIME_LIMIT",
+    "REPRO_JOBS",
 )
 
 
@@ -34,6 +35,13 @@ def test_every_knob_is_documented_in_the_module(knob):
 @pytest.mark.parametrize("knob", ENV_KNOBS)
 def test_every_knob_is_actually_read(knob, monkeypatch):
     """Setting the variable must change the corresponding scale field."""
+    if knob == "REPRO_JOBS":
+        # Not a scale field: read by the parallel fabric instead.
+        from repro.experiments.parallel import resolve_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        return
     values = {
         "REPRO_CORPUS_SIZE": ("corpus_size", "7", 7, ExperimentScale),
         "REPRO_CRASH_CORPUS": ("crash_corpus_size", "2", 2, ExperimentScale),

@@ -1,0 +1,133 @@
+"""Property test: the fast FT-Search core is behaviour-identical to the
+reference implementation.
+
+The optimised core (:class:`repro.core.optimizer.ftsearch.FTSearch`)
+replaces the reference's dict lookups with flat integer-indexed arrays
+and its recursion with an iterative loop, but it must remain an exact
+re-expression of the same search: identical outcomes, identical best
+cost/IC (bit-for-bit — the float operation order is preserved), and
+identical node / value / prune counters, so the Fig. 4-6 statistics are
+unchanged. This module checks that over a corpus of seeded random
+instances, including runs with each pruning rule disabled.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.optimizer import (
+    FTSearch,
+    FTSearchConfig,
+    OptimizationProblem,
+    PruneRule,
+    ReferenceFTSearch,
+)
+from tests.support import random_deployment, random_descriptor
+
+#: Seeds 0..N-1 drive instance generation; every seed is its own test id
+#: so a divergence names the instance that produced it.
+N_INSTANCES = 50
+
+
+def _problem(seed: int) -> OptimizationProblem:
+    rng = random.Random(seed)
+    descriptor = random_descriptor(
+        rng,
+        n_pes=rng.randint(3, 5),
+        n_configs=rng.choice((2, 2, 3)),
+        max_extra_edges=3,
+    )
+    deployment = random_deployment(
+        rng, descriptor, n_hosts=rng.randint(2, 3),
+        headroom=rng.uniform(0.9, 1.4),
+    )
+    return OptimizationProblem(
+        deployment, ic_target=rng.choice((0.3, 0.5, 0.6, 0.7, 0.9))
+    )
+
+
+def _activation_matrix(strategy):
+    if strategy is None:
+        return None
+    n_configs = len(strategy.deployment.descriptor.configuration_space)
+    return tuple(
+        tuple(sorted(strategy.active_map(c).items()))
+        for c in range(n_configs)
+    )
+
+
+def assert_equivalent(problem: OptimizationProblem, config: FTSearchConfig):
+    fast = FTSearch(problem, config).run()
+    ref = ReferenceFTSearch(problem, config).run()
+
+    assert fast.outcome is ref.outcome
+    # Bit-for-bit: the fast core preserves the reference's float
+    # operation order, so == (not approx) is the contract.
+    assert fast.best_cost == ref.best_cost
+    assert fast.best_ic == ref.best_ic
+    assert fast.first_solution_cost == ref.first_solution_cost
+    assert _activation_matrix(fast.strategy) == _activation_matrix(
+        ref.strategy
+    )
+
+    assert fast.stats.nodes_expanded == ref.stats.nodes_expanded
+    assert fast.stats.values_tried == ref.stats.values_tried
+    assert fast.stats.solutions_found == ref.stats.solutions_found
+    assert fast.stats.depth == ref.stats.depth
+    for rule in PruneRule:
+        assert fast.stats.prune_counts[rule] == ref.stats.prune_counts[rule]
+        assert (
+            fast.stats.prune_height_sums[rule]
+            == ref.stats.prune_height_sums[rule]
+        )
+
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_equivalent_on_random_instances(seed):
+    assert_equivalent(_problem(seed), FTSearchConfig(time_limit=None))
+
+
+@pytest.mark.parametrize("rule", list(PruneRule))
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 7))
+def test_equivalent_with_rule_disabled(seed, rule):
+    config = FTSearchConfig(
+        time_limit=None, disabled_rules=frozenset({rule})
+    )
+    assert_equivalent(_problem(seed), config)
+
+
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 11))
+def test_equivalent_with_all_rules_disabled(seed):
+    config = FTSearchConfig(
+        time_limit=None, disabled_rules=frozenset(PruneRule)
+    )
+    assert_equivalent(_problem(seed), config)
+
+
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 11))
+def test_equivalent_in_penalty_mode(seed):
+    config = FTSearchConfig(time_limit=None, penalty_weight=1.0e8)
+    assert_equivalent(_problem(seed), config)
+
+
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 11))
+def test_equivalent_with_seed_incumbent(seed):
+    config = FTSearchConfig(time_limit=None, seed_incumbent=True)
+    assert_equivalent(_problem(seed), config)
+
+
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 11))
+def test_equivalent_without_hungry_order(seed):
+    config = FTSearchConfig(time_limit=None, hungry_configs_first=False)
+    assert_equivalent(_problem(seed), config)
+
+
+@pytest.mark.parametrize("seed", range(0, N_INSTANCES, 17))
+@pytest.mark.parametrize("node_limit", (1, 37, 500))
+def test_equivalent_under_node_budget(seed, node_limit):
+    """Truncated searches must stop at the same node with the same
+    partial statistics (the anytime contract)."""
+    config = FTSearchConfig(time_limit=None, node_limit=node_limit)
+    assert_equivalent(_problem(seed), config)

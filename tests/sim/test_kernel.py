@@ -103,6 +103,23 @@ class TestScheduling:
         handle.cancel()
         assert env.peek() == math.inf
 
+    def test_cancelled_events_counted_separately(self):
+        env = Environment()
+        kept = env.schedule(1.0, lambda: None)
+        for _ in range(3):
+            env.schedule(2.0, lambda: None).cancel()
+        env.run()
+        assert kept.cancelled is False
+        assert env.events_processed == 1
+        assert env.events_cancelled == 3
+
+    def test_peek_purge_counts_cancelled(self):
+        env = Environment()
+        env.schedule(1.0, lambda: None).cancel()
+        assert env.peek() == math.inf
+        assert env.events_cancelled == 1
+        assert env.events_processed == 0
+
 
 class TestProcesses:
     def test_timeout_yields_advance_clock(self):
