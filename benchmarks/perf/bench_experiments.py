@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.cluster import run_cluster_experiment
+from repro.experiments.parallel import FabricProfile
 from repro.experiments.scale import ExperimentScale
 from repro.workloads.generator import (
     ClusterParams,
@@ -72,8 +73,11 @@ def main() -> int:
     serial = run_cluster_experiment(scale, corpus=corpus, jobs=1)
     serial_time = time.perf_counter() - start
 
+    fabric = FabricProfile(label="cluster-grid")
     start = time.perf_counter()
-    parallel = run_cluster_experiment(scale, corpus=corpus, jobs=jobs)
+    parallel = run_cluster_experiment(
+        scale, corpus=corpus, jobs=jobs, profile=fabric
+    )
     parallel_time = time.perf_counter() - start
 
     identical = serial._rows == parallel._rows
@@ -87,6 +91,7 @@ def main() -> int:
         "parallel_seconds": round(parallel_time, 2),
         "speedup": round(serial_time / parallel_time, 2),
         "bit_identical": identical,
+        "fabric": fabric.summary(),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -26,6 +26,7 @@ from repro.core.optimizer import (
     OptimizationProblem,
     ReferenceFTSearch,
 )
+from repro.obs.progress import SearchProgress
 from repro.workloads.generator import (
     ClusterParams,
     GeneratorParams,
@@ -84,6 +85,18 @@ def main() -> int:
     ref_time, ref_nodes = _time_engine(ReferenceFTSearch, problem, rounds)
     assert fast_nodes == ref_nodes, "engines diverged — run the equivalence tests"
 
+    # A separate instrumented run (outside the timing loops): progress
+    # snapshots every N nodes, checked bit-identical across the engines.
+    every = max(1, fast_nodes // 8)
+    config = FTSearchConfig(time_limit=None)
+    fast_progress = SearchProgress(every=every)
+    ref_progress = SearchProgress(every=every)
+    FTSearch(problem, config, progress=fast_progress).run()
+    ReferenceFTSearch(problem, config, progress=ref_progress).run()
+    assert fast_progress.to_list() == ref_progress.to_list(), (
+        "progress snapshot series diverged between engines"
+    )
+
     report = {
         "instance": spec,
         "mode": "smoke" if args.smoke else "full",
@@ -94,6 +107,8 @@ def main() -> int:
         "fast_nodes_per_sec": round(fast_nodes / fast_time),
         "reference_nodes_per_sec": round(ref_nodes / ref_time),
         "speedup": round(ref_time / fast_time, 2),
+        "progress_every": every,
+        "progress_snapshots": fast_progress.to_list(),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -1,0 +1,90 @@
+"""Telemetry overhead guard: the default-on hot paths must stay cheap.
+
+Telemetry is on for every simulation run, so its hot paths — one
+``EventLog.emit`` per runtime occurrence, one counter bump per metric —
+must be negligible next to the simulation work around them. This
+benchmark times both paths in isolation and fails (exit 1) if the
+per-operation cost exceeds the budget, so a regression shows up as a
+red CI job instead of silently slowed experiments.
+
+Writes ``BENCH_obs.json`` next to this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.obs import EventLog, MetricsRegistry
+
+OUT_PATH = Path(__file__).parent / "BENCH_obs.json"
+
+#: Per-operation budgets in microseconds. Generous: the emit path
+#: measures ~1-3 us on commodity hardware; the budget only catches
+#: order-of-magnitude regressions (accidental formatting or I/O on the
+#: hot path), not micro-variance between machines.
+EMIT_BUDGET_US = 25.0
+COUNTER_BUDGET_US = 25.0
+
+
+def _time_emits(n: int) -> float:
+    """Mean microseconds per ``EventLog.emit`` over ``n`` events."""
+    clock_value = [0.0]
+    log = EventLog(clock=lambda: clock_value[0], maxlen=4096)
+    start = time.perf_counter()
+    for i in range(n):
+        log.emit("tuple.drop", replica="pe3#1", port="pe2", primary=True)
+    elapsed = time.perf_counter() - start
+    assert log.emitted == n
+    return elapsed / n * 1e6
+
+
+def _time_counters(n: int) -> float:
+    """Mean microseconds per labeled counter increment over ``n``."""
+    counter = MetricsRegistry().counter("tuples.dropped")
+    start = time.perf_counter()
+    for _ in range(n):
+        counter.inc(replica="pe3#1")
+    elapsed = time.perf_counter() - start
+    assert counter.total() == n
+    return elapsed / n * 1e6
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer iterations: CI sanity check only",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args()
+
+    n = 20_000 if args.smoke else 200_000
+    emit_us = min(_time_emits(n) for _ in range(args.rounds))
+    counter_us = min(_time_counters(n) for _ in range(args.rounds))
+
+    ok = emit_us <= EMIT_BUDGET_US and counter_us <= COUNTER_BUDGET_US
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "events": n,
+        "rounds": args.rounds,
+        "emit_us": round(emit_us, 3),
+        "emit_budget_us": EMIT_BUDGET_US,
+        "counter_inc_us": round(counter_us, 3),
+        "counter_budget_us": COUNTER_BUDGET_US,
+        "within_budget": ok,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"written to {OUT_PATH}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

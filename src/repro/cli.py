@@ -9,7 +9,13 @@ deployment, and the source rates:
     python -m repro evaluate app.json --strategy strategy.json
     python -m repro simulate app.json --strategy strategy.json \
         --duration 60 --failure worst
+    python -m repro obs app.json --ic 0.5 --out-dir obs-run
     python -m repro experiment fig3
+
+``obs`` runs the telemetry workflow (docs/observability.md): one
+observed simulation per failure mode, canonical JSONL event streams,
+and a rendered report with the switch timeline, failover windows, top
+droppers, FT-Search progress, and fabric utilization.
 
 ``experiment`` regenerates one paper figure and prints its table (same
 output the benchmark harness saves under benchmarks/results/).
@@ -196,6 +202,97 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import FabricProfile
+    from repro.obs.report import render_report
+    from repro.obs.runner import FAILURE_MODES, run_observed_modes
+    from repro.obs.validate import validate_lines
+
+    modes = [m.strip() for m in args.failures.split(",") if m.strip()]
+    for mode in modes:
+        if mode not in FAILURE_MODES:
+            print(f"error: unknown failure mode {mode!r}", file=sys.stderr)
+            return 2
+    if (args.strategy is None) == (args.ic is None):
+        print("error: pass exactly one of --strategy / --ic", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    search = None
+    if args.strategy is not None:
+        strategy_path = Path(args.strategy)
+    else:
+        # Optimize first, with progress telemetry on, and keep the
+        # resulting strategy next to the other run artifacts.
+        from repro.obs.progress import SearchProgress
+
+        _, deployment, _ = _read_bundle(Path(args.bundle))
+        problem = OptimizationProblem(deployment, ic_target=args.ic)
+        progress = SearchProgress(every=args.progress_every)
+        result = ft_search(
+            problem,
+            time_limit=args.time_limit,
+            seed_incumbent=True,
+            progress=progress,
+        )
+        if result.strategy is None:
+            print("no strategy found", file=sys.stderr)
+            return 1
+        strategy_path = out_dir / "strategy.json"
+        result.strategy.to_json(strategy_path)
+        search = {
+            "outcome": result.outcome.value,
+            "nodes": result.stats.nodes_expanded,
+            "cost": result.best_cost,
+            "every": progress.every,
+            "snapshots": progress.to_list(),
+        }
+
+    profile = FabricProfile(label="obs-run")
+    results = run_observed_modes(
+        str(args.bundle),
+        str(strategy_path),
+        modes=modes,
+        duration=args.duration,
+        seed=args.seed,
+        jitter=args.jitter,
+        tuple_trace_every=args.trace_every,
+        queue_seconds=args.queue_seconds,
+        jobs=args.jobs,
+        profile=profile,
+    )
+
+    mode_docs = []
+    for digest in results:
+        jsonl = digest.pop("jsonl")
+        events_path = out_dir / f"events-{digest['mode']}.jsonl"
+        events_path.write_text(jsonl)
+        problems = validate_lines(
+            jsonl.splitlines(), origin=str(events_path)
+        )
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        mode_docs.append(digest)
+
+    report = {
+        "bundle": str(args.bundle),
+        "strategy": str(strategy_path),
+        "duration": args.duration,
+        "seed": args.seed,
+        "modes": mode_docs,
+        "search": search,
+        "fabric": profile.summary(),
+    }
+    (out_dir / "report.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(render_report(report))
+    print(f"\nartifacts written to {out_dir}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         get_cluster_results,
@@ -288,6 +385,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--out", default=None)
     simulate.set_defaults(func=_cmd_simulate)
+
+    obs = commands.add_parser(
+        "obs",
+        help="run observed simulations and render a telemetry report",
+    )
+    obs.add_argument("bundle")
+    obs.add_argument(
+        "--strategy", default=None,
+        help="activation strategy JSON to run (or use --ic to optimize)",
+    )
+    obs.add_argument(
+        "--ic", type=float, default=None,
+        help="optimize first at this IC target, with search progress"
+        " telemetry (mutually exclusive with --strategy)",
+    )
+    obs.add_argument("--time-limit", type=float, default=10.0)
+    obs.add_argument(
+        "--progress-every", type=int, default=256,
+        help="FT-Search snapshot period in expanded nodes (with --ic)",
+    )
+    obs.add_argument("--duration", type=float, default=60.0)
+    obs.add_argument(
+        "--failures", default="none,worst,crash",
+        help="comma-separated failure modes to run (none, worst, crash)",
+    )
+    obs.add_argument("--jitter", type=float, default=0.35)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument(
+        "--trace-every", type=int, default=0,
+        help="sample every N-th source tuple's lifecycle (0 = off)",
+    )
+    obs.add_argument(
+        "--queue-seconds", type=float, default=2.0,
+        help="input-queue sizing in seconds of peak rate (small values"
+        " force queue overflows and tuple drops)",
+    )
+    obs.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the per-mode runs (default: serial"
+        " resolution via REPRO_JOBS / CPU count)",
+    )
+    obs.add_argument(
+        "--out-dir", default="obs-run",
+        help="directory for events-<mode>.jsonl and report.json",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper figure (or all of them)"

@@ -157,7 +157,14 @@ class FTSearch:
         self,
         problem: OptimizationProblem,
         config: FTSearchConfig | None = None,
+        progress=None,
     ) -> None:
+        """``progress`` is an optional
+        :class:`repro.obs.progress.SearchProgress` collector; it receives
+        one call per expanded node and periodic snapshots keyed on the
+        deterministic node counter, so attaching it never changes what
+        the search returns.
+        """
         if problem.deployment.replication_factor != 2:
             raise OptimizationError(
                 "FT-Search only supports two-fold replication (k=2), got"
@@ -165,6 +172,7 @@ class FTSearch:
             )
         self._problem = problem
         self._config = config or FTSearchConfig()
+        self._progress = progress
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -407,6 +415,10 @@ class FTSearch:
             self._install_greedy_incumbent()
 
         exhausted, nodes, values_tried = self._search()
+        if self._progress is not None:
+            self._progress.finish(
+                nodes, self._incumbent_cost(), self._prunes_by_name()
+            )
 
         stats = SearchStats(
             nodes_expanded=nodes,
@@ -443,6 +455,21 @@ class FTSearch:
             elapsed=elapsed,
             stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # Progress telemetry helpers
+    # ------------------------------------------------------------------
+
+    def _incumbent_cost(self) -> Optional[float]:
+        """The best cost found so far, None while no incumbent exists."""
+        return None if math.isinf(self._best_cost) else self._best_cost
+
+    def _prunes_by_name(self) -> dict[str, int]:
+        """Current prune counts keyed by rule name (for snapshots)."""
+        return {
+            rule.value: self._prune_counts[i]
+            for i, rule in enumerate(_RULES)
+        }
 
     # ------------------------------------------------------------------
     # Incumbent seeding
@@ -558,6 +585,7 @@ class FTSearch:
             self._best_cost if penalty is None else self._best_objective
         ) * one_minus_eps
 
+        progress = self._progress
         nodes = 0
         values_tried = 0
         expired = False
@@ -578,6 +606,12 @@ class FTSearch:
                 ):
                     expired = True
                     break
+                if progress is not None and progress.on_node(nodes, depth):
+                    progress.snapshot(
+                        nodes,
+                        self._incumbent_cost(),
+                        self._prunes_by_name(),
+                    )
                 if host_load[d_h0[depth]] <= host_load[d_h1[depth]]:
                     values = _ORDER_01 if dom_excluded[depth] else _ORDER_B01
                 else:
@@ -879,6 +913,7 @@ def ft_search(
     disabled_rules: frozenset = frozenset(),
     seed_incumbent: bool = False,
     hungry_configs_first: bool = True,
+    progress=None,
 ) -> SearchResult:
     """Convenience wrapper: build and run an :class:`FTSearch`."""
     config = FTSearchConfig(
@@ -889,4 +924,4 @@ def ft_search(
         seed_incumbent=seed_incumbent,
         hungry_configs_first=hungry_configs_first,
     )
-    return FTSearch(problem, config).run()
+    return FTSearch(problem, config, progress=progress).run()

@@ -44,7 +44,14 @@ class ReferenceFTSearch:
         self,
         problem: OptimizationProblem,
         config: FTSearchConfig | None = None,
+        progress=None,
     ) -> None:
+        """``progress`` is an optional
+        :class:`repro.obs.progress.SearchProgress`; the hook sits at the
+        same traversal point as in the fast core (node entry, after the
+        budget check), so for the same instance the two engines produce
+        bit-identical snapshot series.
+        """
         if problem.deployment.replication_factor != 2:
             raise OptimizationError(
                 "FT-Search only supports two-fold replication (k=2), got"
@@ -52,6 +59,7 @@ class ReferenceFTSearch:
             )
         self._problem = problem
         self._config = config or FTSearchConfig()
+        self._progress = progress
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -211,6 +219,12 @@ class ReferenceFTSearch:
             self._descend(0)
         except _BudgetExpired:
             exhausted = False
+        if self._progress is not None:
+            self._progress.finish(
+                self._stats.nodes_expanded,
+                self._incumbent_cost(),
+                self._prunes_by_name(),
+            )
 
         elapsed = time.monotonic() - self._start
         strategy = None
@@ -236,6 +250,21 @@ class ReferenceFTSearch:
             elapsed=elapsed,
             stats=self._stats,
         )
+
+    # ------------------------------------------------------------------
+    # Progress telemetry helpers
+    # ------------------------------------------------------------------
+
+    def _incumbent_cost(self) -> Optional[float]:
+        """The best cost found so far, None while no incumbent exists."""
+        return None if math.isinf(self._best_cost) else self._best_cost
+
+    def _prunes_by_name(self) -> dict[str, int]:
+        """Current prune counts keyed by rule name (for snapshots)."""
+        return {
+            rule.value: self._stats.prune_counts.get(rule, 0)
+            for rule in PruneRule
+        }
 
     # ------------------------------------------------------------------
     # Incumbent seeding
@@ -294,6 +323,14 @@ class ReferenceFTSearch:
 
         self._stats.nodes_expanded += 1
         self._check_budget()
+        if self._progress is not None and self._progress.on_node(
+            self._stats.nodes_expanded, depth
+        ):
+            self._progress.snapshot(
+                self._stats.nodes_expanded,
+                self._incumbent_cost(),
+                self._prunes_by_name(),
+            )
 
         c, pe = self._vars[depth]
         height = self._n_vars - depth

@@ -65,11 +65,13 @@ class SinkOperator:
         name: str,
         series: TimeSeries,
         latency: LatencyRecorder | None = None,
+        tracer=None,
     ) -> None:
         self._env = env
         self.name = name
         self._series = series
         self._latency = latency if latency is not None else LatencyRecorder()
+        self._tracer = tracer
         self.received = 0
 
     def on_tuple(self, from_component: str, birth: float | None = None) -> None:
@@ -78,6 +80,8 @@ class SinkOperator:
         self._series.record(now)
         if birth is not None:
             self._latency.record(now, now - birth)
+            if self._tracer is not None:
+                self._tracer.stage("sink", birth, sink=self.name)
 
     @property
     def latency(self) -> LatencyRecorder:

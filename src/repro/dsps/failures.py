@@ -139,6 +139,12 @@ def plan_host_crash(
 
 def inject_host_crash(platform: StreamPlatform, plan: HostCrashPlan) -> None:
     """Schedule the crash and the recovery on the platform's clock."""
+    platform.telemetry.emit(
+        "failure.plan",
+        host=plan.host,
+        crash_time=plan.crash_time,
+        downtime=plan.downtime,
+    )
     platform.env.schedule_at(
         plan.crash_time, lambda: platform.crash_host(plan.host)
     )

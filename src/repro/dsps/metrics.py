@@ -83,6 +83,27 @@ class LatencyRecorder:
             return 0.0
         return max(lat for _, lat in self._samples)
 
+    def summary(self) -> dict[str, float | int | None]:
+        """All headline statistics as one dict.
+
+        A sink that never fires yields an *explicit empty summary* —
+        ``count=0`` with None statistics — rather than an exception or
+        misleading zeros, so report code can render "no samples" without
+        special-casing.
+        """
+        if not self._samples:
+            return {
+                "count": 0, "mean": None, "p50": None,
+                "p95": None, "max": None,
+            }
+        return {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": self.max(),
+        }
+
 
 class TimeSeries:
     """Per-second event counts over the run (a compact rate timeline)."""

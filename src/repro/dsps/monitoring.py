@@ -6,9 +6,17 @@ samplers are that logging loop for the simulator: per-second (or any
 interval) time series of cluster CPU utilisation, per-replica queue
 lengths, and replica activation states. Figure drivers and diagnostics
 attach them to a platform before ``run()``.
+
+Each sampler keeps its historical public attributes (plain lists, cheap
+to plot) *and* registers every channel as a labeled series in the
+platform's :class:`~repro.obs.registry.MetricsRegistry`, so figure
+drivers can read all runtime telemetry through one API
+(``platform.telemetry.metrics``).
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.core.deployment import ReplicaId
 from repro.dsps.platform import StreamPlatform
@@ -18,7 +26,15 @@ __all__ = ["CpuSampler", "QueueSampler", "ActivationSampler"]
 
 
 class _PeriodicSampler:
-    """Base: runs ``_sample`` every ``interval`` simulated seconds."""
+    """Base: samples every ``interval`` simulated seconds.
+
+    The base owns all bookkeeping — the shared ``times`` axis, the
+    per-channel value lists, and the mirroring of every observation into
+    the platform's metrics registry. Subclasses declare their output
+    channels with :meth:`_channel` (after ``super().__init__``) and
+    implement :meth:`_observe`, returning one value per channel in
+    declaration order.
+    """
 
     def __init__(self, platform: StreamPlatform, interval: float = 1.0):
         if interval <= 0:
@@ -26,15 +42,33 @@ class _PeriodicSampler:
         self._platform = platform
         self.interval = interval
         self.times: list[float] = []
+        self._channels: list[tuple[list, object]] = []
         platform.env.process(self._run())
+
+    def _channel(self, name: str, **labels: str) -> list:
+        """Declare one output channel; returns its plain value list.
+
+        The list is what the subclass exposes as its public attribute;
+        every sample is also mirrored into the registry series
+        ``name{labels}``.
+        """
+        store: list = []
+        series = self._platform.telemetry.metrics.series(name, **labels)
+        self._channels.append((store, series))
+        return store
 
     def _run(self):
         while True:
             yield self.interval
-            self.times.append(self._platform.env.now)
-            self._sample()
+            now = self._platform.env.now
+            self.times.append(now)
+            values = self._observe()
+            for (store, series), value in zip(self._channels, values):
+                store.append(value)
+                series.observe(now, value)
 
-    def _sample(self) -> None:  # pragma: no cover - abstract
+    def _observe(self) -> Sequence[float]:  # pragma: no cover - abstract
+        """One value per declared channel, in declaration order."""
         raise NotImplementedError
 
 
@@ -42,39 +76,40 @@ class CpuSampler(_PeriodicSampler):
     """Cluster CPU utilisation per interval (fraction of total capacity)."""
 
     def __init__(self, platform: StreamPlatform, interval: float = 1.0):
+        super().__init__(platform, interval)
         self._capacity = sum(
             host.capacity for host in platform.deployment.hosts
         )
         self._previous = 0.0
-        self.utilization: list[float] = []
-        super().__init__(platform, interval)
+        self.utilization: list[float] = self._channel("cpu.utilization")
 
-    def _sample(self) -> None:
+    def _observe(self) -> Sequence[float]:
         delivered = sum(
             self._platform.host_scheduler(name).cycles_delivered
             for name in self._platform.deployment.host_names
         )
         window_cycles = delivered - self._previous
         self._previous = delivered
-        self.utilization.append(
-            window_cycles / (self._capacity * self.interval)
-        )
+        return [window_cycles / (self._capacity * self.interval)]
 
 
 class QueueSampler(_PeriodicSampler):
     """Per-replica queue lengths (including the in-service tuple)."""
 
     def __init__(self, platform: StreamPlatform, interval: float = 1.0):
-        self.samples: dict[ReplicaId, list[int]] = {
-            replica_id: [] for replica_id in platform.deployment.replicas
-        }
         super().__init__(platform, interval)
-
-    def _sample(self) -> None:
-        for replica_id, series in self.samples.items():
-            series.append(
-                self._platform.replica(replica_id).queue_length
+        self.samples: dict[ReplicaId, list[int]] = {
+            replica_id: self._channel(
+                "queue.length", replica=str(replica_id)
             )
+            for replica_id in platform.deployment.replicas
+        }
+
+    def _observe(self) -> Sequence[float]:
+        return [
+            self._platform.replica(replica_id).queue_length
+            for replica_id in self.samples
+        ]
 
     def max_backlog(self) -> int:
         """The largest queue length seen anywhere during the run."""
@@ -98,11 +133,11 @@ class ActivationSampler(_PeriodicSampler):
     """Number of active (processable) replicas per sample instant."""
 
     def __init__(self, platform: StreamPlatform, interval: float = 1.0):
-        self.active_counts: list[int] = []
-        self.alive_counts: list[int] = []
         super().__init__(platform, interval)
+        self.active_counts: list[int] = self._channel("replicas.active")
+        self.alive_counts: list[int] = self._channel("replicas.alive")
 
-    def _sample(self) -> None:
+    def _observe(self) -> Sequence[float]:
         active = 0
         alive = 0
         for replica_id in self._platform.deployment.replicas:
@@ -111,5 +146,4 @@ class ActivationSampler(_PeriodicSampler):
                 alive += 1
             if replica.processable:
                 active += 1
-        self.active_counts.append(active)
-        self.alive_counts.append(alive)
+        return [active, alive]

@@ -67,6 +67,8 @@ class OperatorReplica:
         emit: Callable[["OperatorReplica", float], None],
         initially_active: bool = True,
         resync_delay: float = 0.0,
+        events=None,
+        tracer=None,
     ) -> None:
         self._env = env
         self.replica_id = replica_id
@@ -76,6 +78,12 @@ class OperatorReplica:
         self._metrics = metrics
         self._emit = emit
         self._resync_delay = resync_delay
+        # Optional observability hooks: an EventLog and a TupleTracer
+        # (see repro.obs). Both default to None so direct construction in
+        # tests pays nothing.
+        self._events = events
+        self._tracer = tracer
+        self._overflowed = [False] * len(self._ports)
 
         self.active = initially_active
         self.alive = True
@@ -128,11 +136,36 @@ class OperatorReplica:
             counters.dropped += 1
             if self.is_primary:
                 self._metrics.dropped_as_primary += 1
+            if self._events is not None:
+                self._events.emit(
+                    "tuple.drop",
+                    replica=str(self.replica_id),
+                    port=from_component,
+                    primary=self.is_primary,
+                )
+                if not self._overflowed[port]:
+                    # One overflow event per transition into the full
+                    # state, not one per dropped tuple.
+                    self._overflowed[port] = True
+                    self._events.emit(
+                        "queue.overflow",
+                        replica=str(self.replica_id),
+                        port=from_component,
+                        capacity=spec.capacity,
+                    )
+            if self._tracer is not None and birth is not None:
+                self._tracer.stage(
+                    "drop", birth, replica=str(self.replica_id)
+                )
             return
+        self._overflowed[port] = False
         self._port_fill[port] += 1
-        self._queue.append(
-            (port, self._env.now if birth is None else birth)
-        )
+        arrival = self._env.now if birth is None else birth
+        self._queue.append((port, arrival))
+        if self._tracer is not None:
+            self._tracer.stage(
+                "enqueue", arrival, replica=str(self.replica_id)
+            )
         if self._serving is None:
             self._start_service()
 
@@ -159,6 +192,10 @@ class OperatorReplica:
         counters.busy_time += cpu_seconds
         if self.is_primary:
             self._metrics.processed_as_primary += 1
+        if self._tracer is not None:
+            self._tracer.stage(
+                "process", birth, replica=str(self.replica_id)
+            )
 
         # Selectivity credit accounting (footnote 3). Emitted tuples carry
         # the birth time of the tuple whose processing triggered them.
@@ -183,6 +220,10 @@ class OperatorReplica:
             return
         self.active = False
         self._metrics.deactivations += 1
+        if self._events is not None:
+            self._events.emit(
+                "replica.deactivate", replica=str(self.replica_id)
+            )
         self._abort_work()
         if self.group is not None:
             self.group.on_member_unavailable(self, detected_after=0.0)
@@ -193,6 +234,10 @@ class OperatorReplica:
             return
         self.active = True
         self._metrics.activations += 1
+        if self._events is not None:
+            self._events.emit(
+                "replica.activate", replica=str(self.replica_id)
+            )
         if not self.alive:
             return
         self._begin_resync()
@@ -262,7 +307,11 @@ class ReplicaGroup:
     """
 
     def __init__(
-        self, env: Environment, pe: str, failover_delay: float = 1.0
+        self,
+        env: Environment,
+        pe: str,
+        failover_delay: float = 1.0,
+        telemetry=None,
     ) -> None:
         self._env = env
         self.pe = pe
@@ -272,6 +321,11 @@ class ReplicaGroup:
         self._pending_election: Optional[EventHandle] = None
         self._heartbeats_enabled = False
         self._last_beat: dict[OperatorReplica, float] = {}
+        # Optional repro.obs.Telemetry: primary.lost / primary.elected
+        # events plus a "failover" span over each detection→re-election
+        # window.
+        self._telemetry = telemetry
+        self._failover_span = None
 
     def add(self, replica: OperatorReplica) -> None:
         replica.group = self
@@ -346,6 +400,23 @@ class ReplicaGroup:
     ) -> None:
         if self.primary is not member:
             return
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                "primary.lost",
+                pe=self.pe,
+                replica=str(member.replica_id),
+                reason="deactivate" if detected_after <= 0 else "crash",
+            )
+            if detected_after > 0 and self._failover_span is None:
+                # The window from the failure instant to the re-election
+                # that follows detection. In heartbeat mode the election
+                # is triggered later by the watchdog, so the span's
+                # duration captures the *emergent* detection latency.
+                self._failover_span = self._telemetry.spans.begin(
+                    "failover",
+                    pe=self.pe,
+                    replica=str(member.replica_id),
+                )
         if detected_after <= 0:
             # Controlled deactivation: the controller is reliable, the
             # handover is immediate in both detection modes.
@@ -370,6 +441,7 @@ class ReplicaGroup:
     def on_member_available(self, member: OperatorReplica) -> None:
         if self.primary is None and self._pending_election is None:
             self.primary = member
+            self._note_elected(member)
 
     def elect_now(self) -> None:
         """Resolve the primary immediately, bypassing failure detection.
@@ -385,3 +457,19 @@ class ReplicaGroup:
     def _elect(self) -> None:
         self._pending_election = None
         self.primary = self._first_processable()
+        self._note_elected(self.primary)
+
+    def _note_elected(self, winner: Optional[OperatorReplica]) -> None:
+        # The failover span stays open until a primary actually takes
+        # over, so its duration is the true no-primary window even when
+        # the first election finds no survivor.
+        if self._telemetry is None or winner is None:
+            return
+        if self._failover_span is not None:
+            self._failover_span.end(elected=str(winner.replica_id))
+            self._failover_span = None
+        self._telemetry.emit(
+            "primary.elected",
+            pe=self.pe,
+            replica=str(winner.replica_id),
+        )

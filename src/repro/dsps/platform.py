@@ -29,6 +29,7 @@ from repro.dsps.metrics import RunMetrics, TimeSeries
 from repro.dsps.operators import OperatorReplica, PortSpec, ReplicaGroup
 from repro.dsps.traces import InputTrace
 from repro.errors import SimulationError
+from repro.obs.telemetry import Telemetry
 from repro.sim import Environment
 
 __all__ = ["PlatformConfig", "StreamPlatform"]
@@ -43,6 +44,11 @@ class PlatformConfig:
     resynchronisation time a replica pays when it is (re)activated.
     ``queue_seconds`` sizes each input-port queue to that many seconds of
     the port's highest-configuration rate (2 s in Sec. 5.2).
+
+    ``event_buffer`` bounds the telemetry event-log ring
+    (:mod:`repro.obs`); ``tuple_trace_every`` samples every N-th source
+    tuple for lifecycle tracing (0, the default, disables tracing so the
+    data path pays nothing).
     """
 
     failover_delay: float = 1.0
@@ -52,6 +58,8 @@ class PlatformConfig:
     arrival_jitter: float = 0.0
     heartbeat_interval: Optional[float] = None
     seed: int = 0
+    event_buffer: int = 65536
+    tuple_trace_every: int = 0
 
     def __post_init__(self) -> None:
         if self.failover_delay < 0:
@@ -74,6 +82,10 @@ class PlatformConfig:
                     "heartbeat_interval must not exceed failover_delay"
                     " (the detection timeout)"
                 )
+        if self.event_buffer < 1:
+            raise SimulationError("event_buffer must be >= 1")
+        if self.tuple_trace_every < 0:
+            raise SimulationError("tuple_trace_every must be >= 0")
 
 
 class StreamPlatform:
@@ -92,6 +104,12 @@ class StreamPlatform:
         self._config = config or PlatformConfig()
         self.env = Environment()
         self.metrics = RunMetrics()
+        self.telemetry = Telemetry(
+            clock=lambda: self.env.now,
+            event_buffer=self._config.event_buffer,
+            tuple_trace_every=self._config.tuple_trace_every,
+        )
+        self.env.telemetry = self.telemetry.events
 
         missing = [s for s in self._graph.sources if s not in traces]
         if missing:
@@ -116,7 +134,10 @@ class StreamPlatform:
         self._groups: dict[str, ReplicaGroup] = {}
         for pe in self._graph.pes:
             group = ReplicaGroup(
-                self.env, pe, failover_delay=self._config.failover_delay
+                self.env,
+                pe,
+                failover_delay=self._config.failover_delay,
+                telemetry=self.telemetry,
             )
             self._groups[pe] = group
             ports = self._build_ports(pe, rate_table)
@@ -137,6 +158,8 @@ class StreamPlatform:
                     emit=self._forward_output,
                     initially_active=active,
                     resync_delay=self._config.resync_delay,
+                    events=self.telemetry.events,
+                    tracer=self.telemetry.tuple_tracer,
                 )
                 self._replicas[replica_id] = replica
                 group.add(replica)
@@ -160,7 +183,10 @@ class StreamPlatform:
         for sink in self._graph.sinks:
             series = TimeSeries()
             self.metrics.sink_series[sink] = series
-            operator = SinkOperator(self.env, sink, series)
+            operator = SinkOperator(
+                self.env, sink, series,
+                tracer=self.telemetry.tuple_tracer,
+            )
             self.metrics.sink_latency[sink] = operator.latency
             self._sinks[sink] = operator
 
@@ -225,6 +251,9 @@ class StreamPlatform:
 
     def _forward_from_source(self, source: str) -> None:
         birth = self.env.now
+        tracer = self.telemetry.tuple_tracer
+        if tracer is not None:
+            tracer.on_emit(source, birth)
         network = self.metrics.network
         for succ in self._graph.succ(source):
             if succ in self._groups:
@@ -291,16 +320,19 @@ class StreamPlatform:
         self.metrics.failure_events.append(
             (self.env.now, "crash", str(replica_id))
         )
+        self.telemetry.emit("replica.crash", replica=str(replica_id))
         self.replica(replica_id).crash()
 
     def recover_replica(self, replica_id: ReplicaId) -> None:
         self.metrics.failure_events.append(
             (self.env.now, "recover", str(replica_id))
         )
+        self.telemetry.emit("replica.recover", replica=str(replica_id))
         self.replica(replica_id).recover()
 
     def crash_host(self, host: str) -> None:
         self.metrics.failure_events.append((self.env.now, "crash-host", host))
+        self.telemetry.emit("host.crash", host=host)
         for replica_id in self._deployment.replicas_on(host):
             self.replica(replica_id).crash()
 
@@ -308,6 +340,7 @@ class StreamPlatform:
         self.metrics.failure_events.append(
             (self.env.now, "recover-host", host)
         )
+        self.telemetry.emit("host.recover", host=host)
         for replica_id in self._deployment.replicas_on(host):
             self.replica(replica_id).recover()
 

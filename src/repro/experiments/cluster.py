@@ -30,7 +30,7 @@ from repro.dsps.failures import (
 from repro.dsps.platform import PlatformConfig
 from repro.dsps.traces import two_level_trace
 from repro.errors import ExperimentError
-from repro.experiments.parallel import run_tasks
+from repro.experiments.parallel import FabricProfile, run_tasks
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.variants import VariantSet, build_variants
 from repro.laar.middleware import ExtendedApplication, MiddlewareConfig
@@ -256,6 +256,7 @@ def run_cluster_experiment(
     scale: Optional[ExperimentScale] = None,
     corpus: Optional[list[GeneratedApplication]] = None,
     jobs: Optional[int] = None,
+    profile: Optional[FabricProfile] = None,
 ) -> ClusterResults:
     """Run the full Sec. 5.3 experiment grid.
 
@@ -267,7 +268,9 @@ def run_cluster_experiment(
     construction per application, then one task per (application,
     variant, failure-mode) run); results are independent of the worker
     count — see :mod:`repro.experiments.parallel` for the resolution
-    order of ``jobs`` / ``REPRO_JOBS``.
+    order of ``jobs`` / ``REPRO_JOBS``. ``profile`` (an optional
+    :class:`~repro.experiments.parallel.FabricProfile`) collects
+    per-task timing and worker utilization across both phases.
     """
     scale = scale or ExperimentScale.from_env()
     if corpus is None:
@@ -277,6 +280,7 @@ def run_cluster_experiment(
         _variant_task,
         [(app, scale.ic_targets, scale.ft_time_limit) for app in corpus],
         jobs=jobs,
+        profile=profile,
     )
 
     tasks: list[tuple[VariantSet, str, FailureMode, ExperimentScale, int]] = []
@@ -300,5 +304,5 @@ def run_cluster_experiment(
         raise ExperimentError(
             "no application in the corpus produced a full variant set"
         )
-    rows = run_tasks(_run_task, tasks, jobs=jobs)
+    rows = run_tasks(_run_task, tasks, jobs=jobs, profile=profile)
     return ClusterResults(scale, variant_names, rows)

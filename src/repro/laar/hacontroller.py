@@ -74,26 +74,36 @@ class HAController:
     def on_rates(self, rates: Mapping[str, float]) -> None:
         """Rate Monitor callback: re-evaluate the input configuration."""
         selected = self._index.lookup_index(rates)
-        if selected == self.current_config:
+        previous = self.current_config
+        switched = False
+        if selected == previous:
             self._pending_down = None
-            return
-        heavier = (
-            self._total_rate[selected] > self._total_rate[self.current_config]
+        else:
+            heavier = (
+                self._total_rate[selected] > self._total_rate[previous]
+            )
+            if heavier or self._down_confirmation <= 1:
+                self._pending_down = None
+                self._switch_to(selected)
+                switched = True
+            else:
+                # Down-switch hysteresis: demand consecutive confirmations.
+                if self._pending_down and self._pending_down[0] == selected:
+                    count = self._pending_down[1] + 1
+                else:
+                    count = 1
+                if count >= self._down_confirmation:
+                    self._pending_down = None
+                    self._switch_to(selected)
+                    switched = True
+                else:
+                    self._pending_down = (selected, count)
+        self._platform.telemetry.emit(
+            "sla.check",
+            selected=selected,
+            current=previous,
+            switched=switched,
         )
-        if heavier or self._down_confirmation <= 1:
-            self._pending_down = None
-            self._switch_to(selected)
-            return
-        # Down-switch hysteresis: demand consecutive confirmations.
-        if self._pending_down and self._pending_down[0] == selected:
-            count = self._pending_down[1] + 1
-        else:
-            count = 1
-        if count >= self._down_confirmation:
-            self._pending_down = None
-            self._switch_to(selected)
-        else:
-            self._pending_down = (selected, count)
 
     def _switch_to(self, config_index: int) -> None:
         now = self._platform.env.now
@@ -101,11 +111,23 @@ class HAController:
         self._platform.metrics.config_switches.append((now, config_index))
         previous = self.current_config
         self.current_config = config_index
+        sent_before = self.commands_sent
         for replica_id in self._platform.deployment.replicas:
             desired = self._strategy.is_active(replica_id, config_index)
             if desired == self._strategy.is_active(replica_id, previous):
                 continue  # no command needed for unchanged replicas
             self._send_command(replica_id, desired)
+        telemetry = self._platform.telemetry
+        transition = {"from": previous, "to": config_index}
+        telemetry.emit(
+            "config.switch",
+            commands=self.commands_sent - sent_before,
+            **transition,
+        )
+        # Span over the decision→commands-applied window: commands land
+        # after command_latency, so close the span on the same clock.
+        span = telemetry.spans.begin("config.switch", **transition)
+        self._platform.env.schedule(self._command_latency, span.end)
 
     def _send_command(self, replica_id: ReplicaId, active: bool) -> None:
         self.commands_sent += 1

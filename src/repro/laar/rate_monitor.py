@@ -34,24 +34,35 @@ class RateMonitor:
         self._platform = platform
         self._listener = listener
         self.interval = interval
-        self._last_counts = {
-            name: source.emitted
-            for name, source in platform.sources.items()
-        }
+        # The baseline counts are snapshotted lazily when the monitor
+        # process starts, not at construction: anything the sources emit
+        # between attaching the monitor and the simulation actually
+        # running must not be charged to the first window.
+        self._last_counts: dict[str, int] | None = None
         self.measurements: list[tuple[float, dict[str, float]]] = []
         platform.env.process(self._run())
 
     def _run(self):
+        if self._last_counts is None:
+            self._last_counts = {
+                name: source.emitted
+                for name, source in self._platform.sources.items()
+            }
         while True:
             yield self.interval
             rates = self._measure()
             self.measurements.append((self._platform.env.now, rates))
+            self._platform.telemetry.emit("rate.measurement", rates=rates)
             self._listener(rates)
 
     def _measure(self) -> dict[str, float]:
         rates: dict[str, float] = {}
+        last = self._last_counts
         for name, source in self._platform.sources.items():
             count = source.emitted
-            rates[name] = (count - self._last_counts[name]) / self.interval
-            self._last_counts[name] = count
+            # A source unseen at baseline time charges its whole history
+            # to this window — the overestimate is the safe direction for
+            # the never-underestimate guarantee.
+            rates[name] = (count - last.get(name, 0)) / self.interval
+            last[name] = count
         return rates

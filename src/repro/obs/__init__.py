@@ -1,0 +1,65 @@
+"""Unified observability layer for the LAAR reproduction.
+
+``repro.obs`` is the cross-cutting telemetry subsystem the paper's
+evaluation methodology implies (Sec. 5.2 — "periodically query Streams
+about the current status of all the PEs and log this information"):
+
+* :mod:`repro.obs.events` — a structured, sim-time-stamped event log
+  with bounded ring buffering and canonical JSONL export;
+* :mod:`repro.obs.registry` — named counters / gauges / histograms and
+  labeled time series with snapshot/diff support;
+* :mod:`repro.obs.spans` — sim-time span tracing for failover and
+  configuration-switch windows;
+* :mod:`repro.obs.telemetry` — the per-run facade bundling the above,
+  plus sampled per-tuple lifecycle tracing;
+* :mod:`repro.obs.progress` — periodic FT-Search progress snapshots;
+* :mod:`repro.obs.validate` — the JSONL event-schema validator
+  (``python -m repro.obs.validate``);
+* :mod:`repro.obs.runner` / :mod:`repro.obs.report` — the observed-run
+  driver and report renderer behind the ``repro obs`` CLI subcommand.
+
+All telemetry is stamped in simulated time, so event streams are
+bit-identical across runs and worker counts for fixed seeds.
+"""
+
+from repro.obs.events import EVENT_SCHEMA, Event, EventLog, event_to_json
+from repro.obs.progress import ProgressSnapshot, SearchProgress
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.report import render_report
+from repro.obs.runner import (
+    FAILURE_MODES,
+    ObservedRunSpec,
+    run_observed,
+    run_observed_modes,
+)
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.telemetry import Telemetry, TupleTracer
+
+__all__ = [
+    "FAILURE_MODES",
+    "ObservedRunSpec",
+    "render_report",
+    "run_observed",
+    "run_observed_modes",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventLog",
+    "event_to_json",
+    "ProgressSnapshot",
+    "SearchProgress",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "TupleTracer",
+]

@@ -1,0 +1,261 @@
+"""Metrics registry: named, labeled counters, gauges and histograms.
+
+The repo's original metrics lived in ad-hoc lists scattered across
+``repro.dsps.metrics`` and ``repro.dsps.monitoring``. This registry puts
+one queryable API in front of them: a metric has a *name* (dotted, e.g.
+``"queue.backlog"``), an *instrument kind* (counter, gauge, histogram),
+and zero or more *labels* (``replica="pe3/r0"``, ``host="h1"``). Each
+distinct label combination is a :class:`Series` with its own values.
+
+Everything is deterministic and sim-time friendly: the registry never
+reads a clock itself — time-stamped observations carry the caller's
+simulated time — and snapshots sort keys so two identical runs snapshot
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+__all__ = [
+    "Series",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Series:
+    """One labeled time series: a list of ``(sim_time, value)`` samples.
+
+    Samplers append via :meth:`observe`; figure drivers read
+    :attr:`times` / :attr:`values` (parallel lists, cheap to plot).
+    """
+
+    __slots__ = ("name", "labels", "times", "values")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def observe(self, time: float, value: float) -> None:
+        """Append one sample at simulated time ``time``."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def last(self) -> Optional[float]:
+        """The latest observed value, or None if empty."""
+        return self.values[-1] if self.values else None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Counter:
+    """A monotonically increasing count per label combination."""
+
+    __slots__ = ("name", "_counts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counts: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1) to the labeled count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._counts[key] = self._counts.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """The current count for one label combination (0 if unseen)."""
+        return self._counts.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """The sum over every label combination."""
+        return sum(self._counts.values())
+
+    def items(self) -> list[tuple[dict[str, str], float]]:
+        """All ``(labels, count)`` pairs, sorted by label key."""
+        return [
+            (dict(key), value)
+            for key, value in sorted(self._counts.items())
+        ]
+
+
+class Gauge:
+    """A set-to-latest value per label combination."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Overwrite the labeled value."""
+        self._values[_label_key(labels)] = value
+
+    def value(self, **labels: str) -> Optional[float]:
+        """The current value for one label combination, or None."""
+        return self._values.get(_label_key(labels))
+
+    def items(self) -> list[tuple[dict[str, str], float]]:
+        """All ``(labels, value)`` pairs, sorted by label key."""
+        return [
+            (dict(key), value)
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram:
+    """Streaming summary stats (count/sum/min/max) plus raw samples.
+
+    Samples are retained so percentile queries stay exact; the expected
+    volumes (latency samples per run) are small enough that this is the
+    right trade against sketch approximation error.
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: dict[tuple[tuple[str, str], ...], list[float]] = {}
+
+    def record(self, value: float, **labels: str) -> None:
+        """Add one observation to the labeled distribution."""
+        self._samples.setdefault(_label_key(labels), []).append(value)
+
+    def summary(self, **labels: str) -> dict[str, Any]:
+        """count/mean/min/max/p50/p95 for one label combination.
+
+        An empty distribution yields ``count=0`` with None statistics —
+        never an exception (the LatencyRecorder empty-sink contract).
+        """
+        samples = self._samples.get(_label_key(labels), [])
+        if not samples:
+            return {
+                "count": 0, "mean": None, "min": None,
+                "max": None, "p50": None, "p95": None,
+            }
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            return ordered[min(n - 1, math.ceil(q * n) - 1)]
+
+        return {
+            "count": n,
+            "mean": sum(ordered) / n,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide home for named instruments and labeled series.
+
+    ``counter``/``gauge``/``histogram``/``series`` are get-or-create:
+    repeated calls with the same name (and, for series, the same labels)
+    return the same object, so emitters never need to coordinate
+    creation. A name registered as one instrument kind cannot be reused
+    as another.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[
+            tuple[str, tuple[tuple[str, str], ...]], Series
+        ] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        owner = self._kinds.setdefault(name, kind)
+        if owner != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {owner}, "
+                f"cannot re-register as {kind}"
+            )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        self._claim(name, "counter")
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        self._claim(name, "gauge")
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        self._claim(name, "histogram")
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def series(self, name: str, **labels: str) -> Series:
+        """Get or create the labeled time series ``name{labels}``."""
+        self._claim(name, "series")
+        key = (name, _label_key(labels))
+        found = self._series.get(key)
+        if found is None:
+            found = self._series[key] = Series(name, labels)
+        return found
+
+    def series_named(self, name: str) -> list[Series]:
+        """Every label combination of one series name, label-sorted."""
+        return [
+            series
+            for (sname, _), series in sorted(self._series.items())
+            if sname == name
+        ]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-friendly view of every instrument's current state.
+
+        Label combinations render as ``name{k=v,...}`` strings so the
+        snapshot is flat, diffable, and deterministic (keys sorted).
+        """
+        out: dict[str, Any] = {}
+
+        def tag(name: str, key: tuple[tuple[str, str], ...]) -> str:
+            if not key:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in key)
+            return f"{name}{{{inner}}}"
+
+        for counter in self._counters.values():
+            for key, value in sorted(counter._counts.items()):
+                out[tag(counter.name, key)] = value
+        for gauge in self._gauges.values():
+            for key, value in sorted(gauge._values.items()):
+                out[tag(gauge.name, key)] = value
+        for (name, key), series in sorted(self._series.items()):
+            out[tag(name, key)] = series.last()
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def diff(
+        before: dict[str, Any], after: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Keys whose value changed between two snapshots (new included)."""
+        return {
+            key: value
+            for key, value in after.items()
+            if before.get(key) != value
+        }

@@ -1,0 +1,203 @@
+"""Observed simulation runs: the data source behind ``repro obs``.
+
+One :class:`ObservedRunSpec` describes a single LAAR simulation (bundle,
+strategy, failure mode, duration, seed); :func:`run_observed` executes it
+with telemetry on and distils the run into a plain JSON-friendly dict —
+the canonical event stream (JSONL), per-type counts, the configuration
+switch timeline, failover spans, drop leaders and latency summaries.
+
+Specs and results are picklable scalars/containers only, so
+:func:`run_observed_modes` can fan a set of failure modes out over the
+process-parallel experiment fabric (:mod:`repro.experiments.parallel`)
+and still produce bit-identical event streams at any worker count: all
+telemetry is stamped in simulated time, never wall time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["FAILURE_MODES", "ObservedRunSpec", "run_observed", "run_observed_modes"]
+
+#: Failure modes an observed run understands, in report order: a clean
+#: run, the pessimistic per-configuration worst case (Sec. 4.1), and a
+#: planned host crash during a High-rate window (Sec. 5.2).
+FAILURE_MODES = ("none", "worst", "crash")
+
+
+@dataclass(frozen=True)
+class ObservedRunSpec:
+    """One observed simulation run (paths and scalars only: picklable)."""
+
+    bundle: str
+    strategy: str
+    mode: str = "none"
+    duration: float = 60.0
+    seed: int = 0
+    jitter: float = 0.35
+    tuple_trace_every: int = 0
+    event_buffer: int = 65536
+    monitor_interval: float = 2.0
+    queue_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAILURE_MODES:
+            raise ReproError(
+                f"unknown failure mode {self.mode!r};"
+                f" expected one of {FAILURE_MODES}"
+            )
+        if self.duration <= 0:
+            raise ReproError("duration must be > 0")
+
+
+def _drop_leaders(events) -> list[dict[str, Any]]:
+    """Per-replica drop counts from the buffered events, worst first."""
+    drops: dict[str, int] = {}
+    for event in events.of_type("tuple.drop"):
+        replica = event.fields["replica"]
+        drops[replica] = drops.get(replica, 0) + 1
+    ranked = sorted(drops.items(), key=lambda item: (-item[1], item[0]))
+    return [{"replica": replica, "drops": count} for replica, count in ranked]
+
+
+def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
+    """Run one observed simulation and return its telemetry digest.
+
+    Module-level so the experiment fabric can pickle it as a pool worker.
+    """
+    from repro.core.strategy import ActivationStrategy
+    from repro.dsps import (
+        PlatformConfig,
+        inject_host_crash,
+        inject_pessimistic_failures,
+        plan_host_crash,
+        two_level_trace,
+    )
+    from repro.laar import ExtendedApplication, MiddlewareConfig
+    from repro.workloads import load_bundle
+
+    app = load_bundle(spec.bundle)
+    strategy = ActivationStrategy.from_json(app.deployment, spec.strategy)
+    trace = two_level_trace(
+        app.low_rate, app.high_rate, duration=spec.duration
+    )
+    extended = ExtendedApplication(
+        app.deployment,
+        strategy,
+        {source: trace for source in app.deployment.descriptor.graph.sources},
+        platform_config=PlatformConfig(
+            arrival_jitter=spec.jitter,
+            seed=spec.seed,
+            queue_seconds=spec.queue_seconds,
+            event_buffer=spec.event_buffer,
+            tuple_trace_every=spec.tuple_trace_every,
+        ),
+        middleware_config=MiddlewareConfig(
+            monitor_interval=spec.monitor_interval,
+            rate_tolerance=0.25,
+            down_confirmation=2,
+        ),
+    )
+    injected: dict[str, Any] = {}
+    if spec.mode == "worst":
+        victims = inject_pessimistic_failures(extended.platform, strategy)
+        injected = {"crashed_replicas": len(victims)}
+    elif spec.mode == "crash":
+        plan = plan_host_crash(
+            extended.platform,
+            trace.segment_windows("High"),
+            random.Random(spec.seed),
+        )
+        inject_host_crash(extended.platform, plan)
+        injected = {
+            "host": plan.host,
+            "crash_time": plan.crash_time,
+            "downtime": plan.downtime,
+        }
+
+    metrics = extended.run()
+
+    telemetry = extended.platform.telemetry
+    events = telemetry.events
+    switches = [
+        {
+            "t": event.time,
+            "from": event.fields["from"],
+            "to": event.fields["to"],
+            "commands": event.fields["commands"],
+        }
+        for event in events.of_type("config.switch")
+    ]
+    spans = [
+        {
+            "name": span.name,
+            "start": span.start,
+            "duration": span.duration,
+            "fields": dict(span.fields),
+        }
+        for span in telemetry.spans.finished
+    ]
+    return {
+        "mode": spec.mode,
+        "injected": injected,
+        "events_emitted": events.emitted,
+        "events_evicted": events.evicted,
+        "event_counts": dict(sorted(events.type_counts.items())),
+        "jsonl": events.to_jsonl(),
+        "switches": switches,
+        "spans": spans,
+        "top_droppers": _drop_leaders(events),
+        "metrics": {
+            "input": metrics.total_input,
+            "output": metrics.total_output,
+            "processed": metrics.tuples_processed,
+            "dropped": metrics.logical_dropped,
+            "cpu_seconds": round(metrics.total_cpu_time, 3),
+            "config_switches": len(metrics.config_switches),
+            "sink_latency": {
+                sink: recorder.summary()
+                for sink, recorder in sorted(metrics.sink_latency.items())
+            },
+        },
+    }
+
+
+def run_observed_modes(
+    bundle: str,
+    strategy: str,
+    modes: Sequence[str] = FAILURE_MODES,
+    duration: float = 60.0,
+    seed: int = 0,
+    jitter: float = 0.35,
+    tuple_trace_every: int = 0,
+    queue_seconds: float = 2.0,
+    jobs: Optional[int] = None,
+    profile=None,
+) -> list[dict[str, Any]]:
+    """Run one observed simulation per failure mode, in ``modes`` order.
+
+    Fans out over the experiment fabric; pass a
+    :class:`~repro.experiments.parallel.FabricProfile` to collect
+    per-task timing and worker utilization. Results are bit-identical
+    for any ``jobs`` value (telemetry is sim-time-stamped only).
+    """
+    from repro.experiments.parallel import run_tasks
+
+    specs = [
+        ObservedRunSpec(
+            bundle=str(bundle),
+            strategy=str(strategy),
+            mode=mode,
+            duration=duration,
+            seed=seed,
+            jitter=jitter,
+            tuple_trace_every=tuple_trace_every,
+            queue_seconds=queue_seconds,
+        )
+        for mode in modes
+    ]
+    return run_tasks(run_observed, specs, jobs=jobs, profile=profile)

@@ -143,7 +143,14 @@ class Process:
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    ``telemetry`` may be set to a :class:`repro.obs.events.EventLog`
+    (the platform layer does this); when present, :meth:`run` emits
+    ``sim.run.start`` / ``sim.run.end`` events. The kernel stays
+    import-free of the observability layer — the attribute is duck-typed
+    and defaults to None, costing nothing when unused.
+    """
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
@@ -151,6 +158,7 @@ class Environment:
         self._sequence = itertools.count()
         self._events_processed = 0
         self._events_cancelled = 0
+        self.telemetry = None
 
     @property
     def now(self) -> float:
@@ -202,6 +210,8 @@ class Environment:
             raise SimulationError(
                 f"cannot run until {until}, already at {self._now}"
             )
+        if self.telemetry is not None:
+            self.telemetry.emit("sim.run.start", until=until)
         while self._queue:
             self._purge_cancelled()
             if not self._queue:
@@ -217,6 +227,12 @@ class Environment:
             handle.callback()
         if until is not None:
             self._now = max(self._now, until)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "sim.run.end",
+                events_processed=self._events_processed,
+                events_cancelled=self._events_cancelled,
+            )
 
     def peek(self) -> float:
         """Time of the next pending event (inf when idle)."""

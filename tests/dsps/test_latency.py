@@ -134,3 +134,21 @@ class TestPipelineLatency:
         metrics = platform.run()
         tail = metrics.mean_latency_in_window(20.0, 40.0)
         assert tail == pytest.approx(0.2, rel=0.2)
+
+
+class TestLatencySummary:
+    def test_empty_recorder_summary_is_stable(self):
+        assert LatencyRecorder().summary() == {
+            "count": 0, "mean": None, "p50": None, "p95": None, "max": None,
+        }
+
+    def test_summary_matches_point_queries(self):
+        recorder = LatencyRecorder()
+        for i, latency in enumerate([0.1, 0.2, 0.3, 0.4, 1.0]):
+            recorder.record(float(i), latency)
+        summary = recorder.summary()
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx(recorder.mean())
+        assert summary["p50"] == recorder.percentile(0.50)
+        assert summary["p95"] == recorder.percentile(0.95)
+        assert summary["max"] == recorder.max()

@@ -18,7 +18,11 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments.cluster import run_cluster_experiment
 from repro.experiments.ftsearch_study import run_ftsearch_study
-from repro.experiments.parallel import resolve_jobs, run_tasks
+from repro.experiments.parallel import (
+    FabricProfile,
+    resolve_jobs,
+    run_tasks,
+)
 from repro.experiments.scale import ExperimentScale, StudyScale
 from repro.workloads.generator import (
     ClusterParams,
@@ -147,3 +151,97 @@ def test_jobs_env_reaches_the_grid(monkeypatch):
     via_env = run_cluster_experiment(_TINY, corpus=corpus)
     explicit = run_cluster_experiment(_TINY, corpus=corpus, jobs=1)
     assert via_env._rows == explicit._rows
+
+
+# ----------------------------------------------------------------------
+# Fabric profiling
+# ----------------------------------------------------------------------
+
+class TestFabricProfile:
+    def test_profiling_never_changes_results(self):
+        tasks = list(range(8))
+        profile = FabricProfile()
+        assert run_tasks(_square, tasks, jobs=2, profile=profile) == (
+            run_tasks(_square, tasks, jobs=2)
+        )
+
+    def test_one_timing_per_task_in_submission_order(self):
+        profile = FabricProfile()
+        run_tasks(_square, list(range(6)), jobs=2, profile=profile)
+        assert [t.index for t in profile.timings] == list(range(6))
+        assert all(t.seconds >= 0 for t in profile.timings)
+        assert all(t.queue_wait >= 0 for t in profile.timings)
+
+    def test_serial_path_runs_in_process(self):
+        profile = FabricProfile()
+        run_tasks(_square, [1, 2, 3], jobs=1, profile=profile)
+        assert profile.jobs == 1
+        assert {t.worker for t in profile.timings} == {os.getpid()}
+
+    def test_summary_shape(self):
+        profile = FabricProfile(label="grid")
+        run_tasks(_square, list(range(5)), jobs=2, profile=profile)
+        summary = profile.summary()
+        assert summary["label"] == "grid"
+        assert summary["n_tasks"] == 5
+        assert summary["jobs"] == 2
+        assert summary["wall_seconds"] > 0
+        assert 0 < summary["utilization"] <= 1.0
+        assert sum(w["tasks"] for w in summary["workers"]) == 5
+
+    def test_empty_profile_summary(self):
+        summary = FabricProfile(label="idle").summary()
+        assert summary == {
+            "label": "idle", "n_tasks": 0, "jobs": 0, "wall_seconds": 0.0,
+        }
+
+    def test_record_folds_multiple_calls(self):
+        profile = FabricProfile()
+        run_tasks(_square, [1, 2], jobs=1, profile=profile)
+        run_tasks(_square, [3, 4, 5], jobs=1, profile=profile)
+        assert profile.summary()["n_tasks"] == 5
+
+
+# ----------------------------------------------------------------------
+# Observed-run event streams across worker counts
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def observed_inputs(tmp_path_factory):
+    """A bundle and a matching strategy on disk, for the obs runner."""
+    from repro.core import OptimizationProblem, ft_search
+    from repro.workloads import save_bundle
+    from repro.workloads.generator import generate_application
+
+    root = tmp_path_factory.mktemp("obs")
+    app = generate_application(
+        2014,
+        params=GeneratorParams(n_pes=6, tuple_budget=2000.0),
+        cluster=ClusterParams(n_hosts=3, cores_per_host=4),
+    )
+    bundle = root / "app.json"
+    save_bundle(app, bundle)
+    result = ft_search(
+        OptimizationProblem(app.deployment, ic_target=0.5), time_limit=5.0
+    )
+    assert result.strategy is not None
+    strategy = root / "strategy.json"
+    result.strategy.to_json(strategy)
+    return str(bundle), str(strategy)
+
+
+def test_observed_event_streams_bit_identical_across_jobs(observed_inputs):
+    """The telemetry determinism contract: JSONL event streams from the
+    observed runs are byte-identical at any worker count, because every
+    event is stamped in simulated time."""
+    from repro.obs.runner import run_observed_modes
+
+    bundle, strategy = observed_inputs
+    kwargs = dict(modes=("none", "crash"), duration=8.0, seed=3)
+    serial = run_observed_modes(bundle, strategy, jobs=1, **kwargs)
+    parallel = run_observed_modes(bundle, strategy, jobs=4, **kwargs)
+
+    assert [r["mode"] for r in serial] == ["none", "crash"]
+    for a, b in zip(serial, parallel):
+        assert a["jsonl"] == b["jsonl"]
+        assert a == b

@@ -80,3 +80,31 @@ class TestRateMonitor:
         assert len(reports) == 6
         # The straddling window reads a mixed average.
         assert any(4.0 < rate < 8.0 for rate in reports)
+
+    def test_baseline_taken_at_monitor_start_not_construction(
+        self, pipeline_descriptor
+    ):
+        """Regression: tuples emitted before the monitor process starts
+        must not be charged to its first window. A monitor attached
+        after 5 s of history would otherwise report the whole backlog
+        (~24 tuples) as one window's rate."""
+        platform = build_platform(
+            pipeline_descriptor, InputTrace([TraceSegment(4.0, 20.0)])
+        )
+        platform.run(until=5.0)
+        assert platform.sources["src"].emitted > 0
+        reports = []
+        RateMonitor(platform, lambda r: reports.append(r["src"]), interval=1.0)
+        platform.run(until=10.0)
+        assert reports
+        assert all(rate == pytest.approx(4.0, abs=1.0) for rate in reports)
+
+    def test_measurements_reach_the_telemetry_log(self, pipeline_descriptor):
+        platform = build_platform(
+            pipeline_descriptor, InputTrace([TraceSegment(4.0, 10.0)])
+        )
+        RateMonitor(platform, lambda rates: None, interval=1.0)
+        platform.run(until=5.0)
+        events = platform.telemetry.events.of_type("rate.measurement")
+        assert events
+        assert all("src" in e.fields["rates"] for e in events)

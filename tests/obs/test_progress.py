@@ -1,0 +1,67 @@
+"""FT-Search progress telemetry: the two-step snapshot protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SearchProgress
+
+
+class TestOnNode:
+    def test_snapshot_due_every_n_nodes(self):
+        progress = SearchProgress(every=3)
+        due = [n for n in range(1, 10) if progress.on_node(n, depth=0)]
+        assert due == [3, 6, 9]
+
+    def test_depth_histogram_accumulates(self):
+        progress = SearchProgress(every=100)
+        for depth in (0, 1, 1, 2):
+            progress.on_node(1, depth)
+        progress.snapshot(4, None, {})
+        assert progress.snapshots[-1].depth_counts == {0: 1, 1: 2, 2: 1}
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SearchProgress(every=0)
+
+
+class TestSnapshots:
+    def test_snapshot_copies_mutable_state(self):
+        progress = SearchProgress(every=1)
+        prunes = {"CPU": 1}
+        progress.on_node(1, 0)
+        progress.snapshot(1, 10.0, prunes)
+        prunes["CPU"] = 99
+        progress.on_node(2, 1)
+        progress.snapshot(2, 9.0, prunes)
+        assert progress.snapshots[0].prunes == {"CPU": 1}
+        assert progress.snapshots[0].depth_counts == {0: 1}
+        assert progress.snapshots[1].depth_counts == {0: 1, 1: 1}
+
+    def test_finish_records_final_state(self):
+        progress = SearchProgress(every=4)
+        for n in range(1, 7):
+            progress.on_node(n, 0)
+        progress.snapshot(4, 5.0, {"CPU": 2})
+        progress.finish(6, 4.0, {"CPU": 3})
+        assert [s.nodes for s in progress.snapshots] == [4, 6]
+
+    def test_finish_skipped_when_snapshot_just_landed(self):
+        progress = SearchProgress(every=2)
+        progress.on_node(1, 0)
+        progress.on_node(2, 0)
+        progress.snapshot(2, 5.0, {})
+        progress.finish(2, 5.0, {})
+        assert len(progress.snapshots) == 1
+
+    def test_to_list_is_json_friendly(self):
+        progress = SearchProgress(every=1)
+        progress.on_node(1, 3)
+        progress.snapshot(1, None, {"COST": 0, "CPU": 1})
+        (entry,) = progress.to_list()
+        assert entry == {
+            "nodes": 1,
+            "incumbent_cost": None,
+            "prunes": {"COST": 0, "CPU": 1},
+            "depth_counts": {"3": 1},
+        }

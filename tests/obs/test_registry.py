@@ -1,0 +1,137 @@
+"""The metrics registry: instruments, labels, snapshots and diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("tuples.dropped")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_labels_partition_counts(self):
+        counter = MetricsRegistry().counter("tuples.dropped")
+        counter.inc(replica="r0")
+        counter.inc(replica="r0")
+        counter.inc(replica="r1")
+        assert counter.value(replica="r0") == 2.0
+        assert counter.value(replica="r1") == 1.0
+        assert counter.value(replica="r2") == 0.0
+        assert counter.total() == 3.0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_items_sorted_by_labels(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(replica="r1")
+        counter.inc(replica="r0")
+        assert [labels for labels, _ in counter.items()] == [
+            {"replica": "r0"}, {"replica": "r1"},
+        ]
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("queue.depth")
+        gauge.set(3.0, replica="r0")
+        gauge.set(5.0, replica="r0")
+        assert gauge.value(replica="r0") == 5.0
+
+    def test_unseen_labels_read_none(self):
+        assert MetricsRegistry().gauge("g").value(replica="r9") is None
+
+
+class TestHistogram:
+    def test_empty_summary_is_stable(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary == {
+            "count": 0, "mean": None, "min": None,
+            "max": None, "p50": None, "p95": None,
+        }
+
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (0.1, 0.2, 0.3, 0.4, 1.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx(0.4)
+        assert summary["min"] == 0.1
+        assert summary["max"] == 1.0
+        assert summary["p50"] == 0.3
+        assert summary["p95"] == 1.0
+
+
+class TestSeries:
+    def test_observe_appends_parallel_lists(self):
+        series = MetricsRegistry().series("cpu.utilization")
+        series.observe(1.0, 0.5)
+        series.observe(2.0, 0.7)
+        assert series.times == [1.0, 2.0]
+        assert series.values == [0.5, 0.7]
+        assert series.last() == 0.7
+        assert len(series) == 2
+
+    def test_empty_series_last_is_none(self):
+        assert MetricsRegistry().series("s").last() is None
+
+    def test_label_combinations_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.series("queue.length", replica="r0")
+        b = registry.series("queue.length", replica="r1")
+        assert a is not b
+        assert registry.series("queue.length", replica="r0") is a
+        assert registry.series_named("queue.length") == [a, b]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValueError):
+            registry.gauge("metric")
+        with pytest.raises(ValueError):
+            registry.series("metric")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("drops").inc(replica="r0")
+        registry.gauge("depth").set(4.0)
+        registry.series("cpu", host="h0").observe(1.0, 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot == {
+            "cpu{host=h0}": 0.5,
+            "depth": 4.0,
+            "drops{replica=r0}": 1.0,
+        }
+        assert list(snapshot) == sorted(snapshot)
+
+    def test_diff_reports_changed_and_new_keys(self):
+        registry = MetricsRegistry()
+        drops = registry.counter("drops")
+        drops.inc()
+        before = registry.snapshot()
+        drops.inc()
+        registry.gauge("depth").set(1.0)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert delta == {"drops": 2.0, "depth": 1.0}
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = registry.snapshot()
+        assert MetricsRegistry.diff(snap, registry.snapshot()) == {}

@@ -1,0 +1,89 @@
+"""The telemetry facade and the sampled tuple tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import EventLog, Telemetry, TupleTracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTelemetryFacade:
+    def test_components_share_the_clock(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock)
+        clock.now = 4.0
+        telemetry.emit("host.crash", host="h0")
+        span = telemetry.spans.begin("failover")
+        clock.now = 6.0
+        span.end()
+        event, start, end = telemetry.events.events()
+        assert event.time == 4.0
+        assert (start.time, end.time) == (4.0, 6.0)
+        assert span.duration == 2.0
+
+    def test_tuple_tracer_off_by_default(self):
+        assert Telemetry().tuple_tracer is None
+
+    def test_tuple_tracer_on_when_sampling_enabled(self):
+        telemetry = Telemetry(tuple_trace_every=10)
+        assert telemetry.tuple_tracer is not None
+
+    def test_event_buffer_bounds_the_log(self):
+        telemetry = Telemetry(event_buffer=2)
+        for i in range(5):
+            telemetry.emit("host.crash", host=f"h{i}")
+        assert len(telemetry.events) == 2
+        assert telemetry.events.evicted == 3
+
+
+class TestTupleTracer:
+    def test_samples_every_nth_emission_per_source(self):
+        events = EventLog()
+        tracer = TupleTracer(events, every=3)
+        for i in range(7):
+            tracer.on_emit("src", birth=float(i))
+        sampled = [
+            e.fields["birth"] for e in events.of_type("tuple.trace")
+        ]
+        assert sampled == [0.0, 3.0, 6.0]
+
+    def test_sources_sample_independently(self):
+        events = EventLog()
+        tracer = TupleTracer(events, every=2)
+        tracer.on_emit("a", birth=0.0)
+        tracer.on_emit("b", birth=1.0)
+        assert events.count("tuple.trace") == 2
+
+    def test_stages_recorded_only_for_sampled_tuples(self):
+        events = EventLog()
+        tracer = TupleTracer(events, every=2)
+        tracer.on_emit("src", birth=0.0)  # sampled
+        tracer.on_emit("src", birth=1.0)  # not sampled
+        tracer.stage("enqueue", 0.0, replica="r0")
+        tracer.stage("enqueue", 1.0, replica="r0")
+        stages = [
+            (e.fields["stage"], e.fields["birth"])
+            for e in events.of_type("tuple.trace")
+        ]
+        assert stages == [("emit", 0.0), ("enqueue", 0.0)]
+
+    def test_terminal_stage_retires_the_tuple(self):
+        events = EventLog()
+        tracer = TupleTracer(events, every=1)
+        tracer.on_emit("src", birth=0.0)
+        tracer.stage("sink", 0.0)
+        tracer.stage("process", 0.0)  # after retirement: ignored
+        stages = [e.fields["stage"] for e in events.of_type("tuple.trace")]
+        assert stages == ["emit", "sink"]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TupleTracer(EventLog(), every=0)

@@ -200,3 +200,65 @@ class TestParser:
     def test_experiment_choices_validated(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestObs:
+    def test_observed_run_writes_artifacts(
+        self, bundle_path, strategy_path, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "run"
+        code = main(
+            [
+                "obs", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--duration", "10",
+                "--failures", "none,crash",
+                "--queue-seconds", "0.05",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "switch timeline" in out
+        assert "top droppers" in out
+
+        from repro.obs.validate import validate_file
+
+        for mode in ("none", "crash"):
+            path = out_dir / f"events-{mode}.jsonl"
+            assert path.exists()
+            assert validate_file(path) == []
+        report = json.loads((out_dir / "report.json").read_text())
+        assert [m["mode"] for m in report["modes"]] == ["none", "crash"]
+        assert report["fabric"]["n_tasks"] == 2
+        crash = report["modes"][1]
+        assert crash["event_counts"].get("host.crash", 0) == 1
+        assert crash["event_counts"].get("tuple.drop", 0) > 0
+
+    def test_strategy_and_ic_mutually_exclusive(
+        self, bundle_path, strategy_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "obs", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--ic", "0.5",
+                "--out-dir", str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_unknown_failure_mode_rejected(
+        self, bundle_path, strategy_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "obs", str(bundle_path),
+                "--strategy", str(strategy_path),
+                "--failures", "meteor",
+                "--out-dir", str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+        assert "unknown failure mode" in capsys.readouterr().err
