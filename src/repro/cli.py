@@ -293,6 +293,45 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.report import render_fleet_report
+    from repro.fleet.scenario import FleetScenarioParams, run_fleet_scenario
+    from repro.fleet.store import StrategyStore
+    from repro.obs.validate import validate_lines
+
+    params = FleetScenarioParams(
+        tenants=args.tenants,
+        distinct_apps=args.apps,
+        base_seed=args.seed,
+        shared_hosts=args.hosts,
+        shared_cores=args.cores,
+        drift_every=args.drift_every,
+        drift_factor=args.drift_factor,
+    )
+    store = (
+        StrategyStore(args.store_dir) if args.store_dir is not None else None
+    )
+    result = run_fleet_scenario(params, jobs=args.jobs, store=store)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    events_path = out_dir / "events.jsonl"
+    events_path.write_text(result.events_jsonl)
+    problems = validate_lines(
+        result.events_jsonl.splitlines(), origin=str(events_path)
+    )
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    (out_dir / "report.json").write_text(
+        json.dumps(result.report, indent=2, sort_keys=True) + "\n"
+    )
+    print(render_fleet_report(result.report))
+    print(f"artifacts written to {out_dir}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         get_cluster_results,
@@ -431,6 +470,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for events-<mode>.jsonl and report.json",
     )
     obs.set_defaults(func=_cmd_obs)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="run a multi-tenant fleet scenario and render the"
+        " occupancy/SLA report",
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=100,
+        help="how many tenant contracts arrive (default 100)",
+    )
+    fleet.add_argument(
+        "--apps", type=int, default=7,
+        help="distinct application templates tenants are drawn from",
+    )
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument(
+        "--hosts", type=int, default=20,
+        help="shared-cluster host count",
+    )
+    fleet.add_argument(
+        "--cores", type=int, default=48,
+        help="cores per shared host",
+    )
+    fleet.add_argument(
+        "--drift-every", type=int, default=4,
+        help="every Nth tenant's input drifts out of contract (0 = off)",
+    )
+    fleet.add_argument("--drift-factor", type=float, default=1.1)
+    fleet.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the strategy-store prewarm"
+        " (default: REPRO_JOBS, then the CPU count; 1 = serial)",
+    )
+    fleet.add_argument(
+        "--store-dir", default=None,
+        help="persist the strategy store here (JSON per record);"
+        " reused across runs",
+    )
+    fleet.add_argument(
+        "--out-dir", default="fleet-run",
+        help="directory for events.jsonl and report.json",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper figure (or all of them)"

@@ -57,7 +57,7 @@ from repro.core.optimizer.problem import OptimizationProblem
 from repro.core.optimizer.stats import PruneRule, SearchStats
 from repro.core.rates import RateTable
 from repro.core.strategy import ActivationStrategy
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, ReproError
 
 __all__ = ["FTSearchConfig", "FTSearch", "ft_search"]
 
@@ -118,6 +118,18 @@ class FTSearchConfig:
     configurations first "improves execution time by making both the CPU
     and IC constraints fail faster" — setting this to False reverses the
     order, which the config-order ablation bench uses to test that claim.
+
+    ``warm_start`` installs a previous :class:`ActivationStrategy` as the
+    initial incumbent (the control plane's re-planning path: re-running
+    the search after rate drift, seeded with the strategy currently in
+    production). The strategy is re-keyed onto this problem's deployment
+    and installed only when it is feasible *for this problem* — IC target
+    met (hard-constraint mode) and every host within capacity — because
+    an infeasible incumbent would make the COST bound unsound. Like
+    ``seed_incumbent`` it is a pure accelerator: the search returns the
+    same optimal cost and strategy as a cold run, expanding at most as
+    many nodes. Unusable warm starts (wrong shape, infeasible here) are
+    silently ignored.
     """
 
     time_limit: Optional[float] = 10.0
@@ -126,6 +138,7 @@ class FTSearchConfig:
     disabled_rules: frozenset = frozenset()
     seed_incumbent: bool = False
     hungry_configs_first: bool = True
+    warm_start: Optional[ActivationStrategy] = None
 
     def __post_init__(self) -> None:
         if self.time_limit is not None and self.time_limit <= 0:
@@ -140,6 +153,153 @@ class FTSearchConfig:
                     f"disabled_rules must contain PruneRule values,"
                     f" got {rule!r}"
                 )
+        if self.warm_start is not None and not isinstance(
+            self.warm_start, ActivationStrategy
+        ):
+            raise OptimizationError(
+                "warm_start must be an ActivationStrategy or None, got"
+                f" {self.warm_start!r}"
+            )
+
+
+def _evaluate_warm_start(
+    problem: OptimizationProblem,
+    config: FTSearchConfig,
+    rate_table: RateTable,
+    vars_: list[tuple[int, str]],
+) -> Optional[tuple[list[tuple[bool, bool]], float, float, float]]:
+    """Evaluate ``config.warm_start`` against ``problem``.
+
+    Re-keys the warm strategy onto this problem's deployment (the
+    re-planner hands in a strategy bound to the *previous* deployment of
+    the same shape), then checks feasibility under this problem's rates:
+    every host strictly within capacity in every configuration (Eq. 11,
+    with the search's epsilon) and — in hard-constraint mode — the IC
+    target met. Returns ``(values, ic, cost, objective)`` with one
+    ``(replica0_active, replica1_active)`` tuple per variable in ``vars_``
+    order, or None when the warm start is unusable.
+
+    Cost and IC come from :func:`_replay_assignment` — the same clean
+    evaluation both engines use when *recording* a best solution — so the
+    values installed as the incumbent are bit-identical to what a cold
+    search records for the same assignment. Shared verbatim by both
+    engines so warm-started fast and reference runs stay bit-identical.
+    """
+    warm = config.warm_start
+    assert warm is not None
+    deployment = problem.deployment
+
+    values: list[tuple[bool, bool]] = []
+    try:
+        for c, pe in vars_:
+            a0 = warm.is_active(ReplicaId(pe, 0), c)
+            a1 = warm.is_active(ReplicaId(pe, 1), c)
+            if not (a0 or a1):  # Eq. 12: outside the search's domain
+                return None
+            values.append((a0, a1))
+    except ReproError:
+        return None
+
+    host_load, ic, cost = _replay_assignment(
+        problem, rate_table, vars_, values
+    )
+
+    # CPU feasibility (Eq. 11, the search's strict epsilon). Loads are
+    # non-negative, so checking the final sums covers every prefix the
+    # descent would have checked.
+    capacity = {h.name: h.capacity for h in deployment.hosts}
+    for (host, _), load in host_load.items():
+        if load >= capacity[host] * (1 - _REL_EPS):
+            return None
+
+    deficit = max(0.0, problem.ic_target - ic)
+    if config.penalty_weight is None and deficit > 0:
+        return None
+    if config.penalty_weight is None:
+        objective = cost
+    else:
+        objective = cost + config.penalty_weight * deficit
+    return values, ic, cost, objective
+
+
+def _replay_assignment(
+    problem: OptimizationProblem,
+    rate_table: RateTable,
+    vars_: list[tuple[int, str]],
+    values: list[tuple[bool, bool]],
+) -> tuple[dict[tuple[str, int], float], float, float]:
+    """Cleanly evaluate a full assignment: ``(host_load, ic, cost)``.
+
+    Replays the descent's Delta-hat / FIC / cost recurrences along the
+    assignment in variable order, from zeroed accumulators. The result
+    depends only on the assignment — unlike the descent's own
+    ``+=``/``-=`` bookkeeping, whose leaf values carry ULP-level float
+    residue from the path the search took to get there. Both engines
+    record best solutions through this function (and the warm-start
+    evaluator installs incumbents through it), which is what makes a
+    warm-started run's cost bit-identical to the cold run's.
+    """
+    deployment = problem.deployment
+    descriptor = deployment.descriptor
+    graph = descriptor.graph
+    space = descriptor.configuration_space
+    n_configs = len(space)
+
+    # Predecessor structure, rebuilt exactly as the engines' _prepare
+    # builds it (same accumulation order over the same edge iteration).
+    pe_pos = {pe: i for i, pe in enumerate(graph.pes)}
+    pe_preds: dict[str, list[tuple[str, float]]] = {}
+    src_sel: dict[tuple[str, int], float] = {}
+    src_sum: dict[tuple[str, int], float] = {}
+    for pe in graph.pes:
+        preds: list[tuple[str, float]] = []
+        for edge in graph.pe_input_edges(pe):
+            selectivity = descriptor.selectivity(edge.tail, pe)
+            if edge.tail in pe_pos:
+                preds.append((edge.tail, selectivity))
+            else:
+                for c in range(n_configs):
+                    key = (pe, c)
+                    rate = rate_table.rate(edge.tail, c)
+                    src_sel[key] = (
+                        src_sel.get(key, 0.0) + selectivity * rate
+                    )
+                    src_sum[key] = src_sum.get(key, 0.0) + rate
+        pe_preds[pe] = preds
+    prob = [space[c].probability for c in range(n_configs)]
+    bic = sum(
+        prob[c] * rate_table.total_pe_input_rate(c)
+        for c in range(n_configs)
+    )
+
+    depth_of = {var: d for d, var in enumerate(vars_)}
+    delta_hat = [0.0] * len(vars_)
+    host_load: dict[tuple[str, int], float] = {}
+    fic = 0.0
+    cost = 0.0
+    for d, ((c, pe), (a0, a1)) in enumerate(zip(vars_, values)):
+        load = rate_table.replica_load(pe, c)
+        if a0:
+            host = deployment.host_of(ReplicaId(pe, 0))
+            host_load[(host, c)] = host_load.get((host, c), 0.0) + load
+        if a1:
+            host = deployment.host_of(ReplicaId(pe, 1))
+            host_load[(host, c)] = host_load.get((host, c), 0.0) + load
+        if a0 and a1:
+            dh = src_sel.get((pe, c), 0.0)
+            plain = src_sum.get((pe, c), 0.0)
+            for pred, selectivity in pe_preds[pe]:
+                x = delta_hat[depth_of[(c, pred)]]
+                dh += selectivity * x
+                plain += x
+            delta_hat[d] = dh
+            fic += prob[c] * plain
+            cost += prob[c] * load * 2
+        else:
+            cost += prob[c] * load
+
+    ic = max(0.0, fic / bic)
+    return host_load, ic, cost
 
 
 class _BudgetExpired(Exception):
@@ -413,6 +573,8 @@ class FTSearch:
 
         if self._config.seed_incumbent:
             self._install_greedy_incumbent()
+        if self._config.warm_start is not None:
+            self._install_warm_incumbent()
 
         exhausted, nodes, values_tried = self._search()
         if self._progress is not None:
@@ -485,8 +647,6 @@ class FTSearch:
         pure accelerator.
         """
         from repro.core.baselines import greedy_deactivation
-        from repro.core.cost import strategy_cost
-        from repro.core.ic import internal_completeness
 
         try:
             strategy = greedy_deactivation(
@@ -494,13 +654,21 @@ class FTSearch:
             )
         except OptimizationError:
             return
-        ic = internal_completeness(
-            strategy, rate_table=self._rate_table
+        values = [
+            (
+                strategy.is_active(ReplicaId(pe, 0), c),
+                strategy.is_active(ReplicaId(pe, 1), c),
+            )
+            for (c, pe) in self._vars
+        ]
+        # Evaluate through the shared clean replay (same float path as
+        # recorded solutions and warm starts).
+        _, ic, cost = _replay_assignment(
+            self._problem, self._rate_table, self._vars, values
         )
         deficit = max(0.0, self._problem.ic_target - ic)
         if self._config.penalty_weight is None and deficit > 0:
             return
-        cost = strategy_cost(strategy, self._rate_table)
         if self._config.penalty_weight is None:
             objective = cost
         else:
@@ -508,13 +676,31 @@ class FTSearch:
         self._best_cost = cost
         self._best_objective = objective
         self._best_ic = ic
-        self._best_assignment = [
-            _CODE_OF_VALUE[(
-                strategy.is_active(ReplicaId(pe, 0), c),
-                strategy.is_active(ReplicaId(pe, 1), c),
-            )]
-            for (c, pe) in self._vars
-        ]
+        self._best_assignment = [_CODE_OF_VALUE[v] for v in values]
+        self._best_time = 0.0
+
+    def _install_warm_incumbent(self) -> None:
+        """Try the ``warm_start`` strategy as the initial incumbent.
+
+        Installed only when feasible for *this* problem and strictly
+        better than any incumbent already seeded (the strict-improvement
+        rule the in-search recorder uses), so seeding order never leaves
+        a worse incumbent in place.
+        """
+        payload = _evaluate_warm_start(
+            self._problem, self._config, self._rate_table, self._vars
+        )
+        if payload is None:
+            return
+        values, ic, cost, objective = payload
+        if self._best_assignment is not None and not (
+            objective < self._best_objective * (1 - _REL_EPS)
+        ):
+            return
+        self._best_cost = cost
+        self._best_objective = objective
+        self._best_ic = ic
+        self._best_assignment = [_CODE_OF_VALUE[v] for v in values]
         self._best_time = 0.0
 
     # ------------------------------------------------------------------
@@ -885,6 +1071,22 @@ class FTSearch:
         if objective < self._best_objective * (1 - _REL_EPS) or (
             self._best_assignment is None
         ):
+            # Re-evaluate the accepted leaf cleanly: the incremental
+            # accumulators carry path-dependent float residue, and the
+            # *recorded* best must be a pure function of the assignment
+            # (the warm-start contract). Solutions that improve the best
+            # are rare, so the O(n_vars) replay is off the hot path.
+            _, ic, cost = _replay_assignment(
+                self._problem,
+                self._rate_table,
+                self._vars,
+                [_VALUE_TUPLES[v] for v in self._assigned],
+            )
+            if self._config.penalty_weight is None:
+                objective = cost
+            else:
+                deficit = max(0.0, self._problem.ic_target - ic)
+                objective = cost + self._config.penalty_weight * deficit
             self._best_objective = objective
             self._best_cost = cost
             self._best_ic = ic
@@ -913,6 +1115,7 @@ def ft_search(
     disabled_rules: frozenset = frozenset(),
     seed_incumbent: bool = False,
     hungry_configs_first: bool = True,
+    warm_start: Optional[ActivationStrategy] = None,
     progress=None,
 ) -> SearchResult:
     """Convenience wrapper: build and run an :class:`FTSearch`."""
@@ -923,5 +1126,6 @@ def ft_search(
         disabled_rules=frozenset(disabled_rules),
         seed_incumbent=seed_incumbent,
         hungry_configs_first=hungry_configs_first,
+        warm_start=warm_start,
     )
     return FTSearch(problem, config, progress=progress).run()

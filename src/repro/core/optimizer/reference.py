@@ -18,7 +18,12 @@ import time
 from typing import Optional
 
 from repro.core.deployment import ReplicaId
-from repro.core.optimizer.ftsearch import FTSearchConfig, _BudgetExpired
+from repro.core.optimizer.ftsearch import (
+    FTSearchConfig,
+    _BudgetExpired,
+    _evaluate_warm_start,
+    _replay_assignment,
+)
 from repro.core.optimizer.outcomes import SearchOutcome, SearchResult
 from repro.core.optimizer.problem import OptimizationProblem
 from repro.core.optimizer.stats import PruneRule, SearchStats
@@ -213,6 +218,8 @@ class ReferenceFTSearch:
 
         if self._config.seed_incumbent:
             self._install_greedy_incumbent()
+        if self._config.warm_start is not None:
+            self._install_warm_incumbent()
 
         exhausted = True
         try:
@@ -280,8 +287,6 @@ class ReferenceFTSearch:
         pure accelerator.
         """
         from repro.core.baselines import greedy_deactivation
-        from repro.core.cost import strategy_cost
-        from repro.core.ic import internal_completeness
 
         try:
             strategy = greedy_deactivation(
@@ -289,13 +294,21 @@ class ReferenceFTSearch:
             )
         except OptimizationError:
             return
-        ic = internal_completeness(
-            strategy, rate_table=self._rate_table
+        values = [
+            (
+                strategy.is_active(ReplicaId(pe, 0), c),
+                strategy.is_active(ReplicaId(pe, 1), c),
+            )
+            for (c, pe) in self._vars
+        ]
+        # Evaluate through the shared clean replay (same float path as
+        # recorded solutions and warm starts).
+        _, ic, cost = _replay_assignment(
+            self._problem, self._rate_table, self._vars, values
         )
         deficit = max(0.0, self._problem.ic_target - ic)
         if self._config.penalty_weight is None and deficit > 0:
             return
-        cost = strategy_cost(strategy, self._rate_table)
         if self._config.penalty_weight is None:
             objective = cost
         else:
@@ -303,13 +316,30 @@ class ReferenceFTSearch:
         self._best_cost = cost
         self._best_objective = objective
         self._best_ic = ic
-        self._best_assignment = [
-            (
-                strategy.is_active(ReplicaId(pe, 0), c),
-                strategy.is_active(ReplicaId(pe, 1), c),
-            )
-            for (c, pe) in self._vars
-        ]
+        self._best_assignment = list(values)
+        self._best_time = 0.0
+
+    def _install_warm_incumbent(self) -> None:
+        """Try the ``warm_start`` strategy as the initial incumbent.
+
+        Same shared evaluation helper and strict-improvement install rule
+        as the fast core, so warm-started runs of the two engines stay
+        bit-identical.
+        """
+        payload = _evaluate_warm_start(
+            self._problem, self._config, self._rate_table, self._vars
+        )
+        if payload is None:
+            return
+        values, ic, cost, objective = payload
+        if self._best_assignment is not None and not (
+            objective < self._best_objective * (1 - _REL_EPS)
+        ):
+            return
+        self._best_cost = cost
+        self._best_objective = objective
+        self._best_ic = ic
+        self._best_assignment = list(values)
         self._best_time = 0.0
 
     # ------------------------------------------------------------------
@@ -619,12 +649,25 @@ class ReferenceFTSearch:
         if objective < self._best_objective * (1 - _REL_EPS) or (
             self._best_assignment is None
         ):
+            # Re-evaluate the accepted leaf cleanly (same contract and
+            # same shared helper as the fast core): the recorded best
+            # must be a pure function of the assignment, free of the
+            # incremental accumulators' path-dependent float residue.
+            assignment = [
+                value for value in self._assigned if value is not None
+            ]
+            _, ic, cost = _replay_assignment(
+                self._problem, self._rate_table, self._vars, assignment
+            )
+            if self._config.penalty_weight is None:
+                objective = cost
+            else:
+                deficit = max(0.0, self._problem.ic_target - ic)
+                objective = cost + self._config.penalty_weight * deficit
             self._best_objective = objective
             self._best_cost = cost
             self._best_ic = ic
-            self._best_assignment = [
-                value for value in self._assigned if value is not None
-            ]
+            self._best_assignment = assignment
             self._best_time = now
 
     def _check_budget(self) -> None:

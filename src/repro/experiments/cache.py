@@ -3,12 +3,21 @@
 Figures 9-12 all derive from the same grid of simulated runs, and the
 benchmark files are separate pytest items — without a cache each figure
 would re-run the whole cluster experiment. Results are keyed by the scale
-object (frozen dataclasses hash by value), so changing a knob, e.g. via
-the REPRO_* environment variables, naturally invalidates the cache.
+object (frozen dataclasses hash by value) *plus* a snapshot of every
+``REPRO_*`` environment knob: scale objects only capture the knobs their
+own ``from_env`` reads, but experiment code is free to read further
+``REPRO_*`` variables along the way (and callers can pass an explicit
+scale while an env knob changes underneath), so the snapshot is what
+actually guarantees that changing any knob invalidates the memo.
+
+``REPRO_JOBS`` is excluded from the snapshot: it is a pure compute knob
+(process-pool width) and results are bit-identical for every worker
+count — see :mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from repro.experiments.cluster import ClusterResults, run_cluster_experiment
@@ -23,9 +32,26 @@ __all__ = [
     "clear_cache",
 ]
 
-_cluster_cache: dict[ExperimentScale, ClusterResults] = {}
-_study_cache: dict[StudyScale, StudyResults] = {}
-_fig3_cache: dict[float, Fig3Data] = {}
+#: Compute-only knobs that never change results and so never key caches.
+_RESULT_NEUTRAL_KNOBS = frozenset({"REPRO_JOBS"})
+
+_Snapshot = tuple[tuple[str, str], ...]
+
+_cluster_cache: dict[tuple[_Snapshot, ExperimentScale], ClusterResults] = {}
+_study_cache: dict[tuple[_Snapshot, StudyScale], StudyResults] = {}
+_fig3_cache: dict[tuple[_Snapshot, float], Fig3Data] = {}
+
+
+def _knob_snapshot() -> _Snapshot:
+    """Every ``REPRO_*`` environment variable, as a hashable key part."""
+    return tuple(
+        sorted(
+            (name, value)
+            for name, value in os.environ.items()
+            if name.startswith("REPRO_")
+            and name not in _RESULT_NEUTRAL_KNOBS
+        )
+    )
 
 
 def get_cluster_results(
@@ -39,9 +65,10 @@ def get_cluster_results(
     identical for every worker count, so it is not part of the key.
     """
     scale = scale or ExperimentScale.from_env()
-    if scale not in _cluster_cache:
-        _cluster_cache[scale] = run_cluster_experiment(scale, jobs=jobs)
-    return _cluster_cache[scale]
+    key = (_knob_snapshot(), scale)
+    if key not in _cluster_cache:
+        _cluster_cache[key] = run_cluster_experiment(scale, jobs=jobs)
+    return _cluster_cache[key]
 
 
 def get_study_results(
@@ -53,16 +80,18 @@ def get_study_results(
     ``jobs`` is a compute knob only, like in :func:`get_cluster_results`.
     """
     scale = scale or StudyScale.from_env()
-    if scale not in _study_cache:
-        _study_cache[scale] = run_ftsearch_study(scale, jobs=jobs)
-    return _study_cache[scale]
+    key = (_knob_snapshot(), scale)
+    if key not in _study_cache:
+        _study_cache[key] = run_ftsearch_study(scale, jobs=jobs)
+    return _study_cache[key]
 
 
 def get_fig3_data(duration: float = 90.0) -> Fig3Data:
     """The Fig. 3 pipeline demo series, memoised per duration."""
-    if duration not in _fig3_cache:
-        _fig3_cache[duration] = run_fig3(duration)
-    return _fig3_cache[duration]
+    key = (_knob_snapshot(), duration)
+    if key not in _fig3_cache:
+        _fig3_cache[key] = run_fig3(duration)
+    return _fig3_cache[key]
 
 
 def clear_cache() -> None:

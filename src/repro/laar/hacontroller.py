@@ -56,7 +56,11 @@ class HAController:
         self._platform = platform
         self._strategy = strategy
         space = platform.deployment.descriptor.configuration_space
-        self._index = ConfigurationIndex(space, tolerance=rate_tolerance)
+        self._index = ConfigurationIndex(
+            space,
+            tolerance=rate_tolerance,
+            telemetry=platform.telemetry,
+        )
         self._total_rate = {
             config.index: sum(config.rates.values()) for config in space
         }

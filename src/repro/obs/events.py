@@ -59,6 +59,16 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "config.switch": frozenset({"from", "to", "commands"}),
     "rate.measurement": frozenset({"rates"}),
     "sla.check": frozenset({"selected", "current", "switched"}),
+    "config.fallback": frozenset({"config", "rates"}),
+    # fleet control plane (repro.fleet)
+    "fleet.admit": frozenset(
+        {"tenant", "app", "ic", "cost", "hosts", "cores", "fare", "cache"}
+    ),
+    "fleet.reject": frozenset({"tenant", "app", "reason"}),
+    "fleet.replan": frozenset(
+        {"tenant", "factor", "feasible", "nodes", "warm"}
+    ),
+    "fleet.evict": frozenset({"tenant", "reason"}),
     # span tracing (emitted by repro.obs.spans)
     "span.start": frozenset({"span", "name"}),
     "span.end": frozenset({"span", "name", "duration"}),

@@ -17,6 +17,7 @@ from repro.placement.communication import (
     deployment_traffic,
     expected_traffic,
 )
+from repro.placement.packing import HostPool
 
 __all__ = [
     "balanced_placement",
@@ -24,4 +25,5 @@ __all__ = [
     "communication_aware_placement",
     "deployment_traffic",
     "expected_traffic",
+    "HostPool",
 ]

@@ -35,6 +35,14 @@ class ConfigurationIndex:
     where each discrete rate is the *upper edge* of the observed rates it
     stands for — measurement noise around a nominal rate must not read as
     a configuration change. With ``tolerance=0`` the test is exact.
+
+    ``telemetry`` is an optional :class:`repro.obs.Telemetry` (anything
+    with a compatible ``emit``): every out-of-contract fallback emits a
+    ``config.fallback`` event and bumps the ``rtree.fallbacks`` counter.
+    The fallback used to be silent, but it is the signal the control
+    plane's re-planner reacts to — sustained fallbacks mean the tenant's
+    input has left its contracted configuration space. The index also
+    counts fallbacks locally in :attr:`fallbacks`.
     """
 
     def __init__(
@@ -42,12 +50,16 @@ class ConfigurationIndex:
         space: ConfigurationSpace,
         max_entries: int = 8,
         tolerance: float = 0.0,
+        telemetry=None,
     ) -> None:
         if tolerance < 0:
             raise RTreeError(f"tolerance must be >= 0, got {tolerance}")
         self._space = space
         self._sources = space.sources
         self._tolerance = tolerance
+        self._telemetry = telemetry
+        #: Out-of-contract lookups served by the fallback configuration.
+        self.fallbacks = 0
         # The configuration set is static: STR bulk loading packs it.
         from repro.rtree.rect import Rect
 
@@ -96,6 +108,19 @@ class ConfigurationIndex:
 
         found = self._tree.nearest(point, predicate=dominates)
         if found is None:
+            self.fallbacks += 1
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    "config.fallback",
+                    config=self._fallback_index,
+                    rates={
+                        source: rate
+                        for source, rate in zip(self._sources, point)
+                    },
+                )
+                metrics = getattr(self._telemetry, "metrics", None)
+                if metrics is not None:
+                    metrics.counter("rtree.fallbacks").inc()
             return self._space[self._fallback_index]
         return self._space[found.value]
 

@@ -32,6 +32,12 @@ from repro.core.optimizer import (
 from repro.core.strategy import ActivationStrategy
 from repro.dsps.metrics import RunMetrics
 from repro.errors import InfeasibleError, ModelError
+from repro.fleet.store import (
+    StrategyStore,
+    record_from_result,
+    result_from_record,
+    strategy_key,
+)
 from repro.placement import balanced_placement
 
 __all__ = [
@@ -135,12 +141,17 @@ class SLAReport:
 
 @dataclass(frozen=True)
 class ProvisionedApplication:
-    """A contract turned into a deployable LAAR configuration."""
+    """A contract turned into a deployable LAAR configuration.
+
+    ``from_cache`` marks a provisioning served by the strategy store
+    (no search ran; ``search`` was rehydrated from the cached record).
+    """
 
     contract: Contract
     deployment: ReplicatedDeployment
     strategy: ActivationStrategy
     search: SearchResult
+    from_cache: bool = False
 
     @property
     def fare(self) -> float:
@@ -174,21 +185,113 @@ class ProvisionedApplication:
 
 
 class Provisioner:
-    """The provider side: place, optimize, and price a contract."""
+    """The provider side: place, optimize, and price a contract.
+
+    ``search_time_limit`` and ``node_limit`` bound the FT-Search run;
+    fleet scenarios use ``search_time_limit=None`` with a node limit so
+    results are independent of host speed. With a ``store`` attached,
+    provisioning first consults the :class:`~repro.fleet.store
+    .StrategyStore` and every fresh search result (including infeasible
+    proofs) is written back, so repeated provisioning of identical
+    descriptors skips the search entirely.
+    """
 
     def __init__(
         self,
         hosts: list[Host],
         replication_factor: int = 2,
-        search_time_limit: float = 10.0,
+        search_time_limit: Optional[float] = 10.0,
+        node_limit: Optional[int] = None,
+        store: Optional[StrategyStore] = None,
     ) -> None:
         if not hosts:
             raise ModelError("the provider needs at least one host")
         self._hosts = list(hosts)
         self._k = replication_factor
         self._time_limit = search_time_limit
+        self._node_limit = node_limit
+        self._store = store
 
-    def provision(self, contract: Contract) -> ProvisionedApplication:
+    def _search_signature(self) -> str:
+        """Identifies the search configuration inside store keys, so a
+        record is only reused by an identically-configured search."""
+        return (
+            f"ftsearch:time={self._time_limit}:nodes={self._node_limit}"
+            ":seed=1"
+        )
+
+    def try_provision(
+        self,
+        contract: Contract,
+        warm_start: Optional[ActivationStrategy] = None,
+    ) -> tuple[Optional[ProvisionedApplication], dict]:
+        """Provision without raising: ``(provisioned_or_None, record)``.
+
+        The record always describes the search outcome (store format of
+        :func:`repro.fleet.store.record_from_result`, plus a
+        ``from_cache`` flag); ``None`` for the first element means the
+        contract is infeasible on the offered hosts. ``warm_start``
+        seeds the search with a previous incumbent strategy (ignored by
+        the engine when unusable) — the fleet re-planner passes the
+        tenant's currently-running strategy here.
+        """
+        deployment = balanced_placement(
+            contract.descriptor, self._hosts, self._k
+        )
+        key: Optional[str] = None
+        if self._store is not None:
+            key = strategy_key(
+                contract.descriptor,
+                self._hosts,
+                self._k,
+                contract.sla.ic_target,
+                signature=self._search_signature(),
+            )
+            record = self._store.get(key)
+            if record is not None:
+                result = result_from_record(record, deployment)
+                provisioned = (
+                    None
+                    if result.strategy is None
+                    else ProvisionedApplication(
+                        contract=contract,
+                        deployment=deployment,
+                        strategy=result.strategy,
+                        search=result,
+                        from_cache=True,
+                    )
+                )
+                return provisioned, dict(record, from_cache=True)
+
+        result = ft_search(
+            OptimizationProblem(
+                deployment, ic_target=contract.sla.ic_target
+            ),
+            time_limit=self._time_limit,
+            node_limit=self._node_limit,
+            seed_incumbent=True,
+            warm_start=warm_start,
+        )
+        record = record_from_result(result)
+        if self._store is not None and key is not None:
+            self._store.put(key, record)
+        provisioned = (
+            None
+            if result.strategy is None
+            else ProvisionedApplication(
+                contract=contract,
+                deployment=deployment,
+                strategy=result.strategy,
+                search=result,
+            )
+        )
+        return provisioned, dict(record, from_cache=False)
+
+    def provision(
+        self,
+        contract: Contract,
+        warm_start: Optional[ActivationStrategy] = None,
+    ) -> ProvisionedApplication:
         """Run the Fig. 7 workflow for one contract.
 
         Raises :class:`InfeasibleError` when no activation strategy can
@@ -196,28 +299,16 @@ class Provisioner:
         refuse the contract (or renegotiate the SLA) rather than accept
         a deal it would pay penalties on.
         """
-        deployment = balanced_placement(
-            contract.descriptor, self._hosts, self._k
+        provisioned, record = self.try_provision(
+            contract, warm_start=warm_start
         )
-        result = ft_search(
-            OptimizationProblem(
-                deployment, ic_target=contract.sla.ic_target
-            ),
-            time_limit=self._time_limit,
-            seed_incumbent=True,
-        )
-        if result.strategy is None:
+        if provisioned is None:
             raise InfeasibleError(
                 f"contract {contract.name!r}: no strategy satisfies"
                 f" IC >= {contract.sla.ic_target} on the offered hosts"
-                f" ({result.outcome.value})"
+                f" ({record['outcome']})"
             )
-        return ProvisionedApplication(
-            contract=contract,
-            deployment=deployment,
-            strategy=result.strategy,
-            search=result,
-        )
+        return provisioned
 
     def quote(self, contract: Contract) -> float:
         """The fare for a contract (provisioning it on the way)."""

@@ -55,3 +55,78 @@ class TestCache:
         b = ExperimentScale(corpus_size=3, crash_corpus_size=2)
         assert hash(a) == hash(b)
         assert a == b
+
+
+class TestKnobSnapshotInvalidation:
+    """The memo must key on *all* REPRO_* knobs, not just the ones the
+    scale dataclass happens to capture: experiment code may read further
+    knobs, and a knob can change while a caller passes an explicit
+    scale object."""
+
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def _counting_stub(self, monkeypatch, target):
+        calls = []
+
+        def fake(scale, jobs=None):
+            calls.append(scale)
+            return object()
+
+        monkeypatch.setattr(cache_module, target, fake)
+        return calls
+
+    def test_changing_knob_invalidates_with_explicit_scale(
+        self, monkeypatch
+    ):
+        calls = self._counting_stub(
+            monkeypatch, "run_cluster_experiment"
+        )
+        scale = ExperimentScale(corpus_size=3, crash_corpus_size=2)
+        monkeypatch.delenv("REPRO_EXOTIC_KNOB", raising=False)
+        first = cache_module.get_cluster_results(scale)
+        assert cache_module.get_cluster_results(scale) is first
+        monkeypatch.setenv("REPRO_EXOTIC_KNOB", "1")
+        second = cache_module.get_cluster_results(scale)
+        assert second is not first
+        assert len(calls) == 2
+        # Restoring the knob restores the original entry.
+        monkeypatch.delenv("REPRO_EXOTIC_KNOB")
+        assert cache_module.get_cluster_results(scale) is first
+
+    def test_changing_knob_invalidates_study_and_fig3(self, monkeypatch):
+        study_calls = self._counting_stub(
+            monkeypatch, "run_ftsearch_study"
+        )
+
+        def fake_fig3(duration):
+            return object()
+
+        monkeypatch.setattr(cache_module, "run_fig3", fake_fig3)
+        scale = StudyScale(
+            instances=2, ic_targets=(0.5,), time_limit=0.5,
+            host_range=(2, 2), pes_per_host_range=(2, 3),
+        )
+        monkeypatch.delenv("REPRO_TRACE_SECONDS", raising=False)
+        study_a = cache_module.get_study_results(scale)
+        fig3_a = cache_module.get_fig3_data(5.0)
+        monkeypatch.setenv("REPRO_TRACE_SECONDS", "77")
+        assert cache_module.get_study_results(scale) is not study_a
+        assert cache_module.get_fig3_data(5.0) is not fig3_a
+        assert len(study_calls) == 2
+
+    def test_jobs_knob_does_not_invalidate(self, monkeypatch):
+        """REPRO_JOBS is a compute-only knob (results are bit-identical
+        across worker counts) and must not key the cache."""
+        calls = self._counting_stub(
+            monkeypatch, "run_cluster_experiment"
+        )
+        scale = ExperimentScale(corpus_size=3, crash_corpus_size=2)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        first = cache_module.get_cluster_results(scale)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert cache_module.get_cluster_results(scale) is first
+        assert len(calls) == 1

@@ -90,3 +90,51 @@ class TestMultiSourceLookup:
             assert config.distance_to(rates) == pytest.approx(
                 best.distance_to(rates)
             )
+
+
+class TestFallbackTelemetry:
+    """The out-of-contract fallback is the re-planner's trigger signal:
+    it must be observable, not silent."""
+
+    def build(self):
+        from repro.obs import Telemetry
+
+        space = ConfigurationSpace.two_level("src", 4.0, 8.0, 0.8)
+        telemetry = Telemetry(clock=lambda: 42.0)
+        index = ConfigurationIndex(space, telemetry=telemetry)
+        return index, telemetry
+
+    def test_fallback_emits_event_and_counter(self):
+        index, telemetry = self.build()
+        config = index.lookup({"src": 11.0})
+        assert config.label == "High"
+        events = telemetry.events.of_type("config.fallback")
+        assert len(events) == 1
+        event = events[0]
+        assert event.time == 42.0
+        assert event.fields["config"] == config.index
+        assert event.fields["rates"] == {"src": 11.0}
+        assert telemetry.metrics.counter("rtree.fallbacks").total() == 1.0
+        assert index.fallbacks == 1
+
+    def test_in_contract_lookup_is_silent(self):
+        index, telemetry = self.build()
+        index.lookup({"src": 3.0})
+        index.lookup({"src": 7.5})
+        assert telemetry.events.count("config.fallback") == 0
+        assert index.fallbacks == 0
+
+    def test_fallback_counts_without_telemetry(self):
+        space = ConfigurationSpace.two_level("src", 4.0, 8.0, 0.8)
+        index = ConfigurationIndex(space)
+        index.lookup({"src": 100.0})
+        index.lookup({"src": 100.0})
+        assert index.fallbacks == 2
+
+    def test_fallback_event_validates_against_schema(self):
+        from repro.obs.validate import validate_lines
+
+        index, telemetry = self.build()
+        index.lookup({"src": 11.0})
+        lines = telemetry.events.to_jsonl().splitlines()
+        assert validate_lines(lines, origin="<test>") == []

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core import Host, static_replication
 from repro.dsps import two_level_trace
 from repro.errors import InfeasibleError, ModelError
+from repro.fleet.store import StrategyStore
 from repro.laar import ExtendedApplication, MiddlewareConfig
 from repro.service import (
     SLA,
@@ -120,6 +123,123 @@ class TestProvisioning:
         )
         with pytest.raises(InfeasibleError, match="no strategy"):
             Provisioner(provider_hosts).provision(contract)
+
+
+class TestProvisionerEdgeCases:
+    def test_infeasible_error_names_contract_target_and_outcome(
+        self, pipeline_descriptor, provider_hosts
+    ):
+        contract = Contract(
+            descriptor=pipeline_descriptor,
+            sla=SLA(ic_target=1.0),
+            pricing=PricingPlan(),
+            name="doomed-deal",
+        )
+        with pytest.raises(InfeasibleError) as excinfo:
+            Provisioner(provider_hosts).provision(contract)
+        message = str(excinfo.value)
+        assert "doomed-deal" in message  # which contract
+        assert "IC >= 1.0" in message  # which clause failed
+        assert "NUL" in message  # proven infeasible, not a timeout
+
+    def test_zero_and_negative_billing_periods_rejected(self):
+        """Degenerate pricing plans fail validation instead of dividing
+        by zero inside fare computation."""
+        with pytest.raises(ModelError, match="billing period"):
+            PricingPlan(billing_period=0.0)
+        with pytest.raises(ModelError, match="billing period"):
+            PricingPlan(billing_period=-1.0)
+
+    def test_tiny_billing_period_yields_finite_fare(
+        self, pipeline_deployment
+    ):
+        plan = PricingPlan(cpu_rate=1.0, billing_period=1e-9)
+        fare = plan.fare(static_replication(pipeline_deployment))
+        assert math.isfinite(fare)
+        assert fare >= 0.0
+
+
+class TestStrategyStoreIntegration:
+    def test_second_provision_hits_the_store(
+        self, pipeline_contract, provider_hosts
+    ):
+        store = StrategyStore()
+        provisioner = Provisioner(
+            provider_hosts, search_time_limit=None, store=store
+        )
+        first = provisioner.provision(pipeline_contract)
+        assert not first.from_cache
+        second = provisioner.provision(pipeline_contract)
+        assert second.from_cache
+        assert store.hits == 1 and store.misses == 1
+        # The cached strategy activates identically and prices the same.
+        assert second.strategy.to_dict() == first.strategy.to_dict()
+        assert second.fare == first.fare
+        assert second.search.best_cost == first.search.best_cost
+        assert second.search.best_ic == first.search.best_ic
+
+    def test_store_shared_across_provisioners(
+        self, pipeline_contract, provider_hosts
+    ):
+        store = StrategyStore()
+        Provisioner(
+            provider_hosts, search_time_limit=None, store=store
+        ).provision(pipeline_contract)
+        other = Provisioner(
+            provider_hosts, search_time_limit=None, store=store
+        )
+        assert other.provision(pipeline_contract).from_cache
+
+    def test_different_search_budget_misses(
+        self, pipeline_contract, provider_hosts
+    ):
+        """A record is only reused by an identically-configured search."""
+        store = StrategyStore()
+        Provisioner(
+            provider_hosts, search_time_limit=None, store=store
+        ).provision(pipeline_contract)
+        limited = Provisioner(
+            provider_hosts,
+            search_time_limit=None,
+            node_limit=10_000,
+            store=store,
+        )
+        assert not limited.provision(pipeline_contract).from_cache
+        assert len(store) == 2
+
+    def test_infeasible_result_cached_and_refused_again(
+        self, pipeline_descriptor, provider_hosts
+    ):
+        store = StrategyStore()
+        provisioner = Provisioner(
+            provider_hosts, search_time_limit=None, store=store
+        )
+        contract = Contract(
+            descriptor=pipeline_descriptor,
+            sla=SLA(ic_target=1.0),
+            pricing=PricingPlan(),
+        )
+        with pytest.raises(InfeasibleError):
+            provisioner.provision(contract)
+        assert len(store) == 1
+        with pytest.raises(InfeasibleError, match="NUL"):
+            provisioner.provision(contract)
+        assert store.hits == 1  # the second refusal ran no search
+
+    def test_warm_start_reaches_the_search(
+        self, pipeline_contract, provider_hosts
+    ):
+        provisioner = Provisioner(provider_hosts, search_time_limit=None)
+        cold = provisioner.provision(pipeline_contract)
+        warm = provisioner.provision(
+            pipeline_contract, warm_start=cold.strategy
+        )
+        assert warm.strategy.to_dict() == cold.strategy.to_dict()
+        assert warm.search.best_cost == cold.search.best_cost
+        assert (
+            warm.search.stats.nodes_expanded
+            <= cold.search.stats.nodes_expanded
+        )
 
 
 class TestSLAReport:

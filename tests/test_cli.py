@@ -235,6 +235,34 @@ class TestObs:
         assert crash["event_counts"].get("host.crash", 0) == 1
         assert crash["event_counts"].get("tuple.drop", 0) > 0
 
+    def test_fleet_writes_report_and_valid_events(self, tmp_path, capsys):
+        out_dir = tmp_path / "fleet"
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "fleet",
+                "--tenants", "6",
+                "--apps", "2",
+                "--jobs", "2",
+                "--out-dir", str(out_dir),
+                "--store-dir", str(store_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet scenario report" in out
+        assert "shared pool occupancy" in out
+
+        from repro.obs.validate import validate_file
+
+        events_path = out_dir / "events.jsonl"
+        assert events_path.exists()
+        assert validate_file(events_path) == []
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["admission"]["submitted"] == 6
+        assert report["scenario"]["tenants"] == 6
+        assert list(store_dir.glob("*.json"))  # strategies persisted
+
     def test_strategy_and_ic_mutually_exclusive(
         self, bundle_path, strategy_path, tmp_path, capsys
     ):
