@@ -1,0 +1,171 @@
+"""Compare fresh BENCH_*.json reports against a committed baseline.
+
+Each benchmark nominates one headline throughput metric (higher is
+better). The gate fails when a fresh run regresses more than the
+threshold (default 30%) below the baseline — loose enough to absorb
+runner noise, tight enough to catch an accidental O(n) -> O(n^2).
+
+Reports whose ``mode`` differs between baseline and fresh (e.g. a
+committed full-mode report diffed against a ``--smoke`` CI run) are
+reported but not gated: the workloads are not comparable.
+
+Usage::
+
+    python benchmarks/perf/compare.py \
+        --baseline /path/to/committed --fresh benchmarks/perf
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+# benchmark stem -> (metric label, extractor). Extractors return a
+# higher-is-better throughput number, or None if the report lacks it.
+HEADLINE = {
+    "BENCH_ftsearch": (
+        "fast_nodes_per_sec",
+        lambda report: report.get("fast_nodes_per_sec"),
+    ),
+    "BENCH_experiments": (
+        "grid_runs_per_sec",
+        lambda report: (
+            report["grid_runs"] / report["serial_seconds"]
+            if report.get("grid_runs") and report.get("serial_seconds")
+            else None
+        ),
+    ),
+    "BENCH_obs": (
+        "emits_per_sec",
+        lambda report: (
+            1.0e6 / report["emit_us"] if report.get("emit_us") else None
+        ),
+    ),
+    "BENCH_fleet": (
+        "contracts_per_sec",
+        lambda report: report.get("admission", {}).get(
+            "contracts_per_sec"
+        ),
+    ),
+}
+
+
+def _load(path: Path) -> Optional[dict[str, Any]]:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_reports(
+    baseline_dir: Path, fresh_dir: Path, threshold: float
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Compare every known benchmark; returns (rows, failures)."""
+    rows: list[dict[str, Any]] = []
+    failures: list[str] = []
+    for stem, (label, extract) in sorted(HEADLINE.items()):
+        name = f"{stem}.json"
+        baseline = _load(baseline_dir / name)
+        fresh = _load(fresh_dir / name)
+        row: dict[str, Any] = {
+            "benchmark": stem,
+            "metric": label,
+            "baseline": None,
+            "fresh": None,
+            "delta": None,
+            "status": "missing",
+        }
+        if baseline is None or fresh is None:
+            row["status"] = (
+                "no baseline" if baseline is None else "no fresh run"
+            )
+            rows.append(row)
+            continue
+        row["baseline"] = extract(baseline)
+        row["fresh"] = extract(fresh)
+        if baseline.get("mode") != fresh.get("mode"):
+            row["status"] = (
+                f"skipped (mode {baseline.get('mode')!r} vs"
+                f" {fresh.get('mode')!r})"
+            )
+            rows.append(row)
+            continue
+        if not row["baseline"] or row["fresh"] is None:
+            row["status"] = "skipped (metric missing)"
+            rows.append(row)
+            continue
+        delta = (row["fresh"] - row["baseline"]) / row["baseline"]
+        row["delta"] = delta
+        if delta < -threshold:
+            row["status"] = f"REGRESSION (> {threshold:.0%} slower)"
+            failures.append(
+                f"{stem}: {label} fell {-delta:.1%}"
+                f" ({row['baseline']:.1f} -> {row['fresh']:.1f})"
+            )
+        else:
+            row["status"] = "ok"
+        rows.append(row)
+    return rows, failures
+
+
+def render_table(rows: list[dict[str, Any]]) -> str:
+    def fmt(value: Optional[float]) -> str:
+        return (
+            f"{value:,.1f}" if isinstance(value, (int, float)) else "-"
+        )
+
+    header = (
+        f"{'benchmark':<20} {'metric':<18} {'baseline':>12}"
+        f" {'fresh':>12} {'delta':>8}  status"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        delta = (
+            f"{row['delta']:+.1%}" if row["delta"] is not None else "-"
+        )
+        lines.append(
+            f"{row['benchmark']:<20} {row['metric']:<18}"
+            f" {fmt(row['baseline']):>12} {fmt(row['fresh']):>12}"
+            f" {delta:>8}  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, type=Path,
+        help="directory holding the committed BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh", required=True, type=Path,
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="maximum tolerated fractional throughput drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+
+    rows, failures = compare_reports(
+        args.baseline, args.fresh, args.threshold
+    )
+    print(render_table(rows))
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nno throughput regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

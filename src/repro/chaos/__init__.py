@@ -1,0 +1,64 @@
+"""Chaos campaigns: adversarial fault injection with invariant checking.
+
+LAAR's central claim is an *a-priori* lower bound on internal
+completeness under the pessimistic failure model (Sec. 4.4). The two
+injectors of :mod:`repro.dsps.failures` only exercise the exact scenarios
+of the paper's evaluation; this package stress-tests the bound against
+richer fault patterns — correlated rack crashes, crash/recover flapping,
+slow-host stragglers, transient replica hangs, recovery storms — and then
+*re-proves* the SLA by replaying each run's event log through a machine
+checker of the model's invariants (:mod:`repro.chaos.invariants`).
+
+Everything is deterministic and seeded: a campaign seed expands into a
+reproducible injection schedule (:mod:`repro.chaos.campaign`), campaigns
+fan out over the process-parallel experiment fabric with the byte-identity
+contract of :mod:`repro.experiments.parallel`, and any violation is
+distilled into a minimized repro artifact (:mod:`repro.chaos.artifact`).
+"""
+
+from repro.chaos.artifact import (
+    load_artifact,
+    minimize_campaign,
+    replay_artifact,
+    violation_artifact,
+    write_artifact,
+)
+from repro.chaos.campaign import (
+    CampaignSpec,
+    generate_schedule,
+    sabotage_strategy,
+)
+from repro.chaos.injectors import (
+    INJECTION_KINDS,
+    Injection,
+    apply_injection,
+    racks,
+)
+from repro.chaos.invariants import (
+    CheckResult,
+    Violation,
+    check_campaign,
+    check_conservation,
+)
+from repro.chaos.runner import run_campaign, run_campaigns
+
+__all__ = [
+    "Injection",
+    "INJECTION_KINDS",
+    "apply_injection",
+    "racks",
+    "CampaignSpec",
+    "generate_schedule",
+    "sabotage_strategy",
+    "Violation",
+    "CheckResult",
+    "check_campaign",
+    "check_conservation",
+    "run_campaign",
+    "run_campaigns",
+    "violation_artifact",
+    "write_artifact",
+    "load_artifact",
+    "replay_artifact",
+    "minimize_campaign",
+]

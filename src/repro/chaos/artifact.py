@@ -1,0 +1,200 @@
+"""Minimized repro artifacts for invariant violations.
+
+When a campaign breaks an invariant, the verdict alone is not
+actionable: the interesting part is the smallest schedule that still
+breaks it and the event-log neighbourhood of the first breach. This
+module distils a failing digest into a self-contained JSON *artifact* —
+the campaign spec (with its fully expanded schedule), the first violated
+invariant, and a window of the canonical event stream around it — and
+can replay or shrink one:
+
+* :func:`replay_artifact` re-runs the embedded spec through the normal
+  campaign runner, so a violation reported by CI reproduces locally with
+  one command (``repro chaos replay``);
+* :func:`minimize_campaign` greedily drops injections that are not
+  needed to reproduce the *same* first-violated invariant (classic
+  ddmin restricted to single drops, which is where virtually all of the
+  shrinkage is for schedules of a handful of faults).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.chaos.campaign import CampaignSpec
+from repro.chaos.injectors import Injection
+from repro.errors import ChaosError
+
+__all__ = [
+    "violation_artifact",
+    "write_artifact",
+    "load_artifact",
+    "replay_artifact",
+    "minimize_campaign",
+]
+
+_ARTIFACT_VERSION = 1
+
+
+def _spec_to_dict(spec: CampaignSpec) -> dict[str, Any]:
+    record: dict[str, Any] = {}
+    for f in dataclasses.fields(spec):
+        value = getattr(spec, f.name)
+        if f.name == "schedule":
+            value = (
+                None
+                if value is None
+                else [injection.to_dict() for injection in value]
+            )
+        record[f.name] = value
+    return record
+
+
+def _spec_from_dict(record: dict[str, Any]) -> CampaignSpec:
+    known = {f.name for f in dataclasses.fields(CampaignSpec)}
+    unknown = sorted(set(record) - known)
+    if unknown:
+        raise ChaosError(f"artifact spec has unknown fields {unknown}")
+    payload = dict(record)
+    schedule = payload.get("schedule")
+    if schedule is not None:
+        payload["schedule"] = tuple(
+            Injection.from_dict(item) for item in schedule
+        )
+    try:
+        return CampaignSpec(**payload)
+    except TypeError as exc:
+        raise ChaosError(f"artifact spec is not a campaign: {exc}") from exc
+
+
+def violation_artifact(
+    digest: dict[str, Any],
+    spec: CampaignSpec,
+    window: float = 5.0,
+) -> dict[str, Any]:
+    """Distil a failing campaign digest into a repro artifact.
+
+    The artifact pins the *expanded* schedule (so replaying it does not
+    depend on the seed expansion staying stable across versions) and
+    carries the event lines within ``window`` seconds of the first
+    violation.
+    """
+    violations = digest.get("invariants", {}).get("violations", [])
+    if not violations:
+        raise ChaosError(
+            "digest has no invariant violations: nothing to distil"
+        )
+    first = violations[0]
+    pinned = dataclasses.replace(
+        spec,
+        schedule=tuple(
+            Injection.from_dict(item) for item in digest["schedule"]
+        ),
+    )
+    t0 = float(first["time"])
+    window_lines = []
+    for line in digest.get("jsonl", "").splitlines():
+        record = json.loads(line)
+        if t0 - window <= record["t"] <= t0 + window:
+            window_lines.append(line)
+    return {
+        "version": _ARTIFACT_VERSION,
+        "seed": spec.seed,
+        "spec": _spec_to_dict(pinned),
+        "first_violation": dict(first),
+        "violations": [dict(v) for v in violations],
+        "stats": dict(digest.get("invariants", {}).get("stats", {})),
+        "event_window": window_lines,
+    }
+
+
+def write_artifact(
+    artifact: dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write one artifact as indented JSON; returns the path."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    )
+    return target
+
+
+def load_artifact(path: Union[str, Path]) -> dict[str, Any]:
+    """Read an artifact back, validating the version and shape."""
+    try:
+        artifact = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ChaosError(f"artifact {path} is not JSON: {exc}") from exc
+    if not isinstance(artifact, dict) or "spec" not in artifact:
+        raise ChaosError(f"artifact {path} has no campaign spec")
+    version = artifact.get("version")
+    if version != _ARTIFACT_VERSION:
+        raise ChaosError(
+            f"artifact {path} has version {version!r};"
+            f" this build reads version {_ARTIFACT_VERSION}"
+        )
+    return artifact
+
+
+def replay_artifact(
+    artifact: Union[dict[str, Any], str, Path],
+) -> dict[str, Any]:
+    """Re-run the campaign an artifact describes; returns the digest.
+
+    Accepts a loaded artifact dict or a path. The replay executes the
+    pinned schedule, so it reproduces the original run exactly (the
+    digest's ``jsonl`` is byte-identical to the failing run's).
+    """
+    from repro.chaos.runner import run_campaign
+
+    if not isinstance(artifact, dict):
+        artifact = load_artifact(artifact)
+    return run_campaign(_spec_from_dict(artifact["spec"]))
+
+
+def _first_invariant(digest: dict[str, Any]) -> Optional[str]:
+    violations = digest.get("invariants", {}).get("violations", [])
+    return violations[0]["invariant"] if violations else None
+
+
+def minimize_campaign(
+    spec: CampaignSpec,
+    digest: Optional[dict[str, Any]] = None,
+) -> tuple[CampaignSpec, dict[str, Any]]:
+    """Shrink a failing campaign to a minimal schedule (greedy ddmin).
+
+    Drops injections one at a time (newest first — later faults are the
+    likeliest bystanders) and keeps each drop that still reproduces the
+    *same* first-violated invariant. Returns the minimized spec (with an
+    explicit pinned schedule) and its digest. Raises
+    :class:`~repro.errors.ChaosError` if the campaign does not violate
+    anything to begin with.
+    """
+    from repro.chaos.runner import run_campaign
+
+    if digest is None:
+        digest = run_campaign(spec)
+    target = _first_invariant(digest)
+    if target is None:
+        raise ChaosError(
+            "campaign violates no invariant: nothing to minimize"
+        )
+    schedule = [
+        Injection.from_dict(item) for item in digest["schedule"]
+    ]
+    best = dataclasses.replace(spec, schedule=tuple(schedule))
+    best_digest = digest
+    index = len(schedule) - 1
+    while index >= 0 and len(schedule) > 1:
+        candidate = schedule[:index] + schedule[index + 1:]
+        trial_spec = dataclasses.replace(spec, schedule=tuple(candidate))
+        trial = run_campaign(trial_spec)
+        if _first_invariant(trial) == target:
+            schedule = candidate
+            best = trial_spec
+            best_digest = trial
+        index -= 1
+    return best, best_digest

@@ -1,0 +1,254 @@
+"""The injector library: typed fault injections beyond the paper's two.
+
+Each :class:`Injection` is a small immutable value — a kind, a start
+time, and flat parameters — that :func:`apply_injection` turns into
+scheduled calls on a :class:`~repro.dsps.platform.StreamPlatform`. Every
+application emits one ``chaos.inject`` event through the platform's
+telemetry, so a run's event log records the full injection schedule and
+the invariant checker can replay it without any side channel.
+
+Kinds
+-----
+
+``rack_crash``
+    Correlated multi-host failure: every host of one rack crashes at the
+    same instant and recovers together after ``downtime`` seconds — the
+    regime Su & Zhou identify as where replication guarantees actually
+    break (both replicas of a PE may share the rack).
+``flap``
+    Repeated crash/recover cycling of one host. Downtimes shorter than
+    the detection timeout exercise the recovered-before-detected path of
+    :class:`~repro.dsps.operators.ReplicaGroup`.
+``slow_host``
+    A straggler: the host stays up but delivers only ``factor`` of its
+    nominal CPU cycles for ``duration`` seconds.
+``replica_hang``
+    One replica transiently stops processing and heartbeating (modelled
+    as a crash with a scheduled restart); campaigns place it across a
+    configuration-phase boundary so the hang spans a config switch.
+``recovery_storm``
+    Several hosts fail in a stagger and all recover at the same instant,
+    producing a thundering herd of resyncs and re-elections.
+``pessimistic``
+    The paper's worst case as a scheduled event: the pessimistic victim
+    of every PE (Sec. 4.4) crashes at ``at`` and never recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.deployment import ReplicaId
+from repro.core.strategy import ActivationStrategy
+from repro.dsps.failures import pessimistic_victims
+from repro.dsps.platform import StreamPlatform
+from repro.errors import ChaosError
+
+__all__ = ["INJECTION_KINDS", "Injection", "apply_injection", "racks"]
+
+#: Injection kinds understood by :func:`apply_injection`, in the order
+#: the campaign generator draws from.
+INJECTION_KINDS = (
+    "rack_crash",
+    "flap",
+    "slow_host",
+    "replica_hang",
+    "recovery_storm",
+    "pessimistic",
+)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One scheduled fault: kind, start time, and flat parameters.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs where every
+    value is a scalar or a tuple of strings — hashable, picklable, and
+    JSON-roundtrippable, so schedules can ride inside campaign specs,
+    worker results, and violation artifacts unchanged.
+    """
+
+    kind: str
+    at: float
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTION_KINDS:
+            raise ChaosError(
+                f"unknown injection kind {self.kind!r};"
+                f" expected one of {INJECTION_KINDS}"
+            )
+        if self.at < 0:
+            raise ChaosError(f"injection time must be >= 0, got {self.at}")
+
+    def param(self, key: str) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise ChaosError(
+            f"injection {self.kind!r} has no parameter {key!r}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "params": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in self.params
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "Injection":
+        params = tuple(
+            sorted(
+                (key, tuple(value) if isinstance(value, list) else value)
+                for key, value in record.get("params", {}).items()
+            )
+        )
+        return cls(kind=record["kind"], at=record["at"], params=params)
+
+    @classmethod
+    def build(cls, kind: str, at: float, **params: Any) -> "Injection":
+        normalized = tuple(
+            sorted(
+                (key, tuple(value) if isinstance(value, list) else value)
+                for key, value in params.items()
+            )
+        )
+        return cls(kind=kind, at=at, params=normalized)
+
+
+def racks(
+    host_names: Sequence[str], rack_size: int = 2
+) -> tuple[tuple[str, ...], ...]:
+    """Deterministic rack grouping: sorted hosts chunked by ``rack_size``.
+
+    The simulated deployments carry no physical topology, so racks are a
+    convention: adjacent hosts in sorted-name order share one. The
+    grouping is pure, so the campaign generator and the replay of an
+    artifact always agree on which hosts fail together.
+    """
+    if rack_size < 1:
+        raise ChaosError(f"rack_size must be >= 1, got {rack_size}")
+    ordered = sorted(host_names)
+    return tuple(
+        tuple(ordered[i:i + rack_size])
+        for i in range(0, len(ordered), rack_size)
+    )
+
+
+def _check_hosts(platform: StreamPlatform, hosts: Sequence[str]) -> None:
+    known = set(platform.deployment.host_names)
+    unknown = [h for h in hosts if h not in known]
+    if unknown:
+        raise ChaosError(f"injection targets unknown host(s) {unknown}")
+
+
+def apply_injection(
+    platform: StreamPlatform,
+    injection: Injection,
+    strategy: Optional[ActivationStrategy] = None,
+) -> None:
+    """Schedule one injection on the platform's simulation clock.
+
+    ``strategy`` is required for ``pessimistic`` injections (the victim
+    set is a function of the activation strategy). Emits one
+    ``chaos.inject`` event immediately, so the schedule is part of the
+    run's event stream header.
+    """
+    env = platform.env
+    at = injection.at
+    fields = {key: value for key, value in injection.params}
+    platform.telemetry.emit(
+        "chaos.inject",
+        kind=injection.kind,
+        at=at,
+        **{
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in fields.items()
+        },
+    )
+
+    if injection.kind == "rack_crash":
+        hosts = fields["hosts"]
+        downtime = fields["downtime"]
+        _check_hosts(platform, hosts)
+        for host in hosts:
+            env.schedule_at(at, lambda h=host: platform.crash_host(h))
+            env.schedule_at(
+                at + downtime, lambda h=host: platform.recover_host(h)
+            )
+    elif injection.kind == "flap":
+        host = fields["host"]
+        _check_hosts(platform, [host])
+        period = fields["period"]
+        downtime = fields["downtime"]
+        if downtime >= period:
+            raise ChaosError(
+                f"flap downtime {downtime} must be shorter than its"
+                f" period {period}"
+            )
+        for cycle in range(int(fields["cycles"])):
+            start = at + cycle * period
+            env.schedule_at(start, lambda h=host: platform.crash_host(h))
+            env.schedule_at(
+                start + downtime, lambda h=host: platform.recover_host(h)
+            )
+    elif injection.kind == "slow_host":
+        host = fields["host"]
+        _check_hosts(platform, [host])
+        factor = fields["factor"]
+        env.schedule_at(
+            at, lambda: platform.degrade_host(host, factor)
+        )
+        env.schedule_at(
+            at + fields["duration"], lambda: platform.restore_host(host)
+        )
+    elif injection.kind == "replica_hang":
+        pe, _, index = fields["replica"].partition("#")
+        replica_id = ReplicaId(pe, int(index))
+        if replica_id not in set(platform.deployment.replicas):
+            raise ChaosError(
+                f"injection targets unknown replica {fields['replica']!r}"
+            )
+        env.schedule_at(
+            at, lambda: platform.crash_replica(replica_id)
+        )
+        env.schedule_at(
+            at + fields["duration"],
+            lambda: platform.recover_replica(replica_id),
+        )
+    elif injection.kind == "recovery_storm":
+        hosts = fields["hosts"]
+        _check_hosts(platform, hosts)
+        stagger = fields["stagger"]
+        downtime = fields["downtime"]
+        if downtime <= (len(hosts) - 1) * stagger:
+            raise ChaosError(
+                "recovery_storm downtime must outlast the crash stagger"
+            )
+        for position, host in enumerate(hosts):
+            env.schedule_at(
+                at + position * stagger,
+                lambda h=host: platform.crash_host(h),
+            )
+        for host in hosts:
+            env.schedule_at(
+                at + downtime, lambda h=host: platform.recover_host(h)
+            )
+    elif injection.kind == "pessimistic":
+        if strategy is None:
+            raise ChaosError(
+                "pessimistic injections need the activation strategy"
+            )
+        victims = pessimistic_victims(strategy)
+        for pe, victim in sorted(victims.items()):
+            replica_id = ReplicaId(pe, victim)
+            env.schedule_at(
+                at, lambda r=replica_id: platform.crash_replica(r)
+            )
+    else:  # pragma: no cover - guarded by Injection.__post_init__
+        raise ChaosError(f"unknown injection kind {injection.kind!r}")

@@ -1,0 +1,459 @@
+"""Machine-checking LAAR's SLA invariants against a run's event log.
+
+:func:`check_campaign` replays a campaign's event stream into a sequence
+of *intervals* of constant platform state — the current input
+configuration, the set of alive replicas, the set of active replicas —
+and re-proves the model's guarantees on every interval:
+
+``ic-bound``
+    Whenever the realized failures are *dominated* by the pessimistic
+    model (at most one dead replica per PE — the model's per-PE victim),
+    the instantaneous failure-aware throughput of the run, computed by
+    the Eq. 7 recursion with the realized phi, must be at least the
+    pessimistic throughput FT-Search proved for the reference strategy.
+    This is the paper's a-priori IC lower bound, checked pointwise.
+``host-capacity``
+    The alive-and-active replicas on any host never demand more CPU
+    cycles than the host nominally has (Eq. 11).
+``failover-span``
+    Every finished failover span is bounded by the deterministic
+    detection budget plus any time during which the PE had no
+    alive-and-active replica at all (nobody to elect is the platform's
+    problem, not the detector's).
+``conservation``
+    Per replica: ``received == processed + dropped + lost + queued``
+    (see :func:`check_conservation`; counters come from the run digest).
+``log-complete``
+    The event ring evicted nothing — a precondition for all of the
+    above; a truncated log fails loudly instead of passing vacuously.
+
+Intervals that overlap a configuration-switch transition window (the
+``command_latency`` gap between the switch decision and its activation
+commands landing) are excluded from the ``ic-bound`` and
+``host-capacity`` checks: during that gap the platform is legitimately
+executing the *previous* configuration's activation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.core.deployment import ReplicaId, ReplicatedDeployment
+from repro.core.rates import RateTable
+from repro.core.strategy import ActivationStrategy
+from repro.obs.events import Event
+
+__all__ = [
+    "Violation",
+    "CheckResult",
+    "check_campaign",
+    "check_conservation",
+]
+
+#: Absolute tolerance for rate and load comparisons. Both sides of every
+#: comparison are derived from the same rate table, so violations are
+#: structural, never numerical — the epsilon only absorbs float noise.
+_EPS = 1e-9
+
+#: Slack appended to failover-span budgets for same-instant event ties.
+_SPAN_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which invariant, when, and the evidence."""
+
+    invariant: str
+    time: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The verdict of one campaign replay."""
+
+    ok: bool
+    violations: tuple[Violation, ...]
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def first(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+
+def _normalize(
+    events: Iterable[Union[Event, Mapping[str, Any]]],
+) -> list[tuple[int, float, str, dict[str, Any]]]:
+    """Events (objects or parsed JSONL dicts) as (seq, t, type, fields)."""
+    out = []
+    for event in events:
+        if isinstance(event, Event):
+            out.append((event.seq, event.time, event.type, event.fields))
+        else:
+            fields = {
+                key: value
+                for key, value in event.items()
+                if key not in ("seq", "t", "type")
+            }
+            out.append(
+                (event["seq"], event["t"], event["type"], fields)
+            )
+    out.sort(key=lambda item: item[0])
+    return out
+
+
+def _fic_rate(
+    deployment: ReplicatedDeployment,
+    rate_table: RateTable,
+    config_index: int,
+    phi: Mapping[str, float],
+) -> float:
+    """Instantaneous FIC rate (tuples/s) in one configuration.
+
+    The Eq. 7 recursion with an explicit per-PE phi map instead of a
+    failure-model object: the checker feeds it either the realized
+    phi of an interval or the reference strategy's pessimistic phi.
+    """
+    descriptor = deployment.descriptor
+    graph = descriptor.graph
+    rates: dict[str, float] = {}
+    total = 0.0
+    for name in graph.topological_order:
+        component = graph.components[name]
+        if component.is_source:
+            rates[name] = rate_table.rate(name, config_index)
+        elif component.is_pe:
+            inflow = sum(
+                descriptor.selectivity(edge.tail, name)
+                * rates[edge.tail]
+                for edge in graph.pe_input_edges(name)
+            )
+            p = phi.get(name, 0.0)
+            rates[name] = p * inflow
+            total += p * inflow
+        else:  # sink
+            rates[name] = sum(rates[p] for p in graph.pred(name))
+    return total
+
+
+def check_conservation(
+    conservation: Mapping[str, Mapping[str, int]],
+    time: float = 0.0,
+) -> list[Violation]:
+    """Tuple conservation per replica from the run digest's counters.
+
+    Every tuple a replica ever enqueued is accounted for exactly once:
+    processed, dropped at the port, lost to a crash/deactivation, or
+    still queued (in-flight work counts as queued) at the horizon.
+    """
+    violations = []
+    for replica, counters in sorted(conservation.items()):
+        received = counters["received"]
+        accounted = (
+            counters["processed"]
+            + counters["dropped"]
+            + counters["lost"]
+            + counters["queued"]
+        )
+        if received != accounted:
+            violations.append(
+                Violation(
+                    invariant="conservation",
+                    time=time,
+                    detail=(
+                        f"replica {replica}: received {received} !="
+                        f" processed {counters['processed']}"
+                        f" + dropped {counters['dropped']}"
+                        f" + lost {counters['lost']}"
+                        f" + queued {counters['queued']}"
+                        f" = {accounted}"
+                    ),
+                )
+            )
+    return violations
+
+
+class _Replay:
+    """Mutable replay state: config, liveness, activation, spans."""
+
+    def __init__(
+        self,
+        deployment: ReplicatedDeployment,
+        run_strategy: ActivationStrategy,
+        initial_config: int,
+        command_latency: float,
+    ) -> None:
+        self.deployment = deployment
+        self.command_latency = command_latency
+        self.config = initial_config
+        self.alive: dict[ReplicaId, bool] = {
+            replica: True for replica in deployment.replicas
+        }
+        self.active: dict[ReplicaId, bool] = dict(
+            run_strategy.active_map(initial_config)
+        )
+        #: End of the current switch transition window (activation
+        #: commands still in flight before this instant).
+        self.transition_until = float("-inf")
+        #: Per-PE [start, end) stretches with no alive-and-active
+        #: replica, used to excuse stretched failover spans.
+        self.uncovered: dict[str, list[tuple[float, float]]] = {
+            pe: [] for pe in deployment.descriptor.graph.pes
+        }
+        self._by_pe = {
+            pe: deployment.replicas_of(pe)
+            for pe in deployment.descriptor.graph.pes
+        }
+
+    def parse_replica(self, text: str) -> ReplicaId:
+        pe, _, index = text.partition("#")
+        return ReplicaId(pe, int(index))
+
+    def apply(self, time: float, type_: str, fields: dict) -> None:
+        if type_ == "replica.crash":
+            self.alive[self.parse_replica(fields["replica"])] = False
+        elif type_ == "replica.recover":
+            self.alive[self.parse_replica(fields["replica"])] = True
+        elif type_ == "host.crash":
+            for replica in self.deployment.replicas_on(fields["host"]):
+                self.alive[replica] = False
+        elif type_ == "host.recover":
+            for replica in self.deployment.replicas_on(fields["host"]):
+                self.alive[replica] = True
+        elif type_ == "replica.activate":
+            self.active[self.parse_replica(fields["replica"])] = True
+        elif type_ == "replica.deactivate":
+            self.active[self.parse_replica(fields["replica"])] = False
+        elif type_ == "config.switch":
+            self.config = int(fields["to"])
+            self.transition_until = time + self.command_latency
+
+    def covered(self, pe: str) -> bool:
+        return any(
+            self.alive[r] and self.active[r] for r in self._by_pe[pe]
+        )
+
+    def dominated(self) -> bool:
+        """Realized failures no worse than the pessimistic model's.
+
+        The pessimistic model kills exactly one (damage-maximal) replica
+        per PE, so the realized state is dominated whenever no PE has
+        lost more than one replica.
+        """
+        return all(
+            sum(1 for r in members if not self.alive[r]) <= 1
+            for members in self._by_pe.values()
+        )
+
+    def realized_phi(self) -> dict[str, float]:
+        return {
+            pe: 1.0 if self.covered(pe) else 0.0 for pe in self._by_pe
+        }
+
+    def note_uncovered(self, start: float, end: float) -> None:
+        if end <= start:
+            return
+        for pe in self._by_pe:
+            if not self.covered(pe):
+                segments = self.uncovered[pe]
+                if segments and segments[-1][1] >= start:
+                    segments[-1] = (segments[-1][0], end)
+                else:
+                    segments.append((start, end))
+
+
+def check_campaign(
+    events: Iterable[Union[Event, Mapping[str, Any]]],
+    deployment: ReplicatedDeployment,
+    run_strategy: ActivationStrategy,
+    reference_strategy: ActivationStrategy,
+    initial_config: int,
+    *,
+    command_latency: float,
+    detection_bound: float,
+    horizon: float,
+    conservation: Optional[Mapping[str, Mapping[str, int]]] = None,
+    evicted: int = 0,
+) -> CheckResult:
+    """Replay one campaign's event log and re-prove the SLA invariants.
+
+    ``events`` may be :class:`~repro.obs.events.Event` objects or parsed
+    JSONL dicts — artifacts replay from disk through the same code path
+    as live runs. ``reference_strategy`` is the FT-Search-proven
+    strategy whose pessimistic bound the run is held to (usually the run
+    strategy itself). Returns every violation, in event order, so the
+    artifact writer can window the log around the first one.
+    """
+    violations: list[Violation] = []
+    stats: dict[str, Any] = {
+        "intervals": 0,
+        "intervals_checked": 0,
+        "intervals_transition": 0,
+        "intervals_not_dominated": 0,
+        "spans_checked": 0,
+        "min_ic_margin": None,
+    }
+
+    if evicted > 0:
+        violations.append(
+            Violation(
+                invariant="log-complete",
+                time=0.0,
+                detail=(
+                    f"event ring evicted {evicted} events; the replay"
+                    " would be incomplete (raise event_buffer)"
+                ),
+            )
+        )
+        return CheckResult(False, tuple(violations), stats)
+
+    rate_table = RateTable(deployment.descriptor)
+    n_configs = len(deployment.descriptor.configuration_space)
+    capacity = {h.name: h.capacity for h in deployment.hosts}
+    hosts = sorted(capacity)
+
+    # The proven floor: the reference strategy's pessimistic FIC rate,
+    # per configuration (phi = 1 iff fully replicated; Eq. 14).
+    reference_floor = {}
+    for c in range(n_configs):
+        phi_pess = {
+            pe: (
+                1.0 if reference_strategy.fully_replicated(pe, c) else 0.0
+            )
+            for pe in deployment.descriptor.graph.pes
+        }
+        reference_floor[c] = _fic_rate(deployment, rate_table, c, phi_pess)
+
+    state = _Replay(
+        deployment, run_strategy, initial_config, command_latency
+    )
+    open_spans: dict[str, tuple[float, dict[str, Any]]] = {}
+    finished_spans: list[tuple[float, float, dict[str, Any]]] = []
+
+    def check_interval(start: float, end: float) -> None:
+        if end <= start:
+            return
+        stats["intervals"] += 1
+        state.note_uncovered(start, end)
+        # Activation commands from the last config switch are still in
+        # flight: the platform legitimately runs the previous
+        # configuration's activation set, so the stationary checks
+        # would compare mismatched states.
+        if start + _EPS < state.transition_until:
+            stats["intervals_transition"] += 1
+            if end > state.transition_until + _EPS:
+                # No event marks the commands landing, so the in-flight
+                # window ends mid-interval: resume the stationary checks
+                # from that point instead of skipping the whole tail.
+                check_interval(state.transition_until, end)
+            return
+        config = state.config
+        for host in hosts:
+            load = sum(
+                rate_table.replica_load(replica.pe, config)
+                for replica in deployment.replicas_on(host)
+                if state.alive[replica] and state.active[replica]
+            )
+            if load > capacity[host] + _EPS:
+                violations.append(
+                    Violation(
+                        invariant="host-capacity",
+                        time=start,
+                        detail=(
+                            f"host {host} loaded {load:.3f} cycles/s"
+                            f" > capacity {capacity[host]:.3f} in"
+                            f" configuration {config}"
+                        ),
+                    )
+                )
+        if not state.dominated():
+            stats["intervals_not_dominated"] += 1
+            return
+        stats["intervals_checked"] += 1
+        fic_real = _fic_rate(
+            deployment, rate_table, config, state.realized_phi()
+        )
+        floor = reference_floor[config]
+        margin = fic_real - floor
+        if stats["min_ic_margin"] is None or margin < stats["min_ic_margin"]:
+            stats["min_ic_margin"] = margin
+        if fic_real < floor - _EPS:
+            dead = sorted(
+                str(r) for r, up in state.alive.items() if not up
+            )
+            dark = sorted(
+                pe for pe in state.uncovered if not state.covered(pe)
+            )
+            violations.append(
+                Violation(
+                    invariant="ic-bound",
+                    time=start,
+                    detail=(
+                        f"realized FIC rate {fic_real:.4f} t/s <"
+                        f" proven pessimistic floor {floor:.4f} t/s in"
+                        f" configuration {config} despite dominated"
+                        f" failures (dead: {dead}; uncovered PEs:"
+                        f" {dark})"
+                    ),
+                )
+            )
+
+    cursor = 0.0
+    for _, time, type_, fields in _normalize(events):
+        if type_ == "span.start" and fields.get("name") == "failover":
+            open_spans[fields["span"]] = (time, dict(fields))
+            continue
+        if type_ == "span.end" and fields.get("name") == "failover":
+            started = open_spans.pop(fields["span"], None)
+            if started is not None:
+                merged = dict(started[1])
+                merged.update(fields)
+                finished_spans.append((started[0], time, merged))
+            continue
+        if type_ in (
+            "replica.crash",
+            "replica.recover",
+            "host.crash",
+            "host.recover",
+            "replica.activate",
+            "replica.deactivate",
+            "config.switch",
+        ):
+            check_interval(cursor, time)
+            cursor = max(cursor, time)
+            state.apply(time, type_, fields)
+    check_interval(cursor, horizon)
+
+    # Finished failover spans: detection budget plus any time the PE
+    # had nobody alive-and-active to elect. Spans still open at the
+    # horizon are censored, not violations.
+    for start, end, fields in finished_spans:
+        stats["spans_checked"] += 1
+        pe = fields.get("pe", "")
+        excused = 0.0
+        for seg_start, seg_end in state.uncovered.get(pe, []):
+            overlap = min(end, seg_end) - max(start, seg_start)
+            if overlap > 0:
+                excused += overlap
+        duration = end - start
+        budget = detection_bound + excused + _SPAN_EPS
+        if duration > budget:
+            violations.append(
+                Violation(
+                    invariant="failover-span",
+                    time=start,
+                    detail=(
+                        f"failover of {fields.get('replica', pe)} took"
+                        f" {duration:.3f}s > detection bound"
+                        f" {detection_bound:.3f}s + {excused:.3f}s"
+                        f" without any live active replica"
+                    ),
+                )
+            )
+    stats["spans_open"] = len(open_spans)
+
+    if conservation is not None:
+        violations.extend(check_conservation(conservation, time=horizon))
+
+    violations.sort(key=lambda v: (v.time, v.invariant))
+    return CheckResult(not violations, tuple(violations), stats)

@@ -1,0 +1,179 @@
+"""Executing chaos campaigns and distilling them into checkable digests.
+
+:func:`run_campaign` is the module-level worker the experiment fabric
+pickles: it loads the campaign's bundle and strategies, expands (or
+reuses) the injection schedule, runs the full LAAR stack with telemetry
+on, and returns a plain dict carrying the canonical event stream, the
+per-replica conservation counters, and the verdict of the in-process
+invariant replay. Everything in the digest is sim-time-derived, so the
+``jsonl`` payload is byte-identical at any worker count — the property
+``tests/chaos/test_campaigns.py`` pins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["run_campaign", "run_campaigns"]
+
+
+def run_campaign(spec) -> dict[str, Any]:
+    """Run one campaign and return its digest (picklable worker).
+
+    The digest's ``invariants`` entry is the
+    :class:`~repro.chaos.invariants.CheckResult` of replaying the run's
+    own event log, flattened to plain containers.
+    """
+    from repro.chaos.campaign import CampaignSpec, generate_schedule
+    from repro.chaos.injectors import apply_injection
+    from repro.chaos.invariants import check_campaign
+    from repro.core.strategy import ActivationStrategy
+    from repro.dsps import PlatformConfig, two_level_trace
+    from repro.laar import ExtendedApplication, MiddlewareConfig
+    from repro.workloads import load_bundle
+
+    if not isinstance(spec, CampaignSpec):
+        raise TypeError(f"expected a CampaignSpec, got {type(spec)!r}")
+
+    app = load_bundle(spec.bundle)
+    strategy = ActivationStrategy.from_json(app.deployment, spec.strategy)
+    reference = (
+        ActivationStrategy.from_json(
+            app.deployment, spec.reference_strategy
+        )
+        if spec.reference_strategy is not None
+        else strategy
+    )
+    trace = two_level_trace(
+        app.low_rate, app.high_rate, duration=spec.duration
+    )
+    traces = {
+        source: trace
+        for source in app.deployment.descriptor.graph.sources
+    }
+    schedule = (
+        spec.schedule
+        if spec.schedule is not None
+        else generate_schedule(spec, app.deployment, trace)
+    )
+
+    extended = ExtendedApplication(
+        app.deployment,
+        strategy,
+        traces,
+        platform_config=PlatformConfig(
+            failover_delay=spec.failover_delay,
+            queue_seconds=spec.queue_seconds,
+            arrival_jitter=spec.jitter,
+            heartbeat_interval=spec.heartbeat_interval,
+            seed=spec.seed,
+            event_buffer=spec.event_buffer,
+        ),
+        middleware_config=MiddlewareConfig(
+            monitor_interval=spec.monitor_interval,
+            command_latency=spec.command_latency,
+            rate_tolerance=spec.rate_tolerance,
+            down_confirmation=spec.down_confirmation,
+        ),
+    )
+    initial_config = ExtendedApplication._initial_configuration(
+        app.deployment, traces
+    )
+    platform = extended.platform
+    platform.telemetry.emit(
+        "chaos.campaign",
+        seed=spec.seed,
+        injections=[injection.to_dict() for injection in schedule],
+    )
+    for injection in schedule:
+        apply_injection(platform, injection, strategy=strategy)
+
+    drain = 2.0
+    metrics = extended.run(drain=drain)
+    horizon = spec.duration + drain
+
+    conservation = {
+        str(replica_id): {
+            "received": counters.received,
+            "processed": counters.processed,
+            "dropped": counters.dropped,
+            "lost": counters.lost,
+            "queued": platform.replica(replica_id).queue_length,
+        }
+        for replica_id, counters in sorted(
+            metrics.replicas.items(), key=lambda item: str(item[0])
+        )
+    }
+
+    events = platform.telemetry.events
+    result = check_campaign(
+        events.events(),
+        app.deployment,
+        strategy,
+        reference,
+        initial_config,
+        command_latency=spec.command_latency,
+        detection_bound=spec.detection_bound,
+        horizon=horizon,
+        conservation=conservation,
+        evicted=events.evicted,
+    )
+
+    return {
+        "seed": spec.seed,
+        "bundle": spec.bundle,
+        "strategy": strategy.name,
+        "reference": reference.name,
+        "initial_config": initial_config,
+        "horizon": horizon,
+        "schedule": [injection.to_dict() for injection in schedule],
+        "events_emitted": events.emitted,
+        "events_evicted": events.evicted,
+        "event_counts": dict(sorted(events.type_counts.items())),
+        "jsonl": events.to_jsonl(),
+        "spans": [
+            {
+                "name": span.name,
+                "start": span.start,
+                "duration": span.duration,
+                "fields": dict(span.fields),
+            }
+            for span in platform.telemetry.spans.finished
+        ],
+        "conservation": conservation,
+        "metrics": {
+            "input": metrics.total_input,
+            "output": metrics.total_output,
+            "processed": metrics.tuples_processed,
+            "dropped": metrics.logical_dropped,
+            "lost": metrics.total_lost,
+            "config_switches": len(metrics.config_switches),
+        },
+        "invariants": {
+            "ok": result.ok,
+            "violations": [
+                {
+                    "invariant": violation.invariant,
+                    "time": violation.time,
+                    "detail": violation.detail,
+                }
+                for violation in result.violations
+            ],
+            "stats": result.stats,
+        },
+    }
+
+
+def run_campaigns(
+    specs: Sequence,
+    jobs: Optional[int] = None,
+    profile=None,
+) -> list[dict[str, Any]]:
+    """Run a batch of campaigns over the process-parallel fabric.
+
+    Digest order follows spec order and every digest is bit-identical
+    for any ``jobs`` value (all telemetry is simulated-time-stamped).
+    """
+    from repro.experiments.parallel import run_tasks
+
+    return run_tasks(run_campaign, list(specs), jobs=jobs, profile=profile)

@@ -293,6 +293,209 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.chaos import (
+        CampaignSpec,
+        Injection,
+        minimize_campaign,
+        run_campaigns,
+        sabotage_strategy,
+        violation_artifact,
+        write_artifact,
+    )
+    from repro.chaos.report import render_chaos_report
+    from repro.obs.validate import validate_lines
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # Resolve the bundle and the proven strategy: either both given, or
+    # generate + optimize a small application into the output directory.
+    if args.bundle is not None:
+        bundle_path = Path(args.bundle)
+    else:
+        app = generate_application(
+            args.seed,
+            params=GeneratorParams(
+                n_pes=args.pes, low_rate_range=(2.0, 6.0)
+            ),
+            cluster=ClusterParams(
+                n_hosts=args.hosts, cores_per_host=args.cores_per_host
+            ),
+        )
+        bundle_path = out_dir / "bundle.json"
+        _write_bundle(bundle_path, app)
+    if args.strategy is not None:
+        strategy_path = Path(args.strategy)
+    else:
+        _, deployment, _ = _read_bundle(bundle_path)
+        result = ft_search(
+            OptimizationProblem(deployment, ic_target=args.ic),
+            time_limit=args.time_limit,
+            seed_incumbent=True,
+        )
+        if result.strategy is None:
+            print("no strategy found", file=sys.stderr)
+            return 1
+        strategy_path = out_dir / "strategy.json"
+        result.strategy.to_json(strategy_path)
+
+    base = CampaignSpec(
+        bundle=str(bundle_path),
+        strategy=str(strategy_path),
+        seed=args.seed,
+        duration=args.duration,
+        n_injections=args.injections,
+        heartbeat_interval=args.heartbeat,
+    )
+
+    if args.sabotage:
+        # Self-test: break the proven strategy below its bound and
+        # demand that the invariant checker catches it and distils a
+        # minimized repro artifact.
+        _, deployment, _ = _read_bundle(bundle_path)
+        reference = ActivationStrategy.from_json(
+            deployment, strategy_path
+        )
+        broken, pe, config = sabotage_strategy(reference)
+        broken_path = out_dir / "sabotaged.json"
+        broken.to_json(broken_path)
+        spec = dataclasses.replace(
+            base,
+            strategy=str(broken_path),
+            reference_strategy=str(strategy_path),
+            schedule=(
+                Injection.build(
+                    "pessimistic", at=max(1.0, args.duration * 0.15)
+                ),
+            ),
+        )
+        digests = run_campaigns([spec], jobs=1)
+        digest = digests[0]
+        if digest["invariants"]["ok"]:
+            print(
+                f"sabotage NOT caught: deactivated ({pe}, c={config})"
+                " below the proven bound yet every invariant held",
+                file=sys.stderr,
+            )
+            return 1
+        mini_spec, mini_digest = minimize_campaign(spec, digest)
+        artifact = violation_artifact(mini_digest, mini_spec)
+        artifact_path = write_artifact(
+            artifact, out_dir / "sabotage-artifact.json"
+        )
+        first = digest["invariants"]["violations"][0]
+        print(
+            f"sabotage caught: ({pe}, c={config}) ->"
+            f" [{first['invariant']}] at t={first['time']:.2f}s"
+        )
+        print(
+            f"minimized to {len(mini_digest['schedule'])} injection(s);"
+            f" artifact written to {artifact_path}"
+        )
+        return 0
+
+    specs = [
+        dataclasses.replace(base, seed=args.seed + offset)
+        for offset in range(args.campaigns)
+    ]
+    digests = run_campaigns(specs, jobs=args.jobs)
+
+    failures = 0
+    for spec, digest in zip(specs, digests):
+        jsonl = digest["jsonl"]
+        events_path = out_dir / f"events-{spec.seed}.jsonl"
+        events_path.write_text(jsonl)
+        problems = validate_lines(
+            jsonl.splitlines(), origin=str(events_path)
+        )
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        if not digest["invariants"]["ok"]:
+            failures += 1
+            artifact = violation_artifact(digest, spec)
+            artifact_path = write_artifact(
+                artifact, out_dir / f"violation-{spec.seed}.json"
+            )
+            print(
+                f"seed {spec.seed}: invariant violated, artifact"
+                f" written to {artifact_path}",
+                file=sys.stderr,
+            )
+
+    report = {
+        "meta": {
+            "bundle": str(bundle_path),
+            "strategy": str(strategy_path),
+            "campaigns": args.campaigns,
+            "base_seed": args.seed,
+            "duration": args.duration,
+            "heartbeat": args.heartbeat,
+        },
+        "campaigns": [
+            {k: v for k, v in digest.items() if k != "jsonl"}
+            for digest in digests
+        ],
+    }
+    (out_dir / "report.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(render_chaos_report(report))
+    print(f"artifacts written to {out_dir}")
+    return 1 if failures else 0
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from repro.chaos import load_artifact, replay_artifact
+
+    artifact = load_artifact(args.artifact)
+    expected = artifact["first_violation"]["invariant"]
+    digest = replay_artifact(artifact)
+    violations = digest["invariants"]["violations"]
+    if not violations:
+        print(
+            f"replay did NOT reproduce the {expected!r} violation",
+            file=sys.stderr,
+        )
+        return 1
+    first = violations[0]
+    reproduced = first["invariant"] == expected
+    print(
+        f"replayed seed {digest['seed']}:"
+        f" [{first['invariant']}] at t={first['time']:.2f}s"
+        f" ({'matches' if reproduced else 'differs from'} the artifact)"
+    )
+    print(first["detail"])
+    return 0 if reproduced else 1
+
+
+def _cmd_chaos_minimize(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        load_artifact,
+        minimize_campaign,
+        violation_artifact,
+        write_artifact,
+    )
+    from repro.chaos.artifact import _spec_from_dict
+
+    artifact = load_artifact(args.artifact)
+    spec = _spec_from_dict(artifact["spec"])
+    before = len(spec.schedule or ())
+    mini_spec, mini_digest = minimize_campaign(spec)
+    minimized = violation_artifact(mini_digest, mini_spec)
+    target = Path(args.out) if args.out else Path(args.artifact)
+    write_artifact(minimized, target)
+    print(
+        f"schedule minimized {before} -> {len(mini_spec.schedule)}"
+        f" injection(s); written to {target}"
+    )
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet.report import render_fleet_report
     from repro.fleet.scenario import FleetScenarioParams, run_fleet_scenario
@@ -470,6 +673,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for events-<mode>.jsonl and report.json",
     )
     obs.set_defaults(func=_cmd_obs)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run seeded fault-injection campaigns with SLA invariant"
+        " checking (run / replay / minimize)",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run a sweep of seeded chaos campaigns"
+    )
+    chaos_run.add_argument(
+        "--bundle", default=None,
+        help="application bundle to stress (default: generate one)",
+    )
+    chaos_run.add_argument(
+        "--strategy", default=None,
+        help="proven activation strategy JSON (default: optimize one)",
+    )
+    chaos_run.add_argument(
+        "--ic", type=float, default=0.5,
+        help="IC target when optimizing a strategy (without --strategy)",
+    )
+    chaos_run.add_argument("--time-limit", type=float, default=10.0)
+    chaos_run.add_argument(
+        "--seed", type=int, default=0, help="base campaign seed"
+    )
+    chaos_run.add_argument(
+        "--campaigns", type=int, default=5,
+        help="how many seeded campaigns to run (seed, seed+1, ...)",
+    )
+    chaos_run.add_argument(
+        "--pes", type=int, default=4,
+        help="PE count when generating a bundle (without --bundle)",
+    )
+    chaos_run.add_argument("--hosts", type=int, default=3)
+    chaos_run.add_argument("--cores-per-host", type=int, default=4)
+    chaos_run.add_argument("--duration", type=float, default=40.0)
+    chaos_run.add_argument(
+        "--injections", type=int, default=3,
+        help="injections per campaign schedule",
+    )
+    chaos_run.add_argument(
+        "--heartbeat", type=float, default=None,
+        help="heartbeat interval for emergent failure detection"
+        " (default: abstract detection)",
+    )
+    chaos_run.add_argument(
+        "--sabotage", action="store_true",
+        help="self-test: break the strategy below its proven bound and"
+        " require the checker to catch and minimize it",
+    )
+    chaos_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the campaign sweep (default:"
+        " REPRO_JOBS, then the CPU count; 1 = serial)",
+    )
+    chaos_run.add_argument(
+        "--out-dir", default="chaos-run",
+        help="directory for events-<seed>.jsonl, violation artifacts,"
+        " and report.json",
+    )
+    chaos_run.set_defaults(func=_cmd_chaos_run)
+
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="re-run the campaign a violation artifact pins"
+    )
+    chaos_replay.add_argument("artifact")
+    chaos_replay.set_defaults(func=_cmd_chaos_replay)
+
+    chaos_minimize = chaos_sub.add_parser(
+        "minimize",
+        help="shrink a violation artifact's schedule to a minimal repro",
+    )
+    chaos_minimize.add_argument("artifact")
+    chaos_minimize.add_argument(
+        "--out", default=None,
+        help="write the minimized artifact here (default: in place)",
+    )
+    chaos_minimize.set_defaults(func=_cmd_chaos_minimize)
 
     fleet = commands.add_parser(
         "fleet",

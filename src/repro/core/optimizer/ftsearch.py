@@ -823,7 +823,6 @@ class FTSearch:
             prob_load = d_prob_load[depth]
             min_cost_rest = suffix_min_cost[depth + 1]
             n_values = len(values)
-            leaf = depth + 1 == n_vars
             # Both single-replica values contribute Delta-hat 0, so their
             # COMPL upper bound is the same float — compute it once per
             # node visit (the sibling descent restores all state exactly).

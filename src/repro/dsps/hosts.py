@@ -58,6 +58,8 @@ class HostScheduler:
         self._env = env
         self.name = name
         self.capacity = capacity
+        self._base_capacity = capacity
+        self.speed_factor = 1.0
         self.cycles_per_core = cycles_per_core
         self._jobs: dict[object, _Job] = {}
         self._last_update = env.now
@@ -99,6 +101,25 @@ class HostScheduler:
     def cpu_seconds(self, cycles: float) -> float:
         """Convert cycles to CPU core-seconds for metric accounting."""
         return cycles / self.cycles_per_core
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Scale the host's delivered capacity mid-run (straggler model).
+
+        In-progress jobs keep the cycles they have already consumed; the
+        remaining work proceeds at ``factor`` times the nominal rate until
+        the factor changes again. ``factor = 1.0`` restores nominal speed.
+        CPU-*time* accounting (``cpu_seconds``) stays nominal: a degraded
+        host stretches wall-clock service, it does not change how many
+        core-seconds a tuple is billed.
+        """
+        if factor <= 0 or not (factor == factor):  # reject <= 0 and NaN
+            raise SimulationError(
+                f"host {self.name!r} speed factor must be > 0, got {factor}"
+            )
+        self._advance()
+        self.speed_factor = factor
+        self.capacity = self._base_capacity * factor
+        self._reschedule()
 
     # ------------------------------------------------------------------
     # Processor-sharing mechanics

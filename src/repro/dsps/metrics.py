@@ -149,12 +149,20 @@ class PortCounters:
 
 @dataclass
 class ReplicaMetrics:
-    """Counters for one deployed PE replica."""
+    """Counters for one deployed PE replica.
+
+    ``lost`` counts tuples that had been accepted into the queue (so they
+    are part of ``received``) but were discarded by a crash or
+    deactivation before processing — the quantity that closes the
+    per-replica conservation law checked by :mod:`repro.chaos.invariants`:
+    ``received == processed + dropped + lost + queue_length``.
+    """
 
     busy_time: float = 0.0
     received: int = 0
     processed: int = 0
     dropped: int = 0
+    lost: int = 0
     processed_as_primary: int = 0
     dropped_as_primary: int = 0
     activations: int = 0
@@ -223,6 +231,11 @@ class RunMetrics:
     def total_dropped(self) -> int:
         """Physical drops summed over every replica."""
         return sum(m.dropped for m in self.replicas.values())
+
+    @property
+    def total_lost(self) -> int:
+        """Tuples discarded by crashes/deactivations after being queued."""
+        return sum(m.lost for m in self.replicas.values())
 
     @property
     def logical_dropped(self) -> int:

@@ -260,6 +260,13 @@ class OperatorReplica:
             return
         self.alive = True
         self._metrics.recoveries += 1
+        if self.group is not None:
+            # Re-register with the failure detector *before* resync: the
+            # restarted HAProxy announces itself even while its state is
+            # still resynchronising, so detection bookkeeping (heartbeat
+            # freshness, a pending failover window) is repaired whether or
+            # not the replica is immediately processable.
+            self.group.on_member_recovered(self)
         if self.active:
             self._begin_resync()
 
@@ -276,10 +283,13 @@ class OperatorReplica:
             self.group.on_member_available(self)
 
     def _abort_work(self) -> None:
+        discarded = len(self._queue)
         if self._serving is not None:
             consumed = self.host.cancel(self)
             self._metrics.busy_time += self.host.cpu_seconds(consumed)
             self._serving = None
+            discarded += 1
+        self._metrics.lost += discarded
         self._queue.clear()
         self._port_fill = [0] * len(self._ports)
 
@@ -320,6 +330,10 @@ class ReplicaGroup:
         self.primary: Optional[OperatorReplica] = None
         self._pending_election: Optional[EventHandle] = None
         self._heartbeats_enabled = False
+        self._hb_interval = 0.0
+        self._hb_timeout = 0.0
+        self._hb_fanout = 0
+        self._hb_network = None
         self._last_beat: dict[OperatorReplica, float] = {}
         # Optional repro.obs.Telemetry: primary.lost / primary.elected
         # events plus a "failover" span over each detection→re-election
@@ -331,6 +345,13 @@ class ReplicaGroup:
         replica.group = self
         self._members.append(replica)
         self._members.sort(key=lambda r: r.replica_id.replica)
+        if self._heartbeats_enabled:
+            # A member joining after heartbeats were enabled must be
+            # registered with the detector immediately: without a beat
+            # process and a fresh ``_last_beat`` entry the watchdog would
+            # read its freshness as -inf and depose it on every tick.
+            self._last_beat[replica] = self._env.now
+            self._start_beats(replica)
 
     @property
     def members(self) -> tuple[OperatorReplica, ...]:
@@ -364,20 +385,26 @@ class ReplicaGroup:
         self._heartbeats_enabled = True
         self._hb_interval = interval
         self._hb_timeout = timeout
+        self._hb_fanout = fanout
+        self._hb_network = network
         now = self._env.now
         self._last_beat = {member: now for member in self._members}
+        for member in self._members:
+            self._start_beats(member)
+        self._env.process(self._watchdog())
 
-        def beats(member: OperatorReplica):
+    def _start_beats(self, member: OperatorReplica) -> None:
+        def beats():
             while True:
-                yield interval
+                yield self._hb_interval
                 if member.alive and member.processable:
                     self._last_beat[member] = self._env.now
-                    if network is not None:
-                        network.heartbeat_messages += max(1, fanout)
+                    if self._hb_network is not None:
+                        self._hb_network.heartbeat_messages += max(
+                            1, self._hb_fanout
+                        )
 
-        for member in self._members:
-            self._env.process(beats(member))
-        self._env.process(self._watchdog())
+        self._env.process(beats())
 
     def _watchdog(self):
         while True:
@@ -442,6 +469,33 @@ class ReplicaGroup:
         if self.primary is None and self._pending_election is None:
             self.primary = member
             self._note_elected(member)
+
+    def on_member_recovered(self, member: OperatorReplica) -> None:
+        """A crashed member restarted: re-register it with the detector.
+
+        In heartbeat mode a recovered replica gets a fresh ``_last_beat``
+        stamp (its restarted HAProxy announces itself) instead of keeping
+        the stale pre-crash entry. And when the *primary* recovers before
+        the watchdog ever declared it dead — a crash/recover flap shorter
+        than the detection timeout — the failover window opened at the
+        crash is resolved here: without this, the span would dangle and
+        be mis-attributed to the *next* failover (with a wildly inflated
+        duration), which would also never get a span of its own.
+        """
+        if not self._heartbeats_enabled:
+            return
+        self._last_beat[member] = self._env.now
+        if member is self.primary and self._failover_span is not None:
+            self._failover_span.end(
+                elected=str(member.replica_id), resumed=True
+            )
+            self._failover_span = None
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    "primary.elected",
+                    pe=self.pe,
+                    replica=str(member.replica_id),
+                )
 
     def elect_now(self) -> None:
         """Resolve the primary immediately, bypassing failure detection.

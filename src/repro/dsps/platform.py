@@ -344,6 +344,28 @@ class StreamPlatform:
         for replica_id in self._deployment.replicas_on(host):
             self.replica(replica_id).recover()
 
+    def degrade_host(self, host: str, factor: float) -> None:
+        """Throttle a host to ``factor`` of its nominal capacity.
+
+        Models a slow-host straggler: replicas stay alive and active but
+        their shared CPU delivers fewer cycles per second, so queues grow
+        exactly as they would behind a thermally-throttled or contended
+        server.
+        """
+        self.metrics.failure_events.append(
+            (self.env.now, "degrade-host", host)
+        )
+        self.telemetry.emit("host.degrade", host=host, factor=factor)
+        self.host_scheduler(host).set_speed_factor(factor)
+
+    def restore_host(self, host: str) -> None:
+        """Return a degraded host to its nominal capacity."""
+        self.metrics.failure_events.append(
+            (self.env.now, "restore-host", host)
+        )
+        self.telemetry.emit("host.restore", host=host)
+        self.host_scheduler(host).set_speed_factor(1.0)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

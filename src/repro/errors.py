@@ -72,3 +72,12 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ChaosError(ReproError):
+    """A chaos campaign was configured inconsistently.
+
+    Typical causes: an unknown injection kind, a schedule that targets
+    hosts or replicas absent from the deployment, or a violation artifact
+    that does not describe a runnable campaign.
+    """

@@ -105,7 +105,7 @@ def _run_variant(
 
 def run_fig3(duration: float = 90.0) -> Fig3Data:
     """Run both Fig. 3 panels and return their time series."""
-    descriptor, deployment = build_pipeline_application()
+    _, deployment = build_pipeline_application()
     result = ft_search(
         OptimizationProblem(deployment, ic_target=0.5), time_limit=10.0
     )

@@ -9,7 +9,6 @@ replication) and GRD (greedy deactivation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.core.baselines import (
     greedy_deactivation,

@@ -49,7 +49,12 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "replica.recover": frozenset({"replica"}),
     "host.crash": frozenset({"host"}),
     "host.recover": frozenset({"host"}),
+    "host.degrade": frozenset({"host", "factor"}),
+    "host.restore": frozenset({"host"}),
     "failure.plan": frozenset({"host", "crash_time", "downtime"}),
+    # chaos campaigns (repro.chaos)
+    "chaos.campaign": frozenset({"seed", "injections"}),
+    "chaos.inject": frozenset({"kind", "at"}),
     # replication control
     "replica.activate": frozenset({"replica"}),
     "replica.deactivate": frozenset({"replica"}),

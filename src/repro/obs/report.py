@@ -11,7 +11,7 @@ source of truth.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any
 
 __all__ = ["render_report"]
 

@@ -98,7 +98,11 @@ def main(argv=None) -> int:
         for problem in problems:
             print(problem)
         if not problems:
-            n = sum(1 for l in path.read_text().splitlines() if l.strip())
+            n = sum(
+                1
+                for line in path.read_text().splitlines()
+                if line.strip()
+            )
             print(f"{path}: OK ({n} events)")
     return 1 if total_problems else 0
 

@@ -1,0 +1,61 @@
+"""Shared chaos fixtures: a small proven application on disk.
+
+Campaign specs carry file paths (they must be picklable for the process
+fabric), so the fixtures materialize one generated bundle plus its
+FT-Search-proven strategy into a session-scoped temporary directory.
+The application is deliberately small — 4 PEs over 3 hosts — so a full
+campaign simulates in a few milliseconds and the 50-seed sweep stays
+cheap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.optimizer import OptimizationProblem, ft_search
+from repro.workloads import (
+    ClusterParams,
+    GeneratorParams,
+    generate_application,
+    save_bundle,
+)
+
+
+@pytest.fixture(scope="session")
+def chaos_dir(tmp_path_factory) -> Path:
+    return tmp_path_factory.mktemp("chaos")
+
+
+@pytest.fixture(scope="session")
+def chaos_app(chaos_dir):
+    app = generate_application(
+        7,
+        GeneratorParams(n_pes=4, low_rate_range=(2.0, 6.0)),
+        ClusterParams(n_hosts=3, cores_per_host=4),
+    )
+    save_bundle(app, chaos_dir / "bundle.json")
+    return app
+
+
+@pytest.fixture(scope="session")
+def bundle_path(chaos_app, chaos_dir) -> str:
+    return str(chaos_dir / "bundle.json")
+
+
+@pytest.fixture(scope="session")
+def proven(chaos_app):
+    """The FT-Search-proven strategy object (IC >= 0.5 pessimistic)."""
+    result = ft_search(
+        OptimizationProblem(chaos_app.deployment, ic_target=0.5)
+    )
+    assert result.found_solution
+    return result.strategy
+
+
+@pytest.fixture(scope="session")
+def strategy_path(proven, chaos_dir) -> str:
+    path = chaos_dir / "strategy.json"
+    proven.to_json(path)
+    return str(path)

@@ -1,0 +1,247 @@
+"""Campaign generation and the seeded sweep the CI gauntlet runs.
+
+The 50-seed sweep is the heart of the chaos suite: every seeded
+campaign against the FT-Search-proven strategy must satisfy every
+invariant, and the digests must be byte-identical whether the sweep
+runs serially or across four worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    INJECTION_KINDS,
+    CampaignSpec,
+    Injection,
+    generate_schedule,
+    run_campaign,
+    run_campaigns,
+    sabotage_strategy,
+)
+from repro.dsps import two_level_trace
+from repro.errors import ChaosError
+from repro.obs.validate import validate_lines
+from repro.workloads import load_bundle
+
+SWEEP_SEEDS = range(50)
+
+
+def _sweep_specs(bundle_path, strategy_path):
+    return [
+        CampaignSpec(
+            bundle=bundle_path,
+            strategy=strategy_path,
+            seed=seed,
+            duration=40.0,
+            n_injections=3,
+            heartbeat_interval=0.5 if seed % 2 else None,
+        )
+        for seed in SWEEP_SEEDS
+    ]
+
+
+@pytest.fixture(scope="session")
+def sweep(bundle_path, strategy_path):
+    return run_campaigns(
+        _sweep_specs(bundle_path, strategy_path), jobs=4
+    )
+
+
+class TestCampaignSpec:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ChaosError, match="duration"):
+            CampaignSpec(bundle="b", strategy="s", seed=0, duration=0.0)
+
+    def test_rejects_negative_injections(self):
+        with pytest.raises(ChaosError, match="n_injections"):
+            CampaignSpec(
+                bundle="b", strategy="s", seed=0, n_injections=-1
+            )
+
+    def test_detection_bound_grows_with_heartbeats(self):
+        abstract = CampaignSpec(bundle="b", strategy="s", seed=0)
+        emergent = CampaignSpec(
+            bundle="b", strategy="s", seed=0, heartbeat_interval=0.5
+        )
+        assert emergent.detection_bound == pytest.approx(
+            abstract.detection_bound + 1.0
+        )
+
+
+class TestGenerateSchedule:
+    @pytest.fixture()
+    def app(self, bundle_path):
+        return load_bundle(bundle_path)
+
+    def _schedule(self, app, seed, n=6, duration=40.0):
+        spec = CampaignSpec(
+            bundle="unused",
+            strategy="unused",
+            seed=seed,
+            duration=duration,
+            n_injections=n,
+        )
+        trace = two_level_trace(app.low_rate, app.high_rate, duration)
+        return generate_schedule(spec, app.deployment, trace)
+
+    def test_same_seed_same_schedule(self, app):
+        assert self._schedule(app, 3) == self._schedule(app, 3)
+
+    def test_different_seeds_differ(self, app):
+        schedules = {self._schedule(app, seed) for seed in range(8)}
+        assert len(schedules) > 1
+
+    def test_schedule_is_sorted_and_in_range(self, app):
+        schedule = self._schedule(app, 11, n=8)
+        times = [injection.at for injection in schedule]
+        assert times == sorted(times)
+        assert all(1.0 <= t <= 39.0 for t in times)
+        assert all(
+            injection.kind in INJECTION_KINDS for injection in schedule
+        )
+
+    def test_at_most_one_pessimistic(self, app):
+        for seed in range(20):
+            schedule = self._schedule(app, seed, n=8)
+            pessimistic = [
+                i for i in schedule if i.kind == "pessimistic"
+            ]
+            assert len(pessimistic) <= 1
+
+
+class TestSweep:
+    def test_every_campaign_holds_every_invariant(self, sweep):
+        failures = [
+            (digest["seed"], digest["invariants"]["violations"])
+            for digest in sweep
+            if not digest["invariants"]["ok"]
+        ]
+        assert failures == []
+
+    def test_sweep_covers_the_injection_library(self, sweep):
+        kinds = {
+            injection["kind"]
+            for digest in sweep
+            for injection in digest["schedule"]
+        }
+        assert kinds == set(INJECTION_KINDS)
+
+    def test_no_campaign_loses_events(self, sweep):
+        assert all(digest["events_evicted"] == 0 for digest in sweep)
+
+    def test_event_logs_validate_against_the_schema(self, sweep):
+        digest = sweep[0]
+        lines = digest["jsonl"].splitlines()
+        assert len(lines) == digest["events_emitted"]
+        assert validate_lines(lines) == []
+
+    def test_conservation_counters_are_complete(self, sweep, chaos_app):
+        digest = sweep[1]
+        expected = {str(r) for r in chaos_app.deployment.replicas}
+        assert set(digest["conservation"]) == expected
+        for counters in digest["conservation"].values():
+            assert set(counters) == {
+                "received", "processed", "dropped", "lost", "queued",
+            }
+
+    def test_failover_spans_exercised(self, sweep):
+        checked = sum(
+            digest["invariants"]["stats"]["spans_checked"]
+            for digest in sweep
+        )
+        assert checked > 0
+
+    def test_serial_and_parallel_are_byte_identical(
+        self, sweep, bundle_path, strategy_path
+    ):
+        serial = run_campaigns(
+            _sweep_specs(bundle_path, strategy_path)[:6], jobs=1
+        )
+        for one, many in zip(serial, sweep[:6], strict=True):
+            assert one["jsonl"] == many["jsonl"]
+            assert json.dumps(one, sort_keys=True) == json.dumps(
+                many, sort_keys=True
+            )
+
+    def test_rerun_of_one_campaign_is_deterministic(
+        self, sweep, bundle_path, strategy_path
+    ):
+        spec = _sweep_specs(bundle_path, strategy_path)[2]
+        again = run_campaign(spec)
+        assert again["jsonl"] == sweep[2]["jsonl"]
+
+
+class TestRunCampaign:
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="CampaignSpec"):
+            run_campaign({"seed": 0})
+
+    def test_explicit_schedule_is_pinned_in_digest(
+        self, bundle_path, strategy_path
+    ):
+        schedule = (
+            Injection.build(
+                "slow_host", at=4.0, host="host0", factor=0.5,
+                duration=3.0,
+            ),
+        )
+        digest = run_campaign(
+            CampaignSpec(
+                bundle=bundle_path,
+                strategy=strategy_path,
+                seed=9,
+                duration=15.0,
+                schedule=schedule,
+            )
+        )
+        assert digest["schedule"] == [schedule[0].to_dict()]
+        assert digest["invariants"]["ok"]
+
+    def test_digest_metrics_add_up(self, bundle_path, strategy_path):
+        digest = run_campaign(
+            CampaignSpec(
+                bundle=bundle_path,
+                strategy=strategy_path,
+                seed=4,
+                duration=20.0,
+            )
+        )
+        metrics = digest["metrics"]
+        assert metrics["input"] > 0
+        assert metrics["processed"] > 0
+        assert digest["initial_config"] in (0, 1)
+
+
+class TestSabotage:
+    def test_sabotaged_strategy_is_caught(
+        self, chaos_app, proven, bundle_path, strategy_path, chaos_dir
+    ):
+        broken, pe, config_index = sabotage_strategy(proven)
+        assert proven.fully_replicated(pe, config_index)
+        assert not broken.fully_replicated(pe, config_index)
+        broken_path = chaos_dir / "sabotaged.json"
+        broken.to_json(broken_path)
+
+        digest = run_campaign(
+            CampaignSpec(
+                bundle=bundle_path,
+                strategy=str(broken_path),
+                seed=0,
+                reference_strategy=strategy_path,
+                duration=30.0,
+                schedule=(Injection.build("pessimistic", at=5.0),),
+            )
+        )
+        assert not digest["invariants"]["ok"]
+        invariants = {
+            violation["invariant"]
+            for violation in digest["invariants"]["violations"]
+        }
+        assert "ic-bound" in invariants
+
+    def test_sabotage_requires_a_replicated_cell(self, chaos_app, proven):
+        broken, _, _ = sabotage_strategy(proven)
+        assert broken.name.endswith("-sabotaged")

@@ -1,0 +1,245 @@
+"""The injection value type, rack grouping, and schedule application."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import CampaignSpec, Injection, racks, run_campaign
+from repro.errors import ChaosError
+
+
+class TestInjection:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ChaosError, match="unknown injection kind"):
+            Injection.build("meteor_strike", at=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ChaosError, match="must be >= 0"):
+            Injection.build("flap", at=-0.5)
+
+    def test_param_lookup(self):
+        injection = Injection.build(
+            "slow_host", at=2.0, host="host0", factor=0.5, duration=3.0
+        )
+        assert injection.param("host") == "host0"
+        assert injection.param("factor") == 0.5
+        with pytest.raises(ChaosError, match="no parameter"):
+            injection.param("nope")
+
+    def test_dict_roundtrip_preserves_identity(self):
+        original = Injection.build(
+            "rack_crash", at=4.5, hosts=("host0", "host1"), downtime=3.0
+        )
+        restored = Injection.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_dict_roundtrip_survives_json(self):
+        original = Injection.build(
+            "recovery_storm",
+            at=9.0,
+            hosts=("host1", "host2"),
+            stagger=0.5,
+            downtime=4.0,
+        )
+        over_the_wire = json.loads(json.dumps(original.to_dict()))
+        assert Injection.from_dict(over_the_wire) == original
+
+    def test_params_are_order_insensitive(self):
+        a = Injection.build("flap", at=1.0, host="h", cycles=2,
+                            period=2.0, downtime=0.5)
+        b = Injection.from_dict(
+            {
+                "kind": "flap",
+                "at": 1.0,
+                "params": {
+                    "period": 2.0, "downtime": 0.5,
+                    "host": "h", "cycles": 2,
+                },
+            }
+        )
+        assert a == b
+
+
+class TestRacks:
+    def test_chunks_sorted_hosts(self):
+        grouping = racks(["host2", "host0", "host1"], rack_size=2)
+        assert grouping == (("host0", "host1"), ("host2",))
+
+    def test_rack_size_one(self):
+        assert racks(["b", "a"], rack_size=1) == (("a",), ("b",))
+
+    def test_invalid_rack_size(self):
+        with pytest.raises(ChaosError, match="rack_size"):
+            racks(["a"], rack_size=0)
+
+
+class TestApplyInjection:
+    """Schedule application, observed through a real campaign run."""
+
+    def _run(self, bundle_path, strategy_path, schedule):
+        spec = CampaignSpec(
+            bundle=bundle_path,
+            strategy=strategy_path,
+            seed=0,
+            duration=20.0,
+            schedule=schedule,
+        )
+        return run_campaign(spec)
+
+    def test_rack_crash_crashes_and_recovers_hosts(
+        self, bundle_path, strategy_path
+    ):
+        digest = self._run(
+            bundle_path,
+            strategy_path,
+            (
+                Injection.build(
+                    "rack_crash",
+                    at=5.0,
+                    hosts=("host0", "host1"),
+                    downtime=4.0,
+                ),
+            ),
+        )
+        counts = digest["event_counts"]
+        assert counts["chaos.inject"] == 1
+        assert counts["host.crash"] == 2
+        assert counts["host.recover"] == 2
+        assert digest["invariants"]["ok"]
+
+    def test_flap_cycles_one_host(self, bundle_path, strategy_path):
+        digest = self._run(
+            bundle_path,
+            strategy_path,
+            (
+                Injection.build(
+                    "flap",
+                    at=3.0,
+                    host="host0",
+                    cycles=3,
+                    period=3.0,
+                    downtime=0.4,
+                ),
+            ),
+        )
+        assert digest["event_counts"]["host.crash"] == 3
+        assert digest["event_counts"]["host.recover"] == 3
+
+    def test_slow_host_degrades_and_restores(
+        self, bundle_path, strategy_path
+    ):
+        digest = self._run(
+            bundle_path,
+            strategy_path,
+            (
+                Injection.build(
+                    "slow_host",
+                    at=4.0,
+                    host="host1",
+                    factor=0.4,
+                    duration=6.0,
+                ),
+            ),
+        )
+        assert digest["event_counts"]["host.degrade"] == 1
+        assert digest["event_counts"]["host.restore"] == 1
+        assert digest["invariants"]["ok"]
+
+    def test_replica_hang_crashes_one_replica(
+        self, chaos_app, bundle_path, strategy_path
+    ):
+        replica = str(chaos_app.deployment.replicas[0])
+        digest = self._run(
+            bundle_path,
+            strategy_path,
+            (
+                Injection.build(
+                    "replica_hang", at=6.0, replica=replica, duration=4.0
+                ),
+            ),
+        )
+        assert digest["event_counts"]["replica.crash"] == 1
+        assert digest["event_counts"]["replica.recover"] == 1
+
+    def test_pessimistic_kills_one_replica_per_pe(
+        self, chaos_app, bundle_path, strategy_path
+    ):
+        digest = self._run(
+            bundle_path,
+            strategy_path,
+            (Injection.build("pessimistic", at=5.0),),
+        )
+        n_pes = len(chaos_app.deployment.descriptor.graph.pes)
+        assert digest["event_counts"]["replica.crash"] == n_pes
+        assert "replica.recover" not in digest["event_counts"]
+        assert digest["invariants"]["ok"]
+
+    def test_unknown_host_rejected(self, bundle_path, strategy_path):
+        with pytest.raises(ChaosError, match="unknown host"):
+            self._run(
+                bundle_path,
+                strategy_path,
+                (
+                    Injection.build(
+                        "slow_host",
+                        at=1.0,
+                        host="ghost",
+                        factor=0.5,
+                        duration=1.0,
+                    ),
+                ),
+            )
+
+    def test_unknown_replica_rejected(self, bundle_path, strategy_path):
+        with pytest.raises(ChaosError, match="unknown replica"):
+            self._run(
+                bundle_path,
+                strategy_path,
+                (
+                    Injection.build(
+                        "replica_hang",
+                        at=1.0,
+                        replica="ghost#0",
+                        duration=1.0,
+                    ),
+                ),
+            )
+
+    def test_flap_downtime_must_undershoot_period(
+        self, bundle_path, strategy_path
+    ):
+        with pytest.raises(ChaosError, match="shorter than"):
+            self._run(
+                bundle_path,
+                strategy_path,
+                (
+                    Injection.build(
+                        "flap",
+                        at=1.0,
+                        host="host0",
+                        cycles=2,
+                        period=1.0,
+                        downtime=1.5,
+                    ),
+                ),
+            )
+
+    def test_storm_downtime_must_outlast_stagger(
+        self, bundle_path, strategy_path
+    ):
+        with pytest.raises(ChaosError, match="outlast"):
+            self._run(
+                bundle_path,
+                strategy_path,
+                (
+                    Injection.build(
+                        "recovery_storm",
+                        at=1.0,
+                        hosts=("host0", "host1"),
+                        stagger=2.0,
+                        downtime=1.0,
+                    ),
+                ),
+            )

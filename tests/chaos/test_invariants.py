@@ -1,0 +1,352 @@
+"""The invariant checker on synthetic event logs (known-good and broken)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import check_campaign, check_conservation
+from repro.core import ActivationStrategy
+from repro.obs.events import Event
+
+
+def _events(*records):
+    """Parsed-JSONL-style event dicts with sequential seq numbers."""
+    return [
+        {"seq": index, **record} for index, record in enumerate(records)
+    ]
+
+
+def _check(deployment, events, *, strategy=None, reference=None, **kw):
+    strategy = strategy or ActivationStrategy.all_active(deployment)
+    reference = reference or strategy
+    kw.setdefault("command_latency", 0.05)
+    kw.setdefault("detection_bound", 1.3)
+    kw.setdefault("horizon", 30.0)
+    return check_campaign(
+        events, deployment, strategy, reference, 0, **kw
+    )
+
+
+class TestICBound:
+    def test_clean_log_passes(self, pipeline_deployment):
+        result = _check(pipeline_deployment, _events())
+        assert result.ok
+        assert result.violations == ()
+        assert result.stats["intervals"] == 1
+        assert result.stats["intervals_checked"] == 1
+
+    def test_single_crash_per_pe_is_dominated_and_fine(
+        self, pipeline_deployment
+    ):
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {"t": 5.0, "type": "replica.crash", "replica": "pe1#0"},
+                {"t": 6.0, "type": "replica.crash", "replica": "pe2#1"},
+            ),
+        )
+        assert result.ok
+        # Fully replicated reference: the survivor keeps phi at 1, so
+        # the realized rate sits exactly on the pessimistic floor.
+        assert result.stats["min_ic_margin"] == pytest.approx(0.0)
+
+    def test_double_crash_is_outside_the_model(self, pipeline_deployment):
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {"t": 5.0, "type": "replica.crash", "replica": "pe1#0"},
+                {"t": 6.0, "type": "replica.crash", "replica": "pe1#1"},
+            ),
+        )
+        # Both replicas dead beats the pessimistic model's one victim:
+        # the bound makes no promise there, so nothing is violated.
+        assert result.ok
+        assert result.stats["intervals_not_dominated"] >= 1
+
+    def test_crash_plus_deactivation_breaks_the_bound(
+        self, pipeline_deployment
+    ):
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {"t": 5.0, "type": "replica.crash", "replica": "pe1#0"},
+                {
+                    "t": 6.0,
+                    "type": "replica.deactivate",
+                    "replica": "pe1#1",
+                },
+            ),
+        )
+        assert not result.ok
+        first = result.first()
+        assert first.invariant == "ic-bound"
+        assert first.time == pytest.approx(6.0)
+        assert "pe1" in first.detail
+
+    def test_host_crash_expands_to_its_replicas(self, pipeline_deployment):
+        host = pipeline_deployment.host_names[0]
+        on_host = pipeline_deployment.replicas_on(host)
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {"t": 4.0, "type": "host.crash", "host": host},
+                {"t": 9.0, "type": "host.recover", "host": host},
+            ),
+        )
+        # Balanced placement puts one replica of each PE per host, so a
+        # single host crash is exactly the pessimistic scenario.
+        assert {r.pe for r in on_host} == {"pe1", "pe2"}
+        assert result.ok
+
+    def test_accepts_event_objects(self, pipeline_deployment):
+        events = [
+            Event(0, 5.0, "replica.crash", {"replica": "pe1#0"}),
+            Event(1, 6.0, "replica.deactivate", {"replica": "pe1#1"}),
+        ]
+        result = _check(pipeline_deployment, events)
+        assert not result.ok
+        assert result.first().invariant == "ic-bound"
+
+    def test_transition_window_is_excluded(self, pipeline_deployment):
+        # During the command-latency gap after a switch decision, even a
+        # PE with zero active replicas must not trip the bound — the
+        # platform is legitimately mid-reconfiguration.
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {
+                    "t": 10.0,
+                    "type": "config.switch",
+                    "from": 0,
+                    "to": 1,
+                    "commands": 2,
+                },
+                {
+                    "t": 10.02,
+                    "type": "replica.deactivate",
+                    "replica": "pe1#0",
+                },
+                {
+                    "t": 10.03,
+                    "type": "replica.deactivate",
+                    "replica": "pe1#1",
+                },
+                {
+                    "t": 10.05,
+                    "type": "replica.activate",
+                    "replica": "pe1#0",
+                },
+                {
+                    "t": 10.05,
+                    "type": "replica.activate",
+                    "replica": "pe1#1",
+                },
+            ),
+        )
+        assert result.ok
+        assert result.stats["intervals_transition"] >= 1
+
+    def test_same_gap_outside_transition_violates(
+        self, pipeline_deployment
+    ):
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {
+                    "t": 10.02,
+                    "type": "replica.deactivate",
+                    "replica": "pe1#0",
+                },
+                {
+                    "t": 10.03,
+                    "type": "replica.deactivate",
+                    "replica": "pe1#1",
+                },
+                {
+                    "t": 10.05,
+                    "type": "replica.activate",
+                    "replica": "pe1#0",
+                },
+            ),
+        )
+        assert not result.ok
+        assert result.first().invariant == "ic-bound"
+
+
+class TestHostCapacity:
+    def test_overcommitted_activation_is_flagged(
+        self, tight_pipeline_deployment
+    ):
+        # Single-core hosts: all-active needs 160% of each host in the
+        # High configuration (the Fig. 3 scenario).
+        strategy = ActivationStrategy.all_active(tight_pipeline_deployment)
+        result = check_campaign(
+            _events(
+                {
+                    "t": 2.0,
+                    "type": "config.switch",
+                    "from": 0,
+                    "to": 1,
+                    "commands": 0,
+                },
+            ),
+            tight_pipeline_deployment,
+            strategy,
+            strategy,
+            0,
+            command_latency=0.05,
+            detection_bound=1.3,
+            horizon=30.0,
+        )
+        assert not result.ok
+        assert any(
+            v.invariant == "host-capacity" for v in result.violations
+        )
+
+    def test_fits_within_capacity_in_low(self, tight_pipeline_deployment):
+        strategy = ActivationStrategy.all_active(tight_pipeline_deployment)
+        result = check_campaign(
+            _events(),
+            tight_pipeline_deployment,
+            strategy,
+            strategy,
+            0,
+            command_latency=0.05,
+            detection_bound=1.3,
+            horizon=30.0,
+        )
+        assert result.ok
+
+
+class TestFailoverSpan:
+    def _span(self, start, duration, pe="pe1", extra=()):
+        return _events(
+            *extra,
+            {
+                "t": start,
+                "type": "span.start",
+                "span": "s1",
+                "name": "failover",
+                "pe": pe,
+                "replica": f"{pe}#0",
+            },
+            {
+                "t": start + duration,
+                "type": "span.end",
+                "span": "s1",
+                "name": "failover",
+                "duration": duration,
+                "pe": pe,
+                "replica": f"{pe}#0",
+            },
+        )
+
+    def test_prompt_failover_passes(self, pipeline_deployment):
+        result = _check(pipeline_deployment, self._span(5.0, 1.0))
+        assert result.ok
+        assert result.stats["spans_checked"] == 1
+
+    def test_overlong_failover_is_flagged(self, pipeline_deployment):
+        result = _check(pipeline_deployment, self._span(5.0, 3.0))
+        assert not result.ok
+        assert result.first().invariant == "failover-span"
+
+    def test_no_survivor_time_is_excused(self, pipeline_deployment):
+        # Both replicas dead for 2.5 s inside the span: the election
+        # could not complete, so the budget stretches accordingly.
+        events = _events(
+            {"t": 5.0, "type": "replica.crash", "replica": "pe1#0"},
+            {"t": 5.0, "type": "replica.crash", "replica": "pe1#1"},
+            {
+                "t": 5.0,
+                "type": "span.start",
+                "span": "s1",
+                "name": "failover",
+                "pe": "pe1",
+                "replica": "pe1#0",
+            },
+            {"t": 7.5, "type": "replica.recover", "replica": "pe1#1"},
+            {
+                "t": 7.8,
+                "type": "span.end",
+                "span": "s1",
+                "name": "failover",
+                "duration": 2.8,
+                "pe": "pe1",
+                "replica": "pe1#0",
+            },
+        )
+        result = _check(pipeline_deployment, events)
+        assert all(
+            v.invariant != "failover-span" for v in result.violations
+        )
+
+    def test_unfinished_span_is_censored(self, pipeline_deployment):
+        events = _events(
+            {
+                "t": 5.0,
+                "type": "span.start",
+                "span": "s1",
+                "name": "failover",
+                "pe": "pe1",
+                "replica": "pe1#0",
+            },
+        )
+        result = _check(pipeline_deployment, events)
+        assert result.ok
+        assert result.stats["spans_open"] == 1
+
+
+class TestConservationAndLog:
+    def test_balanced_counters_pass(self):
+        violations = check_conservation(
+            {
+                "pe1#0": {
+                    "received": 10,
+                    "processed": 7,
+                    "dropped": 1,
+                    "lost": 1,
+                    "queued": 1,
+                }
+            }
+        )
+        assert violations == []
+
+    def test_leak_is_flagged(self):
+        violations = check_conservation(
+            {
+                "pe1#0": {
+                    "received": 10,
+                    "processed": 7,
+                    "dropped": 1,
+                    "lost": 0,
+                    "queued": 1,
+                }
+            }
+        )
+        assert len(violations) == 1
+        assert violations[0].invariant == "conservation"
+        assert "pe1#0" in violations[0].detail
+
+    def test_conservation_feeds_check_campaign(self, pipeline_deployment):
+        result = _check(
+            pipeline_deployment,
+            _events(),
+            conservation={
+                "pe1#0": {
+                    "received": 5,
+                    "processed": 3,
+                    "dropped": 0,
+                    "lost": 0,
+                    "queued": 0,
+                }
+            },
+        )
+        assert not result.ok
+        assert result.first().invariant == "conservation"
+
+    def test_truncated_log_fails_loudly(self, pipeline_deployment):
+        result = _check(pipeline_deployment, _events(), evicted=12)
+        assert not result.ok
+        assert result.first().invariant == "log-complete"
+        assert "12" in result.first().detail

@@ -151,6 +151,24 @@ class TestHeartbeatTraffic:
         # Only the beats before t=0.1 (none, interval 0.5) were sent.
         assert metrics.network.heartbeat_messages == 0
 
+    def test_recovered_replicas_resume_beating(self, pipeline_descriptor):
+        platform = build_platform(
+            pipeline_descriptor,
+            trace=InputTrace([TraceSegment(1.0, 20.0, "Low")]),
+        )
+        for pe in ("pe1", "pe2"):
+            for replica in platform.group(pe).members:
+                platform.env.schedule_at(0.1, lambda r=replica: r.crash())
+                platform.env.schedule_at(
+                    10.0, lambda r=replica: r.recover()
+                )
+        metrics = platform.run(until=20.0)
+        # Silent for the first half, back to 6 messages/interval for the
+        # second: 20 intervals' worth.
+        assert metrics.network.heartbeat_messages == pytest.approx(
+            120, abs=20
+        )
+
     def test_legacy_mode_sends_no_heartbeats(self, pipeline_descriptor):
         hosts = [
             Host("h0", cores=2, cycles_per_core=0.5 * GIGA),
@@ -163,3 +181,115 @@ class TestHeartbeatTraffic:
         )
         metrics = platform.run()
         assert metrics.network.heartbeat_messages == 0
+
+
+class TestRecoveryRegistration:
+    """Recovered replicas must be re-registered with the detector.
+
+    Regression: ``inject_host_crash`` recovery used to leave the
+    revived replicas with their stale pre-crash ``_last_beat`` stamps,
+    so the watchdog deposed them the instant they were re-elected.
+    """
+
+    def test_crash_recover_crash_elects_the_recovered_replica(
+        self, pipeline_descriptor
+    ):
+        from repro.dsps import HostCrashPlan, inject_host_crash
+
+        platform = build_platform(
+            pipeline_descriptor,
+            trace=InputTrace([TraceSegment(4.0, 40.0, "Low")]),
+            heartbeat_interval=0.25,
+            failover_delay=1.0,
+        )
+        group = platform.group("pe1")
+        first = group.primary
+        host = first.host.name
+        inject_host_crash(
+            platform, HostCrashPlan(host=host, crash_time=5.0, downtime=3.0)
+        )
+
+        # Once the survivor has taken over, kill it too: the only
+        # processable member left is the recovered first primary.
+        def crash_survivor():
+            assert group.primary is not first
+            platform.crash_replica(group.primary.replica_id)
+
+        platform.env.schedule_at(20.0, crash_survivor)
+        platform.run()
+        assert group.primary is first
+        assert first.alive
+
+    def test_recovered_primary_is_not_instantly_deposed(
+        self, pipeline_descriptor
+    ):
+        platform = build_platform(
+            pipeline_descriptor,
+            trace=InputTrace([TraceSegment(4.0, 40.0, "Low")]),
+            heartbeat_interval=0.25,
+            failover_delay=1.0,
+        )
+        group = platform.group("pe1")
+        first = group.primary
+        other = next(m for m in group.members if m is not first)
+        platform.env.schedule_at(
+            5.0, lambda: platform.crash_replica(first.replica_id)
+        )
+        platform.env.schedule_at(
+            10.0, lambda: platform.recover_replica(first.replica_id)
+        )
+        platform.env.schedule_at(
+            20.0, lambda: platform.crash_replica(other.replica_id)
+        )
+        depositions = []
+
+        def watch():
+            # Only the election triggered by the second crash matters:
+            # the recovered replica must take over and keep the role.
+            while platform.env.now < 20.0:
+                yield 0.05
+            elected_at = None
+            while True:
+                yield 0.05
+                if group.primary is first and elected_at is None:
+                    elected_at = platform.env.now
+                if elected_at is not None and group.primary is not first:
+                    depositions.append(platform.env.now)
+                    return
+
+        platform.env.process(watch())
+        platform.run()
+        assert group.primary is first
+        assert not depositions
+
+    def test_short_flap_of_primary_resolves_its_own_span(
+        self, pipeline_descriptor
+    ):
+        platform = build_platform(
+            pipeline_descriptor,
+            trace=InputTrace([TraceSegment(4.0, 30.0, "Low")]),
+            heartbeat_interval=0.25,
+            failover_delay=1.0,
+        )
+        group = platform.group("pe1")
+        victim = group.primary
+        # A 0.3 s flap, well under the 1 s timeout: the primary returns
+        # before the watchdog ever deposes it.
+        platform.env.schedule_at(
+            5.0, lambda: platform.crash_replica(victim.replica_id)
+        )
+        platform.env.schedule_at(
+            5.3, lambda: platform.recover_replica(victim.replica_id)
+        )
+        platform.run()
+        assert group.primary is victim
+        ends = [
+            e
+            for e in platform.telemetry.events.of_type("span.end")
+            if e.fields.get("name") == "failover"
+            and e.fields.get("pe") == "pe1"
+        ]
+        assert len(ends) == 1
+        assert ends[0].fields.get("resumed") is True
+        # The span closed at the recovery, not at some later failover.
+        assert ends[0].fields["duration"] == pytest.approx(0.3, abs=0.01)
