@@ -80,7 +80,7 @@ SMOKE_REPLAN = dict(seed=7, ic_target=0.3, drift_factor=1.1, rounds=1)
 def _admission_specs(params: FleetScenarioParams) -> list[TenantSpec]:
     apps = {
         seed: tenant_application(params, seed)
-        for seed in {params.app_seed(i) for i in range(params.tenants)}
+        for seed in sorted({params.app_seed(i) for i in range(params.tenants)})
     }
     specs = []
     for i in range(params.tenants):

@@ -1,0 +1,225 @@
+"""Diagnostics, inline suppressions, and the allowlist file.
+
+A :class:`Diagnostic` is one finding: file, position, rule id, message.
+Two suppression channels exist, both inventoried in the report so every
+exemption stays visible:
+
+* inline comments — ``# repro: allow[R1] reason=fabric profiling`` on
+  the offending line, or standing alone on the line(s) just above it;
+  several ids may be listed (``allow[R1,R3]``) and the reason is
+  mandatory (a reasonless or unknown-id allow is itself an R8 finding);
+* the allowlist file — ``<glob> <rule-id|*> <reason>`` lines matched
+  against both the dotted module name and the repo-relative path, for
+  sites where a whole module is legitimately exempt (e.g. the wall-clock
+  profiling in ``repro.experiments.parallel``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+__all__ = [
+    "AllowEntry",
+    "Diagnostic",
+    "Suppression",
+    "load_allowlist",
+    "parse_suppressions",
+]
+
+#: A full, well-formed allow comment. The rule-id list is captured in
+#: group 1 and the (mandatory) reason in group 2.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*reason=(.+)\s*$"
+)
+
+#: Anything that *looks* like it tried to be an allow comment. Used to
+#: flag malformed suppressions (R8) instead of silently ignoring them.
+_ALLOW_ATTEMPT_RE = re.compile(r"#\s*repro:")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``file:line:col rule message``."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment.
+
+    ``target_line`` is the source line the suppression covers: the
+    comment's own line for trailing comments, the next code line for
+    standalone ones. ``used`` flips when a diagnostic is absorbed.
+    """
+
+    file: str
+    line: int
+    target_line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        return (
+            diagnostic.file == self.file
+            and diagnostic.line == self.target_line
+            and diagnostic.rule in self.rules
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rules": list(self.rules),
+            "reason": self.reason,
+            "used": self.used,
+        }
+
+
+@dataclass
+class AllowEntry:
+    """One allowlist-file line: a module/path glob, a rule id, a reason."""
+
+    pattern: str
+    rule: str
+    reason: str
+    matches: int = field(default=0, compare=False)
+
+    def covers(self, diagnostic: Diagnostic, module: str) -> bool:
+        if self.rule != "*" and self.rule != diagnostic.rule:
+            return False
+        return fnmatchcase(module, self.pattern) or fnmatchcase(
+            diagnostic.file, self.pattern
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pattern": self.pattern,
+            "rule": self.rule,
+            "reason": self.reason,
+            "matches": self.matches,
+        }
+
+
+def parse_suppressions(
+    source: str, file: str, known_rules: frozenset[str]
+) -> tuple[list[Suppression], list[Diagnostic]]:
+    """Extract allow comments from ``source``.
+
+    Returns the well-formed suppressions plus R8 diagnostics for
+    malformed attempts (missing ``reason=``, unknown rule ids, bad
+    syntax). Standalone comments bind to the next code line; a block of
+    consecutive standalone comments all bind to the same statement.
+    """
+    suppressions: list[Suppression] = []
+    problems: list[Diagnostic] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenizeError:
+        return [], []
+
+    code_lines: set[int] = set()
+    comment_tokens: list[tokenize.TokenInfo] = []
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comment_tokens.append(token)
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            for lineno in range(token.start[0], token.end[0] + 1):
+                code_lines.add(lineno)
+
+    sorted_code_lines = sorted(code_lines)
+
+    def next_code_line(after: int) -> int:
+        for lineno in sorted_code_lines:
+            if lineno > after:
+                return lineno
+        return after
+
+    for token in comment_tokens:
+        line, col = token.start
+        text = token.string
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            if _ALLOW_ATTEMPT_RE.search(text):
+                problems.append(
+                    Diagnostic(
+                        file,
+                        line,
+                        col,
+                        "R8",
+                        "malformed suppression comment: expected"
+                        " '# repro: allow[RULE] reason=...'",
+                    )
+                )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        unknown = sorted(set(rules) - known_rules)
+        if unknown or not rules or not reason:
+            detail = (
+                f"unknown rule id(s) {', '.join(unknown)}"
+                if unknown
+                else "empty rule list or reason"
+            )
+            problems.append(
+                Diagnostic(
+                    file,
+                    line,
+                    col,
+                    "R8",
+                    f"invalid suppression comment: {detail}",
+                )
+            )
+            continue
+        target = line if line in code_lines else next_code_line(line)
+        suppressions.append(Suppression(file, line, target, rules, reason))
+
+    return suppressions, problems
+
+
+def load_allowlist(path: Path) -> list[AllowEntry]:
+    """Parse an allowlist file; raises ``ValueError`` on malformed lines."""
+    entries: list[AllowEntry] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) < 3:
+            raise ValueError(
+                f"{path}:{lineno}: expected '<glob> <rule-id|*> <reason>',"
+                f" got {line!r}"
+            )
+        pattern, rule, reason = parts
+        entries.append(AllowEntry(pattern=pattern, rule=rule, reason=reason))
+    return entries

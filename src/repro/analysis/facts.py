@@ -1,0 +1,252 @@
+"""Per-file facts: parsed AST, import aliases, emit sites, schema defs.
+
+Pass 1 of the engine turns every scanned file into a :class:`FileFacts`
+value. Rules consume these; the cross-module checks (R4) additionally
+merge the ``schema`` and ``emit_sites`` facts from every file before
+judging anything, so an event type emitted in one module and declared
+in another is resolved correctly.
+
+Everything here is purely syntactic — no file under analysis is ever
+imported, so linting a fixture corpus full of deliberate violations is
+safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "EmitSite",
+    "FileFacts",
+    "SchemaDef",
+    "collect_facts",
+    "module_name_for",
+    "resolve_call_target",
+]
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name, derived from the ``__init__.py`` chain.
+
+    Walks up from ``path`` while the parent directory is a package
+    (contains ``__init__.py``); works for any rooted scan, including
+    fixture corpora that mimic the real package layout.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+@dataclass(frozen=True)
+class EmitSite:
+    """One ``*.emit("event.type", key=..., **extra)`` call site."""
+
+    file: str
+    line: int
+    col: int
+    event_type: str
+    keywords: frozenset[str]
+    has_star_kwargs: bool
+
+
+@dataclass(frozen=True)
+class SchemaDef:
+    """One ``EVENT_SCHEMA`` entry: an event type and its required fields."""
+
+    file: str
+    line: int
+    event_type: str
+    fields: frozenset[str]
+
+
+@dataclass
+class FileFacts:
+    """Everything a rule needs to know about one scanned file."""
+
+    path: Path
+    file: str  # display path (as given on the command line)
+    module: str
+    source: str
+    tree: ast.Module
+    parents: dict[int, ast.AST] = field(default_factory=dict)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    name_aliases: dict[str, str] = field(default_factory=dict)
+    emit_sites: list[EmitSite] = field(default_factory=list)
+    schema_defs: list[SchemaDef] = field(default_factory=list)
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        chain: list[ast.AST] = []
+        current = self.parent_of(node)
+        while current is not None:
+            chain.append(current)
+            current = self.parent_of(current)
+        return chain
+
+
+def _collect_imports(facts: FileFacts) -> None:
+    """Build the alias maps used to resolve dotted call targets.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``; ``from
+    datetime import datetime`` maps ``datetime -> datetime.datetime``.
+    Relative imports carry no resolvable absolute module and are skipped.
+    """
+    for node in ast.walk(facts.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else bound
+                facts.module_aliases[bound] = target
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                facts.name_aliases[bound] = f"{node.module}.{alias.name}"
+
+
+def resolve_call_target(facts: FileFacts, func: ast.expr) -> Optional[str]:
+    """The absolute dotted name a call expression refers to, if knowable.
+
+    ``np.random.rand`` resolves to ``numpy.random.rand`` through the
+    import aliases; ``self.rng.random`` resolves to ``None`` (the base is
+    not an imported module, so the target cannot be named statically).
+    Bare names resolve through ``from``-import aliases or to themselves
+    (builtins like ``id`` and ``sorted``).
+    """
+    attrs: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = node.id
+    if base in facts.name_aliases:
+        resolved = facts.name_aliases[base]
+    elif base in facts.module_aliases:
+        resolved = facts.module_aliases[base]
+    elif not attrs:
+        return base  # a bare name: builtin or local
+    else:
+        return None  # attribute access on a non-module object
+    return ".".join([resolved, *reversed(attrs)])
+
+
+def _collect_emit_sites(facts: FileFacts) -> None:
+    """Record every ``<obj>.emit("literal.type", ...)`` call."""
+    for node in ast.walk(facts.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not isinstance(first, ast.Constant):
+            continue  # forwarding wrappers like emit(type_, **fields)
+        if not isinstance(first.value, str):
+            continue
+        keywords = frozenset(
+            kw.arg for kw in node.keywords if kw.arg is not None
+        )
+        has_star = any(kw.arg is None for kw in node.keywords)
+        facts.emit_sites.append(
+            EmitSite(
+                file=facts.file,
+                line=node.lineno,
+                col=node.col_offset,
+                event_type=first.value,
+                keywords=keywords,
+                has_star_kwargs=has_star,
+            )
+        )
+
+
+def _frozenset_literal_fields(node: ast.expr) -> Optional[frozenset[str]]:
+    """The string elements of ``frozenset({...})`` / ``{...}`` / ``set()``."""
+    if isinstance(node, ast.Call) and node.args:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in ("frozenset", "set"):
+            return _frozenset_literal_fields(node.args[0])
+    if isinstance(node, ast.Call) and not node.args:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("frozenset", "set"):
+            return frozenset()
+    if isinstance(node, ast.Set):
+        values = []
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            values.append(element.value)
+        return frozenset(values)
+    return None
+
+
+def _collect_schema_defs(facts: FileFacts) -> None:
+    """Parse ``EVENT_SCHEMA = {"type": frozenset({...}), ...}`` literals."""
+    for node in ast.walk(facts.tree):
+        value: Optional[ast.expr] = None
+        target_name: Optional[str] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                target_name = target.id
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                target_name = node.target.id
+            value = node.value
+        if target_name != "EVENT_SCHEMA" or not isinstance(value, ast.Dict):
+            continue
+        for key, entry in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            fields = _frozenset_literal_fields(entry)
+            facts.schema_defs.append(
+                SchemaDef(
+                    file=facts.file,
+                    line=key.lineno,
+                    event_type=key.value,
+                    fields=fields if fields is not None else frozenset(),
+                )
+            )
+
+
+def collect_facts(path: Path, display: str) -> FileFacts:
+    """Parse one file and gather every fact the rules consume."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=display)
+    facts = FileFacts(
+        path=path,
+        file=display,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+    )
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            facts.parents[id(child)] = parent
+    _collect_imports(facts)
+    _collect_emit_sites(facts)
+    _collect_schema_defs(facts)
+    return facts

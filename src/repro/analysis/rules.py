@@ -1,0 +1,597 @@
+"""The rule catalog: eight checks that mechanize the repo's invariants.
+
+============  =====================  ==========================================
+Rule          Name                   Invariant
+============  =====================  ==========================================
+R1            wall-clock             no wall-clock reads on sim paths; event
+                                     time comes from the simulation clock only
+R2            unseeded-random        RNGs are constructed from explicit seeds,
+                                     never global/OS entropy
+R3            unsorted-iteration     no iteration over sets / ``.keys()`` on
+                                     ordering-sensitive positions without
+                                     ``sorted(...)``
+R4            event-schema           every literal event type emitted exists
+                                     in ``EVENT_SCHEMA`` with its required
+                                     payload keys, and every schema entry has
+                                     at least one emitter (no dead schema)
+R5            unfrozen-spec          dataclasses crossing the fabric pickle
+                                     boundary (``*Spec``) are ``frozen=True``
+R6            object-identity        no ``id()`` / builtin ``hash()`` on sim
+                                     paths (both vary across processes)
+R7            import-fence           sim-path modules never import the
+                                     process fabric or threading machinery
+R8            suppression            allow comments are well-formed, carry a
+                                     reason, and actually suppress something
+============  =====================  ==========================================
+
+Scoping: R1, R2, R3, R4, R5 and R8 apply to every scanned file; R6 and
+R7 apply only to sim-path modules (``repro.sim``, ``repro.dsps``,
+``repro.laar``, ``repro.chaos``, ``repro.fleet``, ``repro.obs``).
+Legitimate exceptions are expressed per line with
+``# repro: allow[Rn] reason=...`` or per module in the allowlist file —
+never by editing the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.facts import (
+    EmitSite,
+    FileFacts,
+    SchemaDef,
+    resolve_call_target,
+)
+
+__all__ = [
+    "RULES",
+    "RULE_IDS",
+    "Rule",
+    "SIM_PATH_PREFIXES",
+    "check_file",
+    "check_schema",
+]
+
+#: Module prefixes forming the deterministic simulation path. Events,
+#: digests and replayable artifacts are produced here, so the strictest
+#: rules (R6, R7) apply only inside these trees.
+SIM_PATH_PREFIXES = (
+    "repro.sim",
+    "repro.dsps",
+    "repro.laar",
+    "repro.chaos",
+    "repro.fleet",
+    "repro.obs",
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule's identity, for reports, docs and ``--list-rules``."""
+
+    rule_id: str
+    name: str
+    summary: str
+    sim_path_only: bool = False
+
+
+RULES: tuple[Rule, ...] = (
+    Rule("R1", "wall-clock", "no wall-clock reads on sim paths"),
+    Rule("R2", "unseeded-random", "RNGs must take an explicit seed"),
+    Rule(
+        "R3",
+        "unsorted-iteration",
+        "set iteration must go through sorted()",
+    ),
+    Rule(
+        "R4",
+        "event-schema",
+        "emitted events match EVENT_SCHEMA, no dead entries",
+    ),
+    Rule(
+        "R5",
+        "unfrozen-spec",
+        "fabric-crossing *Spec dataclasses are frozen",
+    ),
+    Rule(
+        "R6",
+        "object-identity",
+        "no id()/hash() on sim paths",
+        sim_path_only=True,
+    ),
+    Rule(
+        "R7",
+        "import-fence",
+        "sim modules never import the fabric",
+        sim_path_only=True,
+    ),
+    Rule("R8", "suppression", "allow comments are well-formed and used"),
+)
+
+RULE_IDS: frozenset[str] = frozenset(rule.rule_id for rule in RULES)
+
+
+def _is_sim_path(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in SIM_PATH_PREFIXES
+    )
+
+
+def _diag(
+    facts: FileFacts, node: ast.AST, rule: str, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        file=facts.file,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# R1 — wall-clock
+# ----------------------------------------------------------------------
+
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _check_wallclock(facts: FileFacts) -> list[Diagnostic]:
+    diagnostics = []
+    # Local aliases like ``monotonic = time.monotonic`` (a common hot-loop
+    # micro-optimization) must not evade the rule: calls through such a
+    # name are wall-clock reads too.
+    aliases: dict[str, str] = {}
+    for node in ast.walk(facts.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target_node = node.targets[0]
+            if isinstance(target_node, ast.Name):
+                resolved = resolve_call_target(facts, node.value)
+                if resolved in _WALLCLOCK_CALLS:
+                    aliases[target_node.id] = resolved
+    for node in ast.walk(facts.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(facts, node.func)
+        if target in aliases:
+            target = aliases[target]
+        if target in _WALLCLOCK_CALLS:
+            diagnostics.append(
+                _diag(
+                    facts,
+                    node,
+                    "R1",
+                    f"wall-clock read {target}(): sim-path code must be"
+                    " stamped from the simulation clock only",
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R2 — unseeded randomness
+# ----------------------------------------------------------------------
+
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+    }
+)
+
+#: numpy.random constructors that are fine *when given a seed argument*.
+_NUMPY_SEEDED_CTORS = frozenset(
+    {
+        "default_rng",
+        "RandomState",
+        "Generator",
+        "SeedSequence",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+def _check_unseeded_random(facts: FileFacts) -> list[Diagnostic]:
+    diagnostics = []
+    for node in ast.walk(facts.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(facts, node.func)
+        if target is None:
+            continue
+        has_seed_arg = bool(node.args) or bool(node.keywords)
+        message: Optional[str] = None
+        if target in _ENTROPY_CALLS:
+            message = (
+                f"{target}() draws OS entropy; derive values from an"
+                " explicit seed instead"
+            )
+        elif target in ("random.Random", "numpy.random.default_rng"):
+            if not has_seed_arg:
+                message = (
+                    f"{target}() without a seed argument: construct"
+                    " RNGs from an explicit seed parameter"
+                )
+        elif target == "random.SystemRandom":
+            message = (
+                "random.SystemRandom draws OS entropy and can never"
+                " be seeded"
+            )
+        elif target.startswith("random."):
+            message = (
+                f"{target}() uses the shared module-level RNG; construct"
+                " random.Random(seed) from an explicit seed parameter"
+            )
+        elif target.startswith("numpy.random."):
+            member = target.rsplit(".", 1)[1]
+            if member in _NUMPY_SEEDED_CTORS:
+                if not has_seed_arg:
+                    message = (
+                        f"{target}() without a seed argument: pass an"
+                        " explicit seed"
+                    )
+            else:
+                message = (
+                    f"{target}() uses numpy's global RNG state; use"
+                    " numpy.random.default_rng(seed) instead"
+                )
+        if message is not None:
+            diagnostics.append(_diag(facts, node, "R2", message))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R3 — unsorted set iteration on ordering-sensitive positions
+# ----------------------------------------------------------------------
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+_ORDER_NEUTRAL_WRAPPERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+
+def _set_typed_names(tree: ast.AST) -> set[str]:
+    """Names assigned from set-valued expressions anywhere in ``tree``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        value: Optional[ast.expr] = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        if value is None or not _is_set_expr(None, value, names):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_set_expr(
+    facts: Optional[FileFacts], node: ast.expr, set_names: set[str]
+) -> bool:
+    """Whether ``node`` evaluates to a set (syntactically)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr == "keys" and not node.args:
+                return True
+            if func.attr in _SET_METHODS:
+                return True
+    return False
+
+
+def _sorted_ancestor(facts: FileFacts, node: ast.AST) -> bool:
+    """Whether an enclosing call neutralizes iteration order."""
+    for ancestor in facts.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            func = ancestor.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_NEUTRAL_WRAPPERS
+            ):
+                return True
+        if isinstance(ancestor, ast.stmt):
+            break
+    return False
+
+
+def _check_unsorted_iteration(facts: FileFacts) -> list[Diagnostic]:
+    diagnostics = []
+    set_names = _set_typed_names(facts.tree)
+
+    def flag(node: ast.expr, context: str) -> None:
+        if _sorted_ancestor(facts, node):
+            return
+        diagnostics.append(
+            _diag(
+                facts,
+                node,
+                "R3",
+                f"iteration over a set {context} is ordering-sensitive;"
+                " wrap it in sorted(...) or a canonicalizer",
+            )
+        )
+
+    for node in ast.walk(facts.tree):
+        if isinstance(node, ast.For):
+            if _is_set_expr(facts, node.iter, set_names):
+                flag(node.iter, "in a for loop")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # SetComp is exempt: its result is itself a set, so the
+            # iteration order of its source can never be observed.
+            for generator in node.generators:
+                if _is_set_expr(facts, generator.iter, set_names):
+                    flag(generator.iter, "in a comprehension")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else None
+            is_join = isinstance(func, ast.Attribute) and func.attr == "join"
+            if (name in _ORDER_SENSITIVE_CALLS or is_join) and node.args:
+                if _is_set_expr(facts, node.args[0], set_names):
+                    flag(node.args[0], f"passed to {name or 'join'}()")
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R4 — event-schema cross-check (per-site half; see check_schema below)
+# ----------------------------------------------------------------------
+
+
+def check_schema(
+    all_sites: list[EmitSite], all_defs: list[SchemaDef]
+) -> list[Diagnostic]:
+    """The cross-module half of R4, run after every file is parsed.
+
+    * every literal event type emitted anywhere must be declared;
+    * literal emit sites without ``**extra`` must pass every required
+      payload field;
+    * every declared schema entry must have at least one emitter in the
+      scanned tree (dead-schema detection).
+
+    With no ``EVENT_SCHEMA`` definition in the scanned tree the check is
+    skipped entirely — a partial scan cannot judge schema membership.
+    """
+    if not all_defs:
+        return []
+    schema: dict[str, SchemaDef] = {}
+    for schema_def in all_defs:
+        schema.setdefault(schema_def.event_type, schema_def)
+    diagnostics = []
+    emitted_types = {site.event_type for site in all_sites}
+    for site in all_sites:
+        declared = schema.get(site.event_type)
+        if declared is None:
+            diagnostics.append(
+                Diagnostic(
+                    site.file,
+                    site.line,
+                    site.col,
+                    "R4",
+                    f"event type '{site.event_type}' is not declared in"
+                    " EVENT_SCHEMA",
+                )
+            )
+            continue
+        if site.has_star_kwargs:
+            continue  # dynamic payload: the runtime validator owns this
+        missing = sorted(declared.fields - site.keywords)
+        if missing:
+            diagnostics.append(
+                Diagnostic(
+                    site.file,
+                    site.line,
+                    site.col,
+                    "R4",
+                    f"event '{site.event_type}' missing required payload"
+                    f" field(s): {', '.join(missing)}",
+                )
+            )
+    for event_type in sorted(set(schema) - emitted_types):
+        declared = schema[event_type]
+        diagnostics.append(
+            Diagnostic(
+                declared.file,
+                declared.line,
+                0,
+                "R4",
+                f"schema entry '{event_type}' has no emitter in the"
+                " scanned tree (dead schema)",
+            )
+        )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R5 — frozen-value discipline at the fabric pickle boundary
+# ----------------------------------------------------------------------
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+    for decorator in node.decorator_list:
+        target = (
+            decorator.func if isinstance(decorator, ast.Call) else decorator
+        )
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _check_unfrozen_spec(facts: FileFacts) -> list[Diagnostic]:
+    diagnostics = []
+    for node in ast.walk(facts.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Spec"):
+            continue
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            continue
+        frozen = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "frozen":
+                    frozen = (
+                        isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    )
+        if not frozen:
+            diagnostics.append(
+                _diag(
+                    facts,
+                    node,
+                    "R5",
+                    f"dataclass {node.name} crosses the fabric pickle"
+                    " boundary (*Spec) and must be @dataclass(frozen=True)",
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R6 — object identity (id() / builtin hash()) on sim paths
+# ----------------------------------------------------------------------
+
+
+def _check_object_identity(facts: FileFacts) -> list[Diagnostic]:
+    if not _is_sim_path(facts.module):
+        return []
+    diagnostics = []
+    hash_def_ranges: list[tuple[int, int]] = []
+    for node in ast.walk(facts.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "__hash__":
+            hash_def_ranges.append(
+                (node.lineno, node.end_lineno or node.lineno)
+            )
+    for node in ast.walk(facts.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Name) or func.id not in ("id", "hash"):
+            continue
+        if func.id == "hash" and any(
+            start <= node.lineno <= end for start, end in hash_def_ranges
+        ):
+            continue  # __hash__ implementations may delegate to hash()
+        diagnostics.append(
+            _diag(
+                facts,
+                node,
+                "R6",
+                f"{func.id}() varies across processes and hash seeds;"
+                " never let it reach an event payload or digest",
+            )
+        )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R7 — import fences around the sim path
+# ----------------------------------------------------------------------
+
+_BANNED_IMPORT_PREFIXES = (
+    "repro.experiments",
+    "multiprocessing",
+    "concurrent",
+    "threading",
+    "subprocess",
+)
+
+
+def _banned_import(module: str) -> Optional[str]:
+    for prefix in _BANNED_IMPORT_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+def _check_import_fence(facts: FileFacts) -> list[Diagnostic]:
+    if not _is_sim_path(facts.module):
+        return []
+    diagnostics = []
+    for node in ast.walk(facts.tree):
+        imported: list[str] = []
+        if isinstance(node, ast.Import):
+            imported = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module is not None:
+            if node.level == 0:
+                imported = [node.module]
+        for module in imported:
+            banned = _banned_import(module)
+            if banned is not None:
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        node,
+                        "R7",
+                        f"sim-path module imports {module!r}: the"
+                        f" {banned} machinery is wall-clock/process-"
+                        "bearing and fenced off the sim path",
+                    )
+                )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Per-file dispatch
+# ----------------------------------------------------------------------
+
+_PER_FILE_CHECKS: tuple[Callable[[FileFacts], list[Diagnostic]], ...] = (
+    _check_wallclock,
+    _check_unseeded_random,
+    _check_unsorted_iteration,
+    _check_unfrozen_spec,
+    _check_object_identity,
+    _check_import_fence,
+)
+
+
+def check_file(facts: FileFacts) -> list[Diagnostic]:
+    """Run every per-file rule over one parsed file."""
+    diagnostics: list[Diagnostic] = []
+    for check in _PER_FILE_CHECKS:
+        diagnostics.extend(check(facts))
+    return diagnostics

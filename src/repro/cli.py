@@ -535,6 +535,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    forwarded: list[str] = list(args.paths)
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.out is not None:
+        forwarded += ["--out", args.out]
+    if args.allowlist is not None:
+        forwarded += ["--allowlist", args.allowlist]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.smoke:
+        forwarded.append("--smoke")
+    return lint_main(forwarded)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         get_cluster_results,
@@ -796,6 +813,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for events.jsonl and report.json",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism & event-schema linter (rules R1..R8;"
+        " see docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="stdout format (default: text diagnostics + summary)",
+    )
+    lint.add_argument(
+        "--out", default=None,
+        help="also write the canonical JSON report to this file",
+    )
+    lint.add_argument(
+        "--allowlist", default=None,
+        help="allowlist file (default: ./analysis-allowlist.txt if present)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--smoke", action="store_true",
+        help="self-test against the fixture corpus and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper figure (or all of them)"

@@ -109,7 +109,7 @@ class ReplicatedDeployment:
 
         pes = set(descriptor.graph.pes)
         self._assignment: dict[ReplicaId, str] = {}
-        per_pe: dict[str, dict[int, str]] = {pe: {} for pe in pes}
+        per_pe: dict[str, dict[int, str]] = {pe: {} for pe in sorted(pes)}
         for replica_id, host_name in assignment.items():
             if replica_id.pe not in pes:
                 raise DeploymentError(

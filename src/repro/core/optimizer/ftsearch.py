@@ -49,7 +49,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # import only for annotations: keeps the core light
+    from repro.obs.progress import SearchProgress
 
 from repro.core.deployment import ReplicaId
 from repro.core.optimizer.outcomes import SearchOutcome, SearchResult
@@ -317,7 +320,7 @@ class FTSearch:
         self,
         problem: OptimizationProblem,
         config: FTSearchConfig | None = None,
-        progress=None,
+        progress: Optional[SearchProgress] = None,
     ) -> None:
         """``progress`` is an optional
         :class:`repro.obs.progress.SearchProgress` collector; it receives
@@ -1115,7 +1118,7 @@ def ft_search(
     seed_incumbent: bool = False,
     hungry_configs_first: bool = True,
     warm_start: Optional[ActivationStrategy] = None,
-    progress=None,
+    progress: Optional[SearchProgress] = None,
 ) -> SearchResult:
     """Convenience wrapper: build and run an :class:`FTSearch`."""
     config = FTSearchConfig(

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # import only for annotations: keeps the core light
+    from repro.obs.progress import SearchProgress
 
 from repro.core.deployment import ReplicaId
 from repro.core.optimizer.ftsearch import (
@@ -49,7 +52,7 @@ class ReferenceFTSearch:
         self,
         problem: OptimizationProblem,
         config: FTSearchConfig | None = None,
-        progress=None,
+        progress: Optional[SearchProgress] = None,
     ) -> None:
         """``progress`` is an optional
         :class:`repro.obs.progress.SearchProgress`; the hook sits at the

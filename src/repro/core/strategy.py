@@ -60,7 +60,10 @@ class ActivationStrategy:
                     f" (space has {n_configs})"
                 )
             table[(replica, config_index)] = bool(state)
-        for replica in replicas:
+        # deployment.replicas is an ordered tuple; iterating the
+        # membership *set* here would make the table's insertion order
+        # (and anything serialized from it) hash-seed-dependent.
+        for replica in deployment.replicas:
             for config_index in range(n_configs):
                 table.setdefault((replica, config_index), False)
         self._table = table

@@ -28,9 +28,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
 
-__all__ = ["Event", "EventLog", "EVENT_SCHEMA", "event_to_json"]
+__all__ = [
+    "Event",
+    "EventLog",
+    "EVENT_SCHEMA",
+    "event_to_json",
+    "known_event_types",
+    "required_fields",
+]
 
 
 #: Known event types mapped to the payload fields every instance carries.
@@ -78,6 +86,26 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "span.start": frozenset({"span", "name"}),
     "span.end": frozenset({"span", "name", "duration"}),
 }
+
+
+def known_event_types() -> tuple[str, ...]:
+    """Every declared event type, sorted — for validators and linters.
+
+    ``repro.obs.validate`` checks streams against this at runtime;
+    ``repro.analysis`` cross-checks its AST-parsed view of the schema
+    against it, so the static and runtime validators can never disagree
+    about which types exist.
+    """
+    return tuple(sorted(EVENT_SCHEMA))
+
+
+def required_fields(type_: str) -> frozenset[str]:
+    """The required payload fields of one event type.
+
+    Raises ``KeyError`` for unknown types — callers that want a soft
+    answer should test membership via :func:`known_event_types` first.
+    """
+    return EVENT_SCHEMA[type_]
 
 
 @dataclass(frozen=True)
@@ -200,10 +228,8 @@ class EventLog:
         lines = [event_to_json(event) for event in self.events()]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path: str | Path) -> int:
         """Write the buffered events as JSONL; returns the event count."""
-        from pathlib import Path
-
         text = self.to_jsonl()
         Path(path).write_text(text)
         return len(self._events)

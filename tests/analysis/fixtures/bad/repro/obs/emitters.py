@@ -1,0 +1,8 @@
+"""R4 fixture: emit sites that disagree with the schema."""
+
+
+def report(log: object) -> None:
+    """Emit an undeclared type and an under-filled payload."""
+    log.emit("not.in.schema", detail=1)
+    log.emit("tuple.drop", replica="r0")
+    log.emit("replica.crash", replica="r1")

@@ -1,0 +1,7 @@
+"""R4 fixture: a mini event schema with one dead entry."""
+
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    "tuple.drop": frozenset({"replica", "port"}),
+    "replica.crash": frozenset({"replica"}),
+    "ghost.event": frozenset({"who"}),
+}

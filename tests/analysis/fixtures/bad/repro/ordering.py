@@ -1,0 +1,19 @@
+"""R3 fixture: hash-seed-dependent iteration over sets."""
+
+
+def loop_over_set(hosts: object) -> list[str]:
+    """For loop over a set literal."""
+    out = []
+    for host in {"a", "b", "c"}:
+        out.append(host)
+    return out
+
+
+def listify_keys(table: dict[str, int]) -> list[str]:
+    """list() over .keys() without sorted()."""
+    return list(table.keys())
+
+
+def comprehension_over_union(left: set[int], right: set[int]) -> list[int]:
+    """Comprehension over a set-union result."""
+    return [value for value in left.union(right)]

@@ -1,0 +1,11 @@
+"""R7 fixture: sim-path module importing the fabric and threading."""
+
+import threading
+
+from repro.experiments.parallel import run_tasks
+
+
+def drive() -> None:
+    """Uses the fenced-off machinery."""
+    threading.Event()
+    run_tasks([])

@@ -1,0 +1,11 @@
+"""R6 fixture: object identity leaking into sim-path values."""
+
+
+def replica_key(replica: object) -> int:
+    """id() is process-dependent."""
+    return id(replica)
+
+
+def digest_part(value: str) -> int:
+    """Builtin hash() is hash-seed-dependent."""
+    return hash(value)

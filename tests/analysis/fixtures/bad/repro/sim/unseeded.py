@@ -1,0 +1,19 @@
+"""R2 fixture: unseeded and OS-entropy randomness."""
+
+import random
+import uuid
+
+
+def fresh_rng() -> random.Random:
+    """Unseeded RNG construction."""
+    return random.Random()
+
+
+def module_level_draw() -> float:
+    """Draw from the shared module-level RNG."""
+    return random.random()
+
+
+def run_token() -> str:
+    """OS-entropy identifier."""
+    return uuid.uuid4().hex

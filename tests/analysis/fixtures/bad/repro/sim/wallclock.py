@@ -1,0 +1,21 @@
+"""R1 fixture: wall-clock reads, direct and via a local alias."""
+
+import time
+from datetime import datetime
+
+_mono = time.monotonic
+
+
+def stamp() -> float:
+    """Direct wall-clock read."""
+    return time.time()
+
+
+def stamp_aliased() -> float:
+    """Aliased wall-clock read (the hot-loop evasion pattern)."""
+    return _mono()
+
+
+def today() -> str:
+    """Wall-clock date read."""
+    return datetime.now().isoformat()

@@ -1,0 +1,11 @@
+"""R5 fixture: a fabric-crossing Spec dataclass left mutable."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunSpec:
+    """Crosses the pickle boundary but is not frozen."""
+
+    seed: int
+    until: float

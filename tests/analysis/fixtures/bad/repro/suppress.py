@@ -1,0 +1,7 @@
+"""R8 fixture: malformed and unused suppression comments."""
+
+# repro: allow[R1]
+SUPPRESSED_NOTHING = 1
+
+# repro: allow[R3] reason=there is no set iteration on the next line
+UNUSED_BUT_WELL_FORMED = 2

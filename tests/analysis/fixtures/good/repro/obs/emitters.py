@@ -1,0 +1,7 @@
+"""Good fixture: emit sites that agree with the schema."""
+
+
+def report(log: object) -> None:
+    """Every declared type is emitted with its full payload."""
+    log.emit("tuple.drop", replica="r0", port=3)
+    log.emit("replica.crash", replica="r1", cause="chaos")

@@ -1,0 +1,6 @@
+"""Good fixture: a mini event schema, fully emitted."""
+
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    "tuple.drop": frozenset({"replica", "port"}),
+    "replica.crash": frozenset({"replica"}),
+}

@@ -1,0 +1,23 @@
+"""Good fixture: sim-clock stamping, seeded RNGs, sorted iteration."""
+
+import random
+
+
+def stamp(now: float) -> float:
+    """Timestamps come in from the simulation clock."""
+    return now
+
+
+def rng_for(seed: int) -> random.Random:
+    """RNGs are constructed from explicit seeds."""
+    return random.Random(seed)
+
+
+def canonical_hosts(hosts: set[str]) -> list[str]:
+    """Set iteration goes through sorted()."""
+    return sorted(hosts)
+
+
+def host_count(hosts: set[str]) -> int:
+    """Order-neutral consumers of sets are fine."""
+    return len(hosts)

@@ -1,0 +1,11 @@
+"""Good fixture: a frozen fabric-crossing Spec dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Immutable across the pickle boundary."""
+
+    seed: int
+    until: float

@@ -1,0 +1,9 @@
+"""Good fixture: a well-formed, *used* suppression comment."""
+
+import time
+
+
+def profile_tick() -> float:
+    """Legitimate wall-clock read, explicitly waived with a reason."""
+    # repro: allow[R1] reason=fixture demonstrating a used suppression
+    return time.monotonic()

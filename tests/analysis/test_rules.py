@@ -1,0 +1,158 @@
+"""Exact-diagnostic tests for every rule, pinned on the fixture corpus.
+
+Each rule gets one bad fixture file and the good corpus must stay clean;
+assertions pin file, line *and* rule id so a rule that drifts (fires on
+the wrong construct, or stops firing) fails loudly rather than just
+changing a count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisReport, run_analysis
+from repro.analysis.rules import RULE_IDS, RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+NO_ALLOWLIST = FIXTURES / "missing-allowlist"
+
+
+def _analyze(corpus: str) -> AnalysisReport:
+    return run_analysis([FIXTURES / corpus], allowlist_path=NO_ALLOWLIST)
+
+
+def _hits(report: AnalysisReport, filename: str) -> list[tuple[int, str]]:
+    """(line, rule) pairs for one fixture file, in report order."""
+    return [
+        (d.line, d.rule)
+        for d in report.diagnostics
+        if d.file.endswith(filename)
+    ]
+
+
+class TestBadCorpus:
+    def setup_method(self) -> None:
+        self.report = _analyze("bad")
+
+    def test_r1_wallclock_direct_aliased_and_datetime(self):
+        assert _hits(self.report, "sim/wallclock.py") == [
+            (11, "R1"),
+            (16, "R1"),
+            (21, "R1"),
+        ]
+
+    def test_r1_alias_resolves_to_real_target(self):
+        aliased = [
+            d
+            for d in self.report.diagnostics
+            if d.file.endswith("sim/wallclock.py") and d.line == 16
+        ]
+        assert len(aliased) == 1
+        assert "time.monotonic()" in aliased[0].message
+
+    def test_r2_unseeded_module_level_and_entropy(self):
+        assert _hits(self.report, "sim/unseeded.py") == [
+            (9, "R2"),
+            (14, "R2"),
+            (19, "R2"),
+        ]
+
+    def test_r3_for_loop_listify_and_comprehension(self):
+        assert _hits(self.report, "ordering.py") == [
+            (7, "R3"),
+            (14, "R3"),
+            (19, "R3"),
+        ]
+
+    def test_r4_unknown_type_and_missing_fields(self):
+        assert _hits(self.report, "obs/emitters.py") == [
+            (6, "R4"),
+            (7, "R4"),
+        ]
+        messages = [
+            d.message
+            for d in self.report.diagnostics
+            if d.file.endswith("obs/emitters.py")
+        ]
+        assert "'not.in.schema' is not declared" in messages[0]
+        assert "missing required payload field(s): port" in messages[1]
+
+    def test_r4_dead_schema_entry(self):
+        assert _hits(self.report, "obs/schema.py") == [(6, "R4")]
+        (dead,) = [
+            d
+            for d in self.report.diagnostics
+            if d.file.endswith("obs/schema.py")
+        ]
+        assert "'ghost.event' has no emitter" in dead.message
+
+    def test_r5_unfrozen_spec(self):
+        assert _hits(self.report, "bad/repro/specs.py") == [(7, "R5")]
+
+    def test_r6_id_and_hash_on_sim_path(self):
+        assert _hits(self.report, "sim/identity.py") == [
+            (6, "R6"),
+            (11, "R6"),
+        ]
+
+    def test_r7_fence_catches_stdlib_and_repro_fabric(self):
+        hits = _hits(self.report, "sim/fence.py")
+        assert hits == [(3, "R7"), (5, "R7")]
+        messages = [
+            d.message
+            for d in self.report.diagnostics
+            if d.file.endswith("sim/fence.py")
+        ]
+        assert "'threading'" in messages[0]
+        assert "'repro.experiments.parallel'" in messages[1]
+
+    def test_r8_malformed_and_unused(self):
+        assert _hits(self.report, "bad/repro/suppress.py") == [
+            (3, "R8"),
+            (6, "R8"),
+        ]
+
+    def test_every_rule_fires_somewhere(self):
+        fired = {d.rule for d in self.report.diagnostics}
+        assert fired == set(RULE_IDS)
+
+    def test_total_finding_count_is_pinned(self):
+        # A new finding (or a silently dropped one) must be a conscious
+        # fixture change, not drift.
+        assert len(self.report.diagnostics) == 19
+        assert not self.report.errors
+
+    def test_diagnostics_render_as_path_line_col_rule(self):
+        first = self.report.diagnostics[0]
+        rendered = first.render()
+        assert rendered == (
+            f"{first.file}:{first.line}:{first.col}"
+            f" {first.rule} {first.message}"
+        )
+
+
+class TestGoodCorpus:
+    def test_clean_and_error_free(self):
+        report = _analyze("good")
+        assert report.diagnostics == []
+        assert report.errors == []
+        assert report.ok
+
+    def test_used_suppression_is_counted_not_reported(self):
+        report = _analyze("good")
+        assert len(report.suppressed) == 1
+        diagnostic, reason = report.suppressed[0]
+        assert diagnostic.rule == "R1"
+        assert diagnostic.file.endswith("good/repro/suppress.py")
+        assert "used suppression" in reason
+
+
+class TestRuleCatalog:
+    def test_eight_rules_with_stable_ids(self):
+        assert [rule.rule_id for rule in RULES] == [
+            f"R{n}" for n in range(1, 9)
+        ]
+
+    def test_sim_path_scoping(self):
+        scoped = {r.rule_id for r in RULES if r.sim_path_only}
+        assert scoped == {"R6", "R7"}

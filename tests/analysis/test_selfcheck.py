@@ -1,0 +1,165 @@
+"""The shipped tree must satisfy its own linter — and the linter must
+actually notice when it stops being true.
+
+The mutation tests copy ``src/repro`` to a temp tree, seed one violation
+of the schema cross-check, and assert R4 fires: this is the evidence
+that a green run means "emitters and EVENT_SCHEMA agree", not "the
+check silently matched nothing".
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisReport, run_analysis
+from repro.analysis.facts import collect_facts
+from repro.obs.events import known_event_types, required_fields
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+ALLOWLIST = REPO_ROOT / "analysis-allowlist.txt"
+EVENTS = SRC / "obs" / "events.py"
+
+
+def _analyze(*roots: Path) -> AnalysisReport:
+    return run_analysis(list(roots), allowlist_path=ALLOWLIST)
+
+
+@pytest.fixture()
+def src_copy(tmp_path):
+    """A mutable copy of src/repro (same dotted module names)."""
+    copy = tmp_path / "src" / "repro"
+    shutil.copytree(SRC, copy)
+    return copy
+
+
+class TestShippedTreeIsClean:
+    @pytest.fixture(autouse=True)
+    def _from_repo_root(self, monkeypatch):
+        # The allowlist's path globs (benchmarks/*) are repo-relative,
+        # so run the gate scan exactly as CI does: from the repo root
+        # with relative paths.
+        monkeypatch.chdir(REPO_ROOT)
+
+    def test_no_findings_no_errors(self):
+        # Same scan CI gates on: the library tree plus the benchmark
+        # harness (whose wall-clock reads the allowlist waives).
+        report = _analyze(Path("src/repro"), Path("benchmarks"))
+        assert report.errors == []
+        assert [d.render() for d in report.diagnostics] == []
+
+    def test_every_allowlist_entry_earns_its_keep(self):
+        # Stale allowlist entries are invisible risk: they would mask a
+        # future real violation. Each checked-in entry must match today.
+        report = _analyze(Path("src/repro"), Path("benchmarks"))
+        unused = [e.pattern for e in report.allowlist if e.matches == 0]
+        assert unused == []
+
+    def test_inline_suppressions_all_used(self):
+        report = _analyze(Path("src/repro"), Path("benchmarks"))
+        assert all(s.used for s in report.suppressions)
+
+
+class TestSchemaAgreement:
+    def test_ast_view_matches_runtime_view(self):
+        # The linter parses EVENT_SCHEMA from source; the runtime
+        # validator imports it. Both views must name the same types with
+        # the same required fields, or R4 and obs.validate could give
+        # contradictory verdicts on the same tree.
+        facts = collect_facts(EVENTS, EVENTS.as_posix())
+        parsed = {d.event_type: d.fields for d in facts.schema_defs}
+        assert sorted(parsed) == list(known_event_types())
+        for event_type, fields in parsed.items():
+            assert fields == required_fields(event_type)
+
+    def test_removing_a_schema_entry_fails_r4(self, src_copy):
+        events = src_copy / "obs" / "events.py"
+        source = events.read_text()
+        needle = '"span.start": frozenset({"span", "name"}),'
+        assert needle in source
+        events.write_text(source.replace(needle, ""))
+        report = _analyze(src_copy)
+        r4 = [d for d in report.diagnostics if d.rule == "R4"]
+        assert r4, "dropping a schema entry must trip R4"
+        assert any("span.start" in d.message for d in r4)
+
+    def test_emitting_unregistered_type_fails_r4(self, src_copy):
+        events = src_copy / "obs" / "events.py"
+        with events.open("a") as handle:
+            handle.write(
+                "\n\ndef _schema_drift_probe(log: EventLog) -> None:\n"
+                '    """Mutation-test probe."""\n'
+                '    log.emit("not.a.registered.event", x=1)\n'
+            )
+        report = _analyze(src_copy)
+        r4 = [d for d in report.diagnostics if d.rule == "R4"]
+        assert any(
+            "'not.a.registered.event' is not declared" in d.message
+            for d in r4
+        )
+
+    def test_dead_schema_entry_fails_r4(self, src_copy):
+        events = src_copy / "obs" / "events.py"
+        source = events.read_text()
+        needle = '"sim.run.start": frozenset({"until"}),'
+        assert needle in source
+        events.write_text(
+            source.replace(
+                needle,
+                needle + '\n    "never.emitted": frozenset({"x"}),',
+            )
+        )
+        report = _analyze(src_copy)
+        r4 = [d for d in report.diagnostics if d.rule == "R4"]
+        assert any("'never.emitted' has no emitter" in d.message for d in r4)
+
+
+class TestSeededViolationsAreCaught:
+    """End-to-end: a fresh violation anywhere in the tree exits dirty."""
+
+    @pytest.mark.parametrize(
+        ("relative", "snippet", "rule"),
+        [
+            (
+                "sim/kernel.py",
+                "\n\ndef _probe_wallclock() -> float:\n"
+                '    """Mutation-test probe."""\n'
+                "    import time\n\n"
+                "    return time.time()\n",
+                "R1",
+            ),
+            (
+                "laar/middleware.py",
+                "\n\ndef _probe_unseeded() -> object:\n"
+                '    """Mutation-test probe."""\n'
+                "    import random\n\n"
+                "    return random.Random()\n",
+                "R2",
+            ),
+            (
+                "core/strategy.py",
+                "\n\ndef _probe_ordering(hosts: list) -> list:\n"
+                '    """Mutation-test probe."""\n'
+                "    return [h for h in set(hosts)]\n",
+                "R3",
+            ),
+            (
+                "sim/kernel.py",
+                "\n\ndef _probe_identity(x: object) -> int:\n"
+                '    """Mutation-test probe."""\n'
+                "    return id(x)\n",
+                "R6",
+            ),
+        ],
+    )
+    def test_seeded_violation_fires(self, src_copy, relative, snippet, rule):
+        target = src_copy / relative
+        with target.open("a") as handle:
+            handle.write(snippet)
+        report = _analyze(src_copy)
+        fired = [d for d in report.diagnostics if d.rule == rule]
+        assert fired, f"seeded {rule} violation in {relative} not caught"
+        assert not report.ok

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 from repro.obs.events import EventLog
 from repro.obs.validate import main, validate_file, validate_lines
 
@@ -74,3 +78,45 @@ class TestCli:
     def test_no_arguments_is_usage_error(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    """``python -m repro.obs.validate`` as CI invokes it.
+
+    The in-process tests above pin ``main()``'s return values; these pin
+    that the module entry point actually turns them into process exit
+    codes (``raise SystemExit(main())``), so a wiring regression can't
+    make CI silently pass on bad streams.
+    """
+
+    @staticmethod
+    def _run(*args: str) -> subprocess.CompletedProcess[str]:
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.obs.validate", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_unknown_event_type_exits_nonzero(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq":0,"t":0.0,"type":"bogus.event"}\n')
+        result = self._run(str(path))
+        assert result.returncode == 1
+        assert "unknown event type" in result.stdout
+
+    def test_clean_stream_exits_zero(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text(
+            '{"seq":0,"t":0.0,"type":"host.crash","host":"h0"}\n'
+        )
+        result = self._run(str(path))
+        assert result.returncode == 0, result.stdout + result.stderr

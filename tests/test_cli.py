@@ -202,6 +202,25 @@ class TestParser:
             main(["experiment", "fig99"])
 
 
+class TestLint:
+    def test_list_rules_via_subcommand(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R1" in out and "R8" in out
+
+    def test_findings_propagate_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text('"""Doc."""\nimport time\nt = time.time()\n')
+        code = main(
+            [
+                "lint", str(bad),
+                "--allowlist", str(tmp_path / "absent.txt"),
+            ]
+        )
+        assert code == 1
+        assert "R1" in capsys.readouterr().out
+
+
 class TestObs:
     def test_observed_run_writes_artifacts(
         self, bundle_path, strategy_path, tmp_path, capsys
