@@ -50,6 +50,12 @@ HEADLINE = {
             "contracts_per_sec"
         ),
     ),
+    "BENCH_sim": (
+        "batched_tuples_per_sec",
+        lambda report: report.get("fleet_slice", {}).get(
+            "batched_tuples_per_sec"
+        ),
+    ),
 }
 
 

@@ -61,6 +61,7 @@ class CampaignSpec:
     down_confirmation: int = 2
     event_buffer: int = 1 << 20
     rack_size: int = 2
+    batching: bool = False
     schedule: Optional[tuple[Injection, ...]] = field(default=None)
 
     def __post_init__(self) -> None:

@@ -68,6 +68,7 @@ def run_campaign(spec) -> dict[str, Any]:
             heartbeat_interval=spec.heartbeat_interval,
             seed=spec.seed,
             event_buffer=spec.event_buffer,
+            batching=spec.batching,
         ),
         middleware_config=MiddlewareConfig(
             monitor_interval=spec.monitor_interval,

@@ -164,7 +164,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         strategy,
         {source: trace for source in deployment.descriptor.graph.sources},
         platform_config=PlatformConfig(
-            arrival_jitter=args.jitter, seed=args.seed
+            arrival_jitter=args.jitter,
+            seed=args.seed,
+            batching=args.batched,
         ),
         middleware_config=MiddlewareConfig(
             monitor_interval=2.0,
@@ -260,6 +262,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         jitter=args.jitter,
         tuple_trace_every=args.trace_every,
         queue_seconds=args.queue_seconds,
+        batching=args.batched,
         jobs=args.jobs,
         profile=profile,
     )
@@ -349,6 +352,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         duration=args.duration,
         n_injections=args.injections,
         heartbeat_interval=args.heartbeat,
+        batching=args.batched,
     )
 
     if args.sabotage:
@@ -502,6 +506,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet.store import StrategyStore
     from repro.obs.validate import validate_lines
 
+    if args.dataplane:
+        return _cmd_fleet_dataplane(args)
+
     params = FleetScenarioParams(
         tenants=args.tenants,
         distinct_apps=args.apps,
@@ -531,6 +538,44 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         json.dumps(result.report, indent=2, sort_keys=True) + "\n"
     )
     print(render_fleet_report(result.report))
+    print(f"artifacts written to {out_dir}")
+    return 0
+
+
+def _cmd_fleet_dataplane(args: argparse.Namespace) -> int:
+    from repro.fleet.dataplane import DataplaneParams
+    from repro.fleet.scenario import run_fleet_dataplane
+
+    params = DataplaneParams(
+        tenants=args.tenants,
+        base_seed=args.seed,
+        duration=args.duration,
+        chaos_every=args.chaos_every,
+        batching=not args.tuple_granular,
+    )
+    summary, _digests = run_fleet_dataplane(params, jobs=args.jobs)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "dataplane.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    totals = summary["totals"]
+    mode = "tuple-granular" if args.tuple_granular else "batched"
+    print(
+        f"dataplane ({mode}): {summary['tenants']} tenants,"
+        f" {totals['input']} tuples in, {totals['output']} out,"
+        f" {totals['fallback_windows']} fallback windows"
+        f" ({summary['fallback_seconds']}s)"
+    )
+    print(f"fleet sha256: {summary['fleet_sha256']}")
+    for item in summary["violations"]:
+        print(
+            f"violation (tenant {item['tenant']}): {item['violation']}",
+            file=sys.stderr,
+        )
+    if not summary["ok"]:
+        return 1
     print(f"artifacts written to {out_dir}")
     return 0
 
@@ -642,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--static", action="store_true",
         help="run without the Rate Monitor (NR/SR-style)",
     )
+    simulate.add_argument(
+        "--batched", action="store_true",
+        help="use the batched execution engine (identical results,"
+        " faster at fleet scale; see docs/performance.md)",
+    )
     simulate.add_argument("--out", default=None)
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -679,6 +729,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-seconds", type=float, default=2.0,
         help="input-queue sizing in seconds of peak rate (small values"
         " force queue overflows and tuple drops)",
+    )
+    obs.add_argument(
+        "--batched", action="store_true",
+        help="use the batched execution engine (byte-identical event"
+        " logs, faster at fleet scale)",
     )
     obs.add_argument(
         "--jobs", type=int, default=None,
@@ -736,6 +791,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=None,
         help="heartbeat interval for emergent failure detection"
         " (default: abstract detection)",
+    )
+    chaos_run.add_argument(
+        "--batched", action="store_true",
+        help="use the batched execution engine (byte-identical digests,"
+        " faster at fleet scale)",
     )
     chaos_run.add_argument(
         "--sabotage", action="store_true",
@@ -811,6 +871,26 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--out-dir", default="fleet-run",
         help="directory for events.jsonl and report.json",
+    )
+    fleet.add_argument(
+        "--dataplane", action="store_true",
+        help="run the fleet *data plane* instead of the control plane:"
+        " every tenant is a fully simulated stream platform (the"
+        " batched engine's headline workload; see docs/performance.md)",
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=30.0,
+        help="dataplane only: simulated seconds per tenant",
+    )
+    fleet.add_argument(
+        "--chaos-every", type=int, default=25,
+        help="dataplane only: every Nth tenant gets a scripted"
+        " mid-run host crash or slow-host window (0 = off)",
+    )
+    fleet.add_argument(
+        "--tuple-granular", action="store_true",
+        help="dataplane only: run the plain event kernel instead of"
+        " the batched engine (event logs are byte-identical)",
     )
     fleet.set_defaults(func=_cmd_fleet)
 

@@ -31,6 +31,7 @@ class SourceOperator:
         series: TimeSeries,
         rng: Optional[random.Random] = None,
         jitter: float = 0.0,
+        engine=None,
     ) -> None:
         self._env = env
         self.name = name
@@ -40,16 +41,35 @@ class SourceOperator:
         self._rng = rng
         self._jitter = jitter
         self.emitted = 0
-        env.process(self._run())
+        if engine is not None:
+            # Engine-managed mode: the batched engine replays the same
+            # arrival recurrence through a cursor instead of a kernel
+            # process, so emissions never touch the event heap.
+            engine.register_source(self)
+        else:
+            env.process(self._run())
+
+    def arrivals(self):
+        """The trace's arrival-time generator with this source's rng.
+
+        The generator body does not run (and draws no randomness) until
+        first ``next()`` — creation order therefore matches the process
+        construction a tuple-granular run performs.
+        """
+        return self.trace.arrival_times(self._rng, self._jitter)
+
+    def fire(self) -> None:
+        """One emission at the current simulated time."""
+        self.emitted += 1
+        self._series.record(self._env.now)
+        self._deliver(self.name)
 
     def _run(self):
         previous = 0.0
         for arrival in self.trace.arrival_times(self._rng, self._jitter):
             yield arrival - previous
             previous = arrival
-            self.emitted += 1
-            self._series.record(self._env.now)
-            self._deliver(self.name)
+            self.fire()
 
     def current_rate(self) -> float:
         """The trace's nominal rate at the current simulation time."""
@@ -82,6 +102,10 @@ class SinkOperator:
             self._latency.record(now, now - birth)
             if self._tracer is not None:
                 self._tracer.stage("sink", birth, sink=self.name)
+
+    @property
+    def series(self) -> TimeSeries:
+        return self._series
 
     @property
     def latency(self) -> LatencyRecorder:

@@ -17,12 +17,31 @@ paper measures "total CPU time used" from the PE processes.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.errors import SimulationError
-from repro.sim import Environment, EventHandle
+from repro.sim import Environment
 
-__all__ = ["HostScheduler"]
+__all__ = ["CompletionHandle", "CompletionTimer", "HostScheduler"]
+
+
+class CompletionHandle(Protocol):
+    """What :meth:`CompletionTimer.schedule` returns: a cancellable."""
+
+    def cancel(self) -> None: ...
+
+
+class CompletionTimer(Protocol):
+    """Backend for the scheduler's single pending completion event.
+
+    The default backend is the simulation :class:`Environment` itself
+    (heap events); the batched engine substitutes its own slot table so
+    completions never touch the heap (see :mod:`repro.dsps.batched`).
+    """
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> CompletionHandle: ...
 
 # Completion slack: clock arithmetic at ~1e9 cycles/s loses up to ~1e-4
 # cycles per event to floating point, so treat anything below half a cycle
@@ -48,6 +67,7 @@ class HostScheduler:
         name: str,
         capacity: float,
         cycles_per_core: float,
+        timer: Optional[CompletionTimer] = None,
     ) -> None:
         if capacity <= 0:
             raise SimulationError(f"host {name!r} capacity must be > 0")
@@ -63,8 +83,12 @@ class HostScheduler:
         self.cycles_per_core = cycles_per_core
         self._jobs: dict[object, _Job] = {}
         self._last_update = env.now
-        self._completion: Optional[EventHandle] = None
+        self._timer: CompletionTimer = timer if timer is not None else env
+        self._completion: Optional[CompletionHandle] = None
         self.cycles_delivered = 0.0
+        #: Optional hook fired when delivered capacity changes mid-run
+        #: (the batched engine invalidates its service-time templates).
+        self.on_speed_change: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Public interface (used by OperatorReplica)
@@ -120,6 +144,8 @@ class HostScheduler:
         self.speed_factor = factor
         self.capacity = self._base_capacity * factor
         self._reschedule()
+        if self.on_speed_change is not None:
+            self.on_speed_change()
 
     # ------------------------------------------------------------------
     # Processor-sharing mechanics
@@ -147,7 +173,7 @@ class HostScheduler:
             return
         shortest = min(job.remaining for job in self._jobs.values())
         delay = max(shortest, 0.0) / self._rate_per_job()
-        self._completion = self._env.schedule(delay, self._on_completion)
+        self._completion = self._timer.schedule(delay, self._on_completion)
 
     def _on_completion(self) -> None:
         self._completion = None

@@ -89,6 +89,9 @@ class OperatorReplica:
         self.alive = True
         self._resyncing = False
         self.group: Optional["ReplicaGroup"] = None
+        #: Optional hook fired on every processability transition (the
+        #: batched engine invalidates its cascade templates here).
+        self.on_state_change: Optional[Callable[[], None]] = None
 
         # Pending tuples as (port index, source emission time) pairs; the
         # birth timestamp rides along so sinks can measure end-to-end
@@ -113,6 +116,10 @@ class OperatorReplica:
     @property
     def queue_length(self) -> int:
         return len(self._queue) + (1 if self._serving is not None else 0)
+
+    def _notify_change(self) -> None:
+        if self.on_state_change is not None:
+            self.on_state_change()
 
     # ------------------------------------------------------------------
     # Data path
@@ -219,6 +226,7 @@ class OperatorReplica:
         if not self.active:
             return
         self.active = False
+        self._notify_change()
         self._metrics.deactivations += 1
         if self._events is not None:
             self._events.emit(
@@ -233,6 +241,7 @@ class OperatorReplica:
         if self.active:
             return
         self.active = True
+        self._notify_change()
         self._metrics.activations += 1
         if self._events is not None:
             self._events.emit(
@@ -247,6 +256,7 @@ class OperatorReplica:
         if not self.alive:
             return
         self.alive = False
+        self._notify_change()
         self._metrics.crashes += 1
         self._abort_work()
         if self.group is not None:
@@ -259,6 +269,7 @@ class OperatorReplica:
         if self.alive:
             return
         self.alive = True
+        self._notify_change()
         self._metrics.recoveries += 1
         if self.group is not None:
             # Re-register with the failure detector *before* resync: the
@@ -275,10 +286,12 @@ class OperatorReplica:
             self._finish_resync()
             return
         self._resyncing = True
+        self._notify_change()
         self._env.schedule(self._resync_delay, self._finish_resync)
 
     def _finish_resync(self) -> None:
         self._resyncing = False
+        self._notify_change()
         if self.processable and self.group is not None:
             self.group.on_member_available(self)
 
@@ -328,6 +341,10 @@ class ReplicaGroup:
         self.failover_delay = failover_delay
         self._members: list[OperatorReplica] = []
         self.primary: Optional[OperatorReplica] = None
+        #: Optional hook fired on every primary (re)assignment — the
+        #: batched engine invalidates its cascade templates here, since
+        #: which replica forwards downstream is baked into them.
+        self.on_primary_change: Optional[Callable[[], None]] = None
         self._pending_election: Optional[EventHandle] = None
         self._heartbeats_enabled = False
         self._hb_interval = 0.0
@@ -358,7 +375,12 @@ class ReplicaGroup:
         return tuple(self._members)
 
     def initialise_primary(self) -> None:
-        self.primary = self._first_processable()
+        self._set_primary(self._first_processable())
+
+    def _set_primary(self, replica: Optional[OperatorReplica]) -> None:
+        self.primary = replica
+        if self.on_primary_change is not None:
+            self.on_primary_change()
 
     def _first_processable(self) -> Optional[OperatorReplica]:
         for member in self._members:
@@ -419,7 +441,7 @@ class ReplicaGroup:
                 > self._hb_timeout
             )
             if stale:
-                self.primary = None
+                self._set_primary(None)
                 self._elect()
 
     def on_member_unavailable(
@@ -447,7 +469,7 @@ class ReplicaGroup:
         if detected_after <= 0:
             # Controlled deactivation: the controller is reliable, the
             # handover is immediate in both detection modes.
-            self.primary = None
+            self._set_primary(None)
             if self._pending_election is not None:
                 self._pending_election.cancel()
                 self._pending_election = None
@@ -457,7 +479,7 @@ class ReplicaGroup:
             # Crash: the primary role formally persists until the
             # watchdog sees the heartbeats go stale.
             return
-        self.primary = None
+        self._set_primary(None)
         if self._pending_election is not None:
             self._pending_election.cancel()
             self._pending_election = None
@@ -467,7 +489,7 @@ class ReplicaGroup:
 
     def on_member_available(self, member: OperatorReplica) -> None:
         if self.primary is None and self._pending_election is None:
-            self.primary = member
+            self._set_primary(member)
             self._note_elected(member)
 
     def on_member_recovered(self, member: OperatorReplica) -> None:
@@ -510,7 +532,7 @@ class ReplicaGroup:
 
     def _elect(self) -> None:
         self._pending_election = None
-        self.primary = self._first_processable()
+        self._set_primary(self._first_processable())
         self._note_elected(self.primary)
 
     def _note_elected(self, winner: Optional[OperatorReplica]) -> None:

@@ -23,6 +23,7 @@ from typing import Mapping, Optional
 
 from repro.core.deployment import ReplicaId, ReplicatedDeployment
 from repro.core.rates import RateTable
+from repro.dsps.batched import BatchEngine, FallbackTracker
 from repro.dsps.endpoints import SinkOperator, SourceOperator
 from repro.dsps.hosts import HostScheduler
 from repro.dsps.metrics import RunMetrics, TimeSeries
@@ -49,6 +50,13 @@ class PlatformConfig:
     (:mod:`repro.obs`); ``tuple_trace_every`` samples every N-th source
     tuple for lifecycle tracing (0, the default, disables tracing so the
     data path pays nothing).
+
+    ``batching`` attaches the :class:`~repro.dsps.batched.BatchEngine`:
+    source arrivals and host completions run out-of-heap and, while the
+    platform is quiescent, whole tuple cascades commit in closed form.
+    Event logs and metrics are byte-identical to the tuple-granular mode
+    (enforced by ``tests/sim/test_batched_equivalence.py``); only the
+    wall-clock cost changes. See ``docs/performance.md``.
     """
 
     failover_delay: float = 1.0
@@ -60,6 +68,7 @@ class PlatformConfig:
     seed: int = 0
     event_buffer: int = 65536
     tuple_trace_every: int = 0
+    batching: bool = False
 
     def __post_init__(self) -> None:
         if self.failover_delay < 0:
@@ -111,6 +120,25 @@ class StreamPlatform:
         )
         self.env.telemetry = self.telemetry.events
 
+        # Batched execution engine (optional) and the fallback tracker.
+        # The tracker runs in BOTH modes so the ``batch.fallback`` events
+        # it emits keep the logs byte-identical across modes.
+        self._engine: Optional[BatchEngine] = None
+        if self._config.batching:
+            self._engine = BatchEngine(self)
+            self.env.engine = self._engine
+        self.fallback = FallbackTracker(
+            self.telemetry.events,
+            clock=lambda: self.env.now,
+            settle=(
+                self._config.failover_delay
+                + self._config.resync_delay
+                + self._config.queue_seconds
+            ),
+        )
+        if self._engine is not None:
+            self._engine.tracker = self.fallback
+
         missing = [s for s in self._graph.sources if s not in traces]
         if missing:
             raise SimulationError(f"no input trace for sources {missing}")
@@ -125,9 +153,17 @@ class StreamPlatform:
                 host.name,
                 capacity=host.capacity,
                 cycles_per_core=host.cycles_per_core,
+                timer=(
+                    self._engine.new_timer()
+                    if self._engine is not None
+                    else None
+                ),
             )
             for host in deployment.hosts
         }
+        if self._engine is not None:
+            for scheduler in self._host_schedulers.values():
+                scheduler.on_speed_change = self._engine.bump_epoch
 
         # Build PE replicas and their groups.
         self._replicas: dict[ReplicaId, OperatorReplica] = {}
@@ -161,8 +197,12 @@ class StreamPlatform:
                     events=self.telemetry.events,
                     tracer=self.telemetry.tuple_tracer,
                 )
+                if self._engine is not None:
+                    replica.on_state_change = self._engine.bump_epoch
                 self._replicas[replica_id] = replica
                 group.add(replica)
+            if self._engine is not None:
+                group.on_primary_change = self._engine.bump_epoch
             group.initialise_primary()
             if self._config.heartbeat_interval is not None:
                 fanout = sum(
@@ -206,6 +246,7 @@ class StreamPlatform:
                 series=series,
                 rng=rng,
                 jitter=self._config.arrival_jitter,
+                engine=self._engine,
             )
         self._trace_duration = max(t.duration for t in traces.values())
 
@@ -309,11 +350,29 @@ class StreamPlatform:
     def trace_duration(self) -> float:
         return self._trace_duration
 
+    @property
+    def engine(self) -> Optional[BatchEngine]:
+        """The batched execution engine, or ``None`` in tuple mode."""
+        return self._engine
+
+    def _note_disturbance(self, reason: str) -> None:
+        """Record a control-plane action: the batched engine falls back
+        to tuple granularity for a settle window around it (the tracker
+        also runs — and emits — in tuple-granular mode, keeping logs
+        identical across modes)."""
+        self.fallback.on_control(reason)
+        if self._engine is not None:
+            self._engine.bump_epoch()
+
     def set_activation(self, replica_id: ReplicaId, active: bool) -> None:
         replica = self.replica(replica_id)
         if active:
+            if not replica.active:
+                self._note_disturbance("replica.activate")
             replica.activate()
         else:
+            if replica.active:
+                self._note_disturbance("replica.deactivate")
             replica.deactivate()
 
     def crash_replica(self, replica_id: ReplicaId) -> None:
@@ -321,6 +380,7 @@ class StreamPlatform:
             (self.env.now, "crash", str(replica_id))
         )
         self.telemetry.emit("replica.crash", replica=str(replica_id))
+        self._note_disturbance("replica.crash")
         self.replica(replica_id).crash()
 
     def recover_replica(self, replica_id: ReplicaId) -> None:
@@ -328,11 +388,13 @@ class StreamPlatform:
             (self.env.now, "recover", str(replica_id))
         )
         self.telemetry.emit("replica.recover", replica=str(replica_id))
+        self._note_disturbance("replica.recover")
         self.replica(replica_id).recover()
 
     def crash_host(self, host: str) -> None:
         self.metrics.failure_events.append((self.env.now, "crash-host", host))
         self.telemetry.emit("host.crash", host=host)
+        self._note_disturbance("host.crash")
         for replica_id in self._deployment.replicas_on(host):
             self.replica(replica_id).crash()
 
@@ -341,6 +403,7 @@ class StreamPlatform:
             (self.env.now, "recover-host", host)
         )
         self.telemetry.emit("host.recover", host=host)
+        self._note_disturbance("host.recover")
         for replica_id in self._deployment.replicas_on(host):
             self.replica(replica_id).recover()
 
@@ -356,6 +419,7 @@ class StreamPlatform:
             (self.env.now, "degrade-host", host)
         )
         self.telemetry.emit("host.degrade", host=host, factor=factor)
+        self._note_disturbance("host.degrade")
         self.host_scheduler(host).set_speed_factor(factor)
 
     def restore_host(self, host: str) -> None:
@@ -364,6 +428,7 @@ class StreamPlatform:
             (self.env.now, "restore-host", host)
         )
         self.telemetry.emit("host.restore", host=host)
+        self._note_disturbance("host.restore")
         self.host_scheduler(host).set_speed_factor(1.0)
 
     # ------------------------------------------------------------------
@@ -386,6 +451,13 @@ class StreamPlatform:
             self.metrics.source_emitted[name] = source.emitted
         for name, sink in self._sinks.items():
             self.metrics.sink_received[name] = sink.received
+        registry = self.telemetry.metrics
+        registry.gauge("batch.fallback.windows").set(
+            float(self.fallback.windows)
+        )
+        registry.gauge("batch.fallback.seconds").set(self.fallback.covered)
+        if self._engine is not None:
+            self._engine.publish_stats(registry)
         return self.metrics
 
     def host_scheduler(self, host: str) -> HostScheduler:

@@ -1,0 +1,339 @@
+"""Fleet-scale *data plane*: thousands of tenants with real tuple flow.
+
+:mod:`repro.fleet.scenario` exercises the multi-tenant control plane —
+admission, packing, re-planning — on a bare clock with no simulated data
+path. This module is its complement: every tenant here is a small but
+fully simulated :class:`~repro.dsps.platform.StreamPlatform` run (chain
+application, k=2 active replication, diurnal input trace, scripted
+chaos on a deterministic subset), so a 10k-tenant fleet pushes real
+tuples through real queues.
+
+It is the headline workload for the batched execution engine
+(:mod:`repro.dsps.batched`): tenant applications are deliberately
+*recipe-friendly* — chain-shaped (no fan-in), selectivity <= 1, and
+calibrated so one tuple's whole cascade finishes well inside the source
+inter-arrival gap — which lets the engine commit almost every source
+tuple in closed form instead of simulating ~15 heap events for it.
+``benchmarks/perf/bench_sim.py`` measures exactly this workload in both
+execution modes, and ``tests/sim/test_batched_equivalence.py`` pins the
+two modes to byte-identical event logs on it.
+
+Everything in this module is pure simulation: no imports from the
+process-parallel fabric (the fan-out driver lives in
+:func:`repro.fleet.scenario.run_fleet_dataplane`), and every task and
+digest is built from picklable scalars and containers only, so results
+are bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core.application import ApplicationGraph
+from repro.core.configurations import ConfigurationSpace
+from repro.core.deployment import Host, ReplicaId, ReplicatedDeployment
+from repro.core.descriptor import ApplicationDescriptor, EdgeProfile
+from repro.dsps.platform import PlatformConfig, StreamPlatform
+from repro.dsps.traces import two_level_trace
+from repro.errors import ReproError
+
+__all__ = [
+    "DataplaneParams",
+    "TenantApp",
+    "TenantTask",
+    "build_tenant_platform",
+    "run_tenant",
+    "summarize_dataplane",
+    "tenant_app",
+]
+
+
+@dataclass(frozen=True)
+class DataplaneParams:
+    """Shape of one fleet data-plane run (scalars only: picklable).
+
+    ``quiescence`` is the calibration knob that keeps tenants inside the
+    batched engine's closed-form regime: the summed service span of one
+    source tuple's cascade is sized to that fraction of the High-rate
+    inter-arrival gap, so the platform is quiescent again before the
+    next tuple arrives. ``chaos_every`` gives every N-th tenant a
+    scripted mid-run host crash (and every (N/2 mod N)-th a slow-host
+    window), exercising failover and the engine's tuple-granular
+    fallback inside the fleet itself.
+    """
+
+    tenants: int = 10_000
+    distinct_apps: int = 16
+    base_seed: int = 7
+    n_pes: int = 6
+    n_hosts: int = 4
+    cores_per_host: int = 4
+    cycles_per_core: float = 1.0e9
+    duration: float = 30.0
+    phases: int = 8
+    high_fraction: float = 0.3
+    quiescence: float = 0.45
+    chaos_every: int = 25
+    chaos_downtime: float = 3.0
+    jitter: float = 0.0
+    queue_seconds: float = 2.0
+    failover_delay: float = 1.0
+    batching: bool = False
+    keep_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ReproError("tenants must be >= 1")
+        if self.distinct_apps < 1:
+            raise ReproError("distinct_apps must be >= 1")
+        if self.n_pes < 1:
+            raise ReproError("n_pes must be >= 1")
+        if self.n_hosts < 2:
+            raise ReproError("n_hosts must be >= 2 (k=2 anti-affinity)")
+        if self.phases < 1:
+            raise ReproError("phases must be >= 1")
+        if not 0.0 < self.quiescence < 1.0:
+            raise ReproError("quiescence must be in (0, 1)")
+        if self.chaos_every < 0:
+            raise ReproError("chaos_every must be >= 0")
+        if self.duration <= 0:
+            raise ReproError("duration must be > 0")
+
+
+@dataclass(frozen=True)
+class TenantApp:
+    """One tenant's deployment plus the trace rates used to build it."""
+
+    deployment: ReplicatedDeployment
+    low_rate: float
+    high_rate: float
+
+
+@dataclass(frozen=True)
+class TenantTask:
+    """One tenant run: the picklable unit the fleet driver fans out.
+
+    ``batching`` overrides ``params.batching`` when set — the
+    equivalence tests use this to run the same tenant in both modes.
+    """
+
+    params: DataplaneParams
+    tenant: int
+    batching: Optional[bool] = None
+
+
+def tenant_app(params: DataplaneParams, variant: int) -> TenantApp:
+    """Build tenant application ``variant`` (deterministic in the seed).
+
+    A chain ``src -> pe00 -> ... -> sink`` with per-edge selectivities
+    in (0.8, 1.0] and CPU costs calibrated so the full cascade span is
+    ``params.quiescence`` of the High-rate inter-arrival gap. Replicas
+    are placed pairwise round-robin — consecutive PEs on *disjoint* host
+    pairs — so a cascade never revisits a host it just left, which keeps
+    the batched engine's host-reuse check trivially satisfied.
+    """
+    rng = random.Random((params.base_seed << 16) ^ (7919 * variant))
+    n = params.n_pes
+    pes = [f"pe{i:02d}" for i in range(n)]
+    edges = (
+        [("src", pes[0])]
+        + [(pes[i], pes[i + 1]) for i in range(n - 1)]
+        + [(pes[-1], "sink")]
+    )
+    graph = ApplicationGraph.build(["src"], pes, ["sink"], edges)
+
+    low = rng.uniform(4.0, 8.0)
+    high = low * rng.uniform(1.5, 1.9)
+    space = ConfigurationSpace.two_level(
+        "src", low, high, low_probability=1.0 - params.high_fraction
+    )
+
+    capacity = params.cores_per_host * params.cycles_per_core
+    span_budget = params.quiescence / high
+    weights = [rng.uniform(0.5, 1.5) for _ in range(n)]
+    total_weight = sum(weights)
+    profiles: dict[tuple[str, str], EdgeProfile] = {}
+    tails = ["src"] + pes[:-1]
+    for i, (tail, head) in enumerate(zip(tails, pes)):
+        cycles = capacity * span_budget * weights[i] / total_weight
+        selectivity = 1.0 if i == n - 1 else rng.uniform(0.8, 1.0)
+        profiles[(tail, head)] = EdgeProfile(
+            selectivity=selectivity, cpu_cost=cycles
+        )
+
+    hosts = [
+        Host(
+            f"h{i:02d}",
+            cores=params.cores_per_host,
+            cycles_per_core=params.cycles_per_core,
+        )
+        for i in range(params.n_hosts)
+    ]
+    assignment: dict[ReplicaId, str] = {}
+    for i, pe in enumerate(pes):
+        assignment[ReplicaId(pe, 0)] = hosts[(2 * i) % params.n_hosts].name
+        assignment[ReplicaId(pe, 1)] = hosts[(2 * i + 1) % params.n_hosts].name
+
+    descriptor = ApplicationDescriptor(
+        graph, profiles, space, name=f"tenant-app-{variant:02d}"
+    )
+    deployment = ReplicatedDeployment(
+        descriptor, hosts, assignment, replication_factor=2
+    )
+    return TenantApp(deployment=deployment, low_rate=low, high_rate=high)
+
+
+def build_tenant_platform(
+    params: DataplaneParams, tenant: int, batching: bool
+) -> StreamPlatform:
+    """Assemble one tenant's runnable platform, chaos pre-scheduled.
+
+    The tenant's diurnal phase rotates its High burst around the run
+    (``tenant % params.phases``), so a fleet's load is spread in time
+    the way staggered time zones spread a real diurnal cycle.
+    """
+    app = tenant_app(params, tenant % params.distinct_apps)
+    phase = (tenant % params.phases) / params.phases
+    trace = two_level_trace(
+        app.low_rate,
+        app.high_rate,
+        duration=params.duration,
+        high_fraction=params.high_fraction,
+        high_position=phase,
+    )
+    config = PlatformConfig(
+        failover_delay=params.failover_delay,
+        queue_seconds=params.queue_seconds,
+        arrival_jitter=params.jitter,
+        seed=params.base_seed * 1_000_003 + tenant,
+        batching=batching,
+    )
+    platform = StreamPlatform(app.deployment, {"src": trace}, config=config)
+
+    if params.chaos_every > 0:
+        slot = tenant % params.chaos_every
+        crash_at = round(0.35 * params.duration, 3)
+        if slot == 0:
+            # Crash the primary-heavy host mid-run: failover, then a
+            # recovery — both force the batched engine back to tuple
+            # granularity for a settle window.
+            platform.env.schedule_at(
+                crash_at, lambda: platform.crash_host("h00")
+            )
+            platform.env.schedule_at(
+                crash_at + params.chaos_downtime,
+                lambda: platform.recover_host("h00"),
+            )
+        elif slot == params.chaos_every // 2:
+            # Slow-host window on a secondary-heavy host: exercises the
+            # speed-change epoch invalidation without any failover.
+            platform.env.schedule_at(
+                crash_at, lambda: platform.degrade_host("h01", 0.5)
+            )
+            platform.env.schedule_at(
+                crash_at + params.chaos_downtime,
+                lambda: platform.restore_host("h01"),
+            )
+    return platform
+
+
+def run_tenant(task: TenantTask) -> dict[str, Any]:
+    """Run one tenant and distil it into a plain digest (fabric worker).
+
+    The digest carries the per-tenant conservation verdict and the
+    SHA-256 of the canonical event stream — everything the byte-identity
+    tests compare — plus the engine's counters under ``"engine"`` (the
+    one key that legitimately differs between execution modes).
+    """
+    params = task.params
+    batching = params.batching if task.batching is None else task.batching
+    platform = build_tenant_platform(params, task.tenant, batching)
+    metrics = platform.run()
+
+    violations: list[str] = []
+    for replica_id, m in sorted(
+        metrics.replicas.items(), key=lambda item: str(item[0])
+    ):
+        queued = platform.replica(replica_id).queue_length
+        if m.received != m.processed + m.dropped + m.lost + queued:
+            violations.append(
+                f"conservation {replica_id}: received={m.received}"
+                f" != processed={m.processed} + dropped={m.dropped}"
+                f" + lost={m.lost} + queued={queued}"
+            )
+    if metrics.total_output == 0:
+        violations.append("no-output: sinks received nothing")
+
+    events = platform.telemetry.events
+    jsonl = events.to_jsonl()
+    digest: dict[str, Any] = {
+        "tenant": task.tenant,
+        "app": platform.deployment.descriptor.name,
+        "batching": batching,
+        "input": metrics.total_input,
+        "output": metrics.total_output,
+        "processed": metrics.tuples_processed,
+        "dropped": metrics.logical_dropped,
+        "lost": metrics.total_lost,
+        "events_emitted": events.emitted,
+        "events_sha256": hashlib.sha256(jsonl.encode("utf-8")).hexdigest(),
+        "fallback_windows": platform.fallback.windows,
+        "fallback_seconds": round(platform.fallback.covered, 9),
+        "violations": violations,
+        "engine": (
+            dict(platform.engine.stats)
+            if platform.engine is not None
+            else None
+        ),
+    }
+    if params.keep_events:
+        digest["jsonl"] = jsonl
+    return digest
+
+
+def summarize_dataplane(
+    digests: Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Fold per-tenant digests into one fleet report.
+
+    ``fleet_sha256`` chains every tenant's event-stream hash in tenant
+    order, so two fleet runs agree on it iff every tenant's event log
+    is byte-identical — the scale-friendly form of the equivalence
+    check (no 10k JSONL payloads held around).
+    """
+    fleet = hashlib.sha256()
+    totals = {
+        "input": 0,
+        "output": 0,
+        "processed": 0,
+        "dropped": 0,
+        "lost": 0,
+        "events_emitted": 0,
+        "fallback_windows": 0,
+    }
+    engine_totals: dict[str, int] = {}
+    fallback_seconds = 0.0
+    violations: list[dict[str, Any]] = []
+    for digest in digests:
+        fleet.update(str(digest["events_sha256"]).encode("ascii"))
+        for key in totals:
+            totals[key] += int(digest[key])
+        fallback_seconds += float(digest["fallback_seconds"])
+        for item in digest["violations"]:
+            violations.append({"tenant": digest["tenant"], "violation": item})
+        stats = digest.get("engine")
+        if stats:
+            for key, value in stats.items():
+                engine_totals[key] = engine_totals.get(key, 0) + int(value)
+    return {
+        "tenants": len(digests),
+        "fleet_sha256": fleet.hexdigest(),
+        "totals": totals,
+        "fallback_seconds": round(fallback_seconds, 9),
+        "engine": engine_totals,
+        "violations": violations,
+        "ok": not violations,
+    }

@@ -35,6 +35,12 @@ from repro.core.deployment import Host
 from repro.errors import ExperimentError
 from repro.experiments.parallel import FabricProfile, run_tasks
 from repro.fleet.controller import FleetController, TenantClass, TenantSpec
+from repro.fleet.dataplane import (
+    DataplaneParams,
+    TenantTask,
+    run_tenant,
+    summarize_dataplane,
+)
 from repro.fleet.report import build_fleet_report
 from repro.fleet.store import StrategyStore
 from repro.obs.telemetry import Telemetry
@@ -50,6 +56,7 @@ from repro.workloads.generator import (
 __all__ = [
     "FleetScenarioParams",
     "FleetScenarioResult",
+    "run_fleet_dataplane",
     "run_fleet_scenario",
     "tenant_application",
 ]
@@ -272,3 +279,24 @@ def run_fleet_scenario(
         store=store,
         controller=controller,
     )
+
+
+def run_fleet_dataplane(
+    params: Optional[DataplaneParams] = None,
+    jobs: Optional[int] = None,
+    profile: Optional[FabricProfile] = None,
+) -> tuple[dict, list]:
+    """Run a fleet *data-plane* scenario over the experiment fabric.
+
+    Fans :func:`repro.fleet.dataplane.run_tenant` out over a process
+    pool — one fully simulated stream platform run per tenant — and
+    folds the per-tenant digests into one report via
+    :func:`repro.fleet.dataplane.summarize_dataplane`. The report's
+    ``fleet_sha256`` chains every tenant's event-log hash, so it is
+    bit-identical at any ``jobs`` value and across execution modes
+    (batched vs tuple-granular). Returns ``(summary, digests)``.
+    """
+    params = params or DataplaneParams()
+    tasks = [TenantTask(params, tenant) for tenant in range(params.tenants)]
+    digests = run_tasks(run_tenant, tasks, jobs=jobs, profile=profile)
+    return summarize_dataplane(digests), digests

@@ -63,6 +63,10 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     # chaos campaigns (repro.chaos)
     "chaos.campaign": frozenset({"seed", "injections"}),
     "chaos.inject": frozenset({"kind", "at"}),
+    # Batched-engine fallback windows (repro.dsps.batched): emitted in
+    # both execution modes when a control action forces tuple-granular
+    # processing for a settle window.
+    "batch.fallback": frozenset({"reason", "until"}),
     # replication control
     "replica.activate": frozenset({"replica"}),
     "replica.deactivate": frozenset({"replica"}),

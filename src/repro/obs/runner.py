@@ -43,6 +43,7 @@ class ObservedRunSpec:
     event_buffer: int = 65536
     monitor_interval: float = 2.0
     queue_seconds: float = 2.0
+    batching: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in FAILURE_MODES:
@@ -95,6 +96,7 @@ def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
             queue_seconds=spec.queue_seconds,
             event_buffer=spec.event_buffer,
             tuple_trace_every=spec.tuple_trace_every,
+            batching=spec.batching,
         ),
         middleware_config=MiddlewareConfig(
             monitor_interval=spec.monitor_interval,
@@ -175,6 +177,7 @@ def run_observed_modes(
     jitter: float = 0.35,
     tuple_trace_every: int = 0,
     queue_seconds: float = 2.0,
+    batching: bool = False,
     jobs: Optional[int] = None,
     profile=None,
 ) -> list[dict[str, Any]]:
@@ -197,6 +200,7 @@ def run_observed_modes(
             jitter=jitter,
             tuple_trace_every=tuple_trace_every,
             queue_seconds=queue_seconds,
+            batching=batching,
         )
         for mode in modes
     ]

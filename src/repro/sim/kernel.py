@@ -18,7 +18,6 @@ layer models CPU contention explicitly through per-core service queues.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Any, Callable, Generator, Optional
 
@@ -150,15 +149,28 @@ class Environment:
     ``sim.run.start`` / ``sim.run.end`` events. The kernel stays
     import-free of the observability layer — the attribute is duck-typed
     and defaults to None, costing nothing when unused.
+
+    ``engine`` may be set to a batched execution engine (see
+    :mod:`repro.dsps.batched`): an object that owns *out-of-heap* event
+    streams (source arrivals, host completions) and is granted the
+    interval between consecutive heap events. The kernel calls
+    ``engine.advance(time, seq, until)`` before dispatching each heap
+    event — the engine must process exactly its events with key strictly
+    below ``(time, seq)`` (and not beyond ``until``) — and
+    ``engine.finish(time, seq)`` once at the end of :meth:`run` so
+    cancelled-event accounting converges with the heap's lazy purge.
+    Like ``telemetry``, the attribute is duck-typed and defaults to
+    None, costing one comparison per event when unused.
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, EventHandle]] = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._events_processed = 0
         self._events_cancelled = 0
         self.telemetry = None
+        self.engine = None
 
     @property
     def now(self) -> float:
@@ -174,6 +186,45 @@ class Environment:
         """Cancelled events discarded from the queue so far."""
         return self._events_cancelled
 
+    def take_seq(self) -> int:
+        """Allocate the next event sequence number (FIFO tie-break key).
+
+        The heap and any attached engine draw from the *same* sequence so
+        their merged event stream keeps one global FIFO order.
+        """
+        seq = self._sequence
+        self._sequence = seq + 1
+        return seq
+
+    def bump_seq(self, count: int) -> None:
+        """Skip ``count`` sequence numbers in one step.
+
+        Used by the batched engine to account for events it executed in
+        closed form, so subsequent allocations match what a tuple-granular
+        run would have drawn.
+        """
+        self._sequence += count
+
+    def engine_fire(self, time: float) -> None:
+        """Advance the clock to one engine-executed event and count it."""
+        if time < self._now:
+            raise SimulationError("event queue went back in time")
+        self._now = time
+        self._events_processed += 1
+
+    def engine_account(self, processed: int = 0, cancelled: int = 0) -> None:
+        """Bulk-count events the engine executed or discarded in closed
+        form (the clock is advanced separately via :meth:`engine_fire`)."""
+        self._events_processed += processed
+        self._events_cancelled += cancelled
+
+    def advance_clock(self, time: float) -> None:
+        """Move the clock forward without counting an event (the engine
+        stamps the end of a closed-form batch this way)."""
+        if time < self._now:
+            raise SimulationError("event queue went back in time")
+        self._now = time
+
     def schedule(
         self, delay: float, callback: Callable[[], None]
     ) -> EventHandle:
@@ -181,7 +232,7 @@ class Environment:
         if delay < 0 or math.isnan(delay):
             raise SimulationError(f"cannot schedule in the past: {delay}")
         handle = EventHandle(self._now + delay, callback)
-        heapq.heappush(self._queue, (handle.time, next(self._sequence), handle))
+        heapq.heappush(self._queue, (handle.time, self.take_seq(), handle))
         return handle
 
     def schedule_at(
@@ -212,19 +263,46 @@ class Environment:
             )
         if self.telemetry is not None:
             self.telemetry.emit("sim.run.start", until=until)
-        while self._queue:
+        engine = self.engine
+        queue = self._queue
+        while True:
             self._purge_cancelled()
-            if not self._queue:
-                break
-            time, _, handle = self._queue[0]
+            if not queue:
+                if engine is None:
+                    break
+                # Heap drained: let the engine run out (bounded by
+                # ``until``). Engine callbacks never push heap events on
+                # the data path, but re-check in case a control callback
+                # did.
+                engine.advance(None, None, until)
+                if not queue:
+                    break
+                continue
+            time, seq, handle = queue[0]
+            if engine is not None:
+                engine.advance(time, seq, until)
+                if queue[0][2] is not handle:
+                    # An engine callback scheduled (or cancelled into)
+                    # an earlier heap event; re-merge from the top.
+                    continue
             if until is not None and time > until:
                 break
-            heapq.heappop(self._queue)
+            heapq.heappop(queue)
             if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue went back in time")
             self._now = time
             self._events_processed += 1
             handle.callback()
+        if engine is not None:
+            # Converge cancelled-event accounting with the heap's lazy
+            # purge: everything below the first *live* event (heap or
+            # engine) counts, exactly as a tuple-granular run would have
+            # purged it.
+            self._purge_cancelled()
+            if queue:
+                engine.finish(queue[0][0], queue[0][1])
+            else:
+                engine.finish(None, None)
         if until is not None:
             self._now = max(self._now, until)
         if self.telemetry is not None:

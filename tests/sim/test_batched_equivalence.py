@@ -1,0 +1,170 @@
+"""Byte-identity matrix: batched engine vs tuple-granular execution.
+
+The batched engine's contract (ROADMAP item 6) is that flipping
+``PlatformConfig.batching`` changes wall-clock time and nothing else:
+event logs, metrics, and chaos digests must be byte-identical. This
+module pins that contract across every entry point that exposes the
+flag — the fleet data plane, seeded chaos campaigns, and observed
+runs — and proves the comparison has teeth with a seeded-divergence
+mutation that must make the hashes differ.
+
+The per-tenant digests compared here include the SHA-256 of the
+canonical event stream, so "equal digests" means byte-identical logs.
+Only the ``"engine"`` key (the batched engine's own counters) may
+legitimately differ between modes; it is stripped before comparing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import CampaignSpec, run_campaign
+from repro.core.optimizer import OptimizationProblem, ft_search
+from repro.dsps.batched import FallbackTracker
+from repro.fleet.dataplane import (
+    DataplaneParams,
+    TenantTask,
+    run_tenant,
+    summarize_dataplane,
+)
+from repro.obs.runner import FAILURE_MODES, ObservedRunSpec, run_observed
+from repro.workloads import (
+    ClusterParams,
+    GeneratorParams,
+    generate_application,
+    save_bundle,
+)
+
+CHAOS_SEEDS = range(5)
+
+#: Small fleet slice: chaos_every=4 puts scripted crashes on tenants
+#: 0, 4, 8 and slow-host windows on tenants 2, 6, 10, so the matrix
+#: exercises the fallback path and the pure closed-form path together.
+FLEET = DataplaneParams(tenants=12, chaos_every=4, duration=30.0)
+
+
+def _without_engine(digest: dict) -> dict:
+    return {k: v for k, v in digest.items() if k != "engine"}
+
+
+def _fleet_digests(params: DataplaneParams, batching: bool) -> list[dict]:
+    return [
+        run_tenant(TenantTask(params, tenant, batching=batching))
+        for tenant in range(params.tenants)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fleet_pair() -> tuple[list[dict], list[dict]]:
+    return (
+        _fleet_digests(FLEET, batching=False),
+        _fleet_digests(FLEET, batching=True),
+    )
+
+
+class TestFleetDataplane:
+    def test_digests_identical_modulo_engine(self, fleet_pair):
+        tuple_mode, batched = fleet_pair
+        for t_digest, b_digest in zip(tuple_mode, batched):
+            t_clean = _without_engine(dict(t_digest, batching=None))
+            b_clean = _without_engine(dict(b_digest, batching=None))
+            assert t_clean == b_clean, t_digest["tenant"]
+
+    def test_fleet_sha_identical(self, fleet_pair):
+        tuple_mode, batched = fleet_pair
+        t_summary = summarize_dataplane(tuple_mode)
+        b_summary = summarize_dataplane(batched)
+        assert t_summary["fleet_sha256"] == b_summary["fleet_sha256"]
+        assert t_summary["ok"] and b_summary["ok"]
+
+    def test_chaos_tenants_fall_back(self, fleet_pair):
+        _, batched = fleet_pair
+        chaotic = [d for d in batched if d["fallback_windows"]]
+        assert chaotic, "chaos_every=4 must open fallback windows"
+        micro = sum(d["engine"]["micro_events"] for d in chaotic)
+        assert micro > 0, "fallback windows must run tuple-granular"
+
+    def test_quiet_tenant_runs_closed_form(self, fleet_pair):
+        _, batched = fleet_pair
+        quiet = next(d for d in batched if not d["fallback_windows"])
+        engine = quiet["engine"]
+        assert engine["micro_events"] == 0
+        assert engine["runs"] > 0, "run-commit tier must engage"
+        assert engine["cascades"] > engine["runs"], (
+            "runs must commit multi-cascade trains"
+        )
+
+
+class TestSeededDivergence:
+    """Prove the comparison can fail: a mutated engine must be caught."""
+
+    def test_suppressed_fallback_diverges(self, monkeypatch):
+        params = DataplaneParams(tenants=1, chaos_every=1, duration=30.0)
+        honest = run_tenant(TenantTask(params, 0, batching=True))
+        assert honest["fallback_windows"] > 0
+
+        monkeypatch.setattr(
+            FallbackTracker, "on_control", lambda self, reason: None
+        )
+        mutated = run_tenant(TenantTask(params, 0, batching=True))
+        assert mutated["events_sha256"] != honest["events_sha256"], (
+            "suppressing fallback windows must change the event stream"
+        )
+
+
+@pytest.fixture(scope="module")
+def proven_paths(tmp_path_factory) -> tuple[str, str]:
+    directory: Path = tmp_path_factory.mktemp("batched-equivalence")
+    app = generate_application(
+        7,
+        GeneratorParams(n_pes=4, low_rate_range=(2.0, 6.0)),
+        ClusterParams(n_hosts=3, cores_per_host=4),
+    )
+    save_bundle(app, directory / "bundle.json")
+    result = ft_search(OptimizationProblem(app.deployment, ic_target=0.5))
+    assert result.found_solution
+    result.strategy.to_json(directory / "strategy.json")
+    return str(directory / "bundle.json"), str(directory / "strategy.json")
+
+
+class TestChaosCampaigns:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_campaign_digest_identical(self, proven_paths, seed):
+        bundle, strategy = proven_paths
+        digests = []
+        for batching in (False, True):
+            spec = CampaignSpec(
+                bundle=bundle,
+                strategy=strategy,
+                seed=seed,
+                duration=40.0,
+                n_injections=3,
+                heartbeat_interval=0.5 if seed % 2 else None,
+                batching=batching,
+            )
+            digests.append(run_campaign(spec))
+        assert json.dumps(digests[0], sort_keys=True) == json.dumps(
+            digests[1], sort_keys=True
+        )
+
+
+class TestObservedRuns:
+    @pytest.mark.parametrize("mode", FAILURE_MODES)
+    def test_observed_digest_identical(self, proven_paths, mode):
+        bundle, strategy = proven_paths
+        digests = []
+        for batching in (False, True):
+            spec = ObservedRunSpec(
+                bundle=bundle,
+                strategy=strategy,
+                mode=mode,
+                duration=30.0,
+                batching=batching,
+            )
+            digests.append(run_observed(spec))
+        assert json.dumps(digests[0], sort_keys=True) == json.dumps(
+            digests[1], sort_keys=True
+        )
