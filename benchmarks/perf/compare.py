@@ -23,39 +23,64 @@ import sys
 from pathlib import Path
 from typing import Any, Optional
 
-# benchmark stem -> (metric label, extractor). Extractors return a
-# higher-is-better throughput number, or None if the report lacks it.
+# benchmark stem -> list of (metric label, extractor). Extractors
+# return a higher-is-better throughput number, or None if the report
+# lacks it; each metric is gated independently.
 HEADLINE = {
-    "BENCH_ftsearch": (
-        "fast_nodes_per_sec",
-        lambda report: report.get("fast_nodes_per_sec"),
-    ),
-    "BENCH_experiments": (
-        "grid_runs_per_sec",
-        lambda report: (
-            report["grid_runs"] / report["serial_seconds"]
-            if report.get("grid_runs") and report.get("serial_seconds")
-            else None
+    "BENCH_ftsearch": [
+        (
+            "fast_nodes_per_sec",
+            lambda report: report.get("fast_nodes_per_sec"),
         ),
-    ),
-    "BENCH_obs": (
-        "emits_per_sec",
-        lambda report: (
-            1.0e6 / report["emit_us"] if report.get("emit_us") else None
+    ],
+    "BENCH_experiments": [
+        (
+            "grid_runs_per_sec",
+            lambda report: (
+                report["grid_runs"] / report["serial_seconds"]
+                if report.get("grid_runs") and report.get("serial_seconds")
+                else None
+            ),
         ),
-    ),
-    "BENCH_fleet": (
-        "contracts_per_sec",
-        lambda report: report.get("admission", {}).get(
-            "contracts_per_sec"
+    ],
+    "BENCH_obs": [
+        (
+            "emits_per_sec",
+            lambda report: (
+                1.0e6 / report["emit_us"] if report.get("emit_us") else None
+            ),
         ),
-    ),
-    "BENCH_sim": (
-        "batched_tuples_per_sec",
-        lambda report: report.get("fleet_slice", {}).get(
-            "batched_tuples_per_sec"
+        (
+            "slo_ingest_per_sec",
+            lambda report: (
+                1.0e6 / report["slo_ingest_us"]
+                if report.get("slo_ingest_us")
+                else None
+            ),
         ),
-    ),
+        (
+            "slo_on_tuples_per_sec",
+            lambda report: report.get("dataplane_slo", {})
+            .get("slo_on", {})
+            .get("tuples_per_sec"),
+        ),
+    ],
+    "BENCH_fleet": [
+        (
+            "contracts_per_sec",
+            lambda report: report.get("admission", {}).get(
+                "contracts_per_sec"
+            ),
+        ),
+    ],
+    "BENCH_sim": [
+        (
+            "batched_tuples_per_sec",
+            lambda report: report.get("fleet_slice", {}).get(
+                "batched_tuples_per_sec"
+            ),
+        ),
+    ],
 }
 
 
@@ -74,48 +99,49 @@ def compare_reports(
     """Compare every known benchmark; returns (rows, failures)."""
     rows: list[dict[str, Any]] = []
     failures: list[str] = []
-    for stem, (label, extract) in sorted(HEADLINE.items()):
+    for stem, metrics in sorted(HEADLINE.items()):
         name = f"{stem}.json"
         baseline = _load(baseline_dir / name)
         fresh = _load(fresh_dir / name)
-        row: dict[str, Any] = {
-            "benchmark": stem,
-            "metric": label,
-            "baseline": None,
-            "fresh": None,
-            "delta": None,
-            "status": "missing",
-        }
-        if baseline is None or fresh is None:
-            row["status"] = (
-                "no baseline" if baseline is None else "no fresh run"
-            )
+        for label, extract in metrics:
+            row: dict[str, Any] = {
+                "benchmark": stem,
+                "metric": label,
+                "baseline": None,
+                "fresh": None,
+                "delta": None,
+                "status": "missing",
+            }
+            if baseline is None or fresh is None:
+                row["status"] = (
+                    "no baseline" if baseline is None else "no fresh run"
+                )
+                rows.append(row)
+                continue
+            row["baseline"] = extract(baseline)
+            row["fresh"] = extract(fresh)
+            if baseline.get("mode") != fresh.get("mode"):
+                row["status"] = (
+                    f"skipped (mode {baseline.get('mode')!r} vs"
+                    f" {fresh.get('mode')!r})"
+                )
+                rows.append(row)
+                continue
+            if not row["baseline"] or row["fresh"] is None:
+                row["status"] = "skipped (metric missing)"
+                rows.append(row)
+                continue
+            delta = (row["fresh"] - row["baseline"]) / row["baseline"]
+            row["delta"] = delta
+            if delta < -threshold:
+                row["status"] = f"REGRESSION (> {threshold:.0%} slower)"
+                failures.append(
+                    f"{stem}: {label} fell {-delta:.1%}"
+                    f" ({row['baseline']:.1f} -> {row['fresh']:.1f})"
+                )
+            else:
+                row["status"] = "ok"
             rows.append(row)
-            continue
-        row["baseline"] = extract(baseline)
-        row["fresh"] = extract(fresh)
-        if baseline.get("mode") != fresh.get("mode"):
-            row["status"] = (
-                f"skipped (mode {baseline.get('mode')!r} vs"
-                f" {fresh.get('mode')!r})"
-            )
-            rows.append(row)
-            continue
-        if not row["baseline"] or row["fresh"] is None:
-            row["status"] = "skipped (metric missing)"
-            rows.append(row)
-            continue
-        delta = (row["fresh"] - row["baseline"]) / row["baseline"]
-        row["delta"] = delta
-        if delta < -threshold:
-            row["status"] = f"REGRESSION (> {threshold:.0%} slower)"
-            failures.append(
-                f"{stem}: {label} fell {-delta:.1%}"
-                f" ({row['baseline']:.1f} -> {row['fresh']:.1f})"
-            )
-        else:
-            row["status"] = "ok"
-        rows.append(row)
     return rows, failures
 
 

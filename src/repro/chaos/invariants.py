@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional, Union
 
 from repro.core.deployment import ReplicaId, ReplicatedDeployment
-from repro.core.rates import RateTable
+from repro.core.rates import RateTable, fic_rate as _fic_rate
 from repro.core.strategy import ActivationStrategy
 from repro.obs.events import Event
 
@@ -100,40 +100,6 @@ def _normalize(
             )
     out.sort(key=lambda item: item[0])
     return out
-
-
-def _fic_rate(
-    deployment: ReplicatedDeployment,
-    rate_table: RateTable,
-    config_index: int,
-    phi: Mapping[str, float],
-) -> float:
-    """Instantaneous FIC rate (tuples/s) in one configuration.
-
-    The Eq. 7 recursion with an explicit per-PE phi map instead of a
-    failure-model object: the checker feeds it either the realized
-    phi of an interval or the reference strategy's pessimistic phi.
-    """
-    descriptor = deployment.descriptor
-    graph = descriptor.graph
-    rates: dict[str, float] = {}
-    total = 0.0
-    for name in graph.topological_order:
-        component = graph.components[name]
-        if component.is_source:
-            rates[name] = rate_table.rate(name, config_index)
-        elif component.is_pe:
-            inflow = sum(
-                descriptor.selectivity(edge.tail, name)
-                * rates[edge.tail]
-                for edge in graph.pe_input_edges(name)
-            )
-            p = phi.get(name, 0.0)
-            rates[name] = p * inflow
-            total += p * inflow
-        else:  # sink
-            rates[name] = sum(rates[p] for p in graph.pred(name))
-    return total
 
 
 def check_conservation(

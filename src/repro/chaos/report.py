@@ -34,19 +34,48 @@ def render_chaos_report(report: dict[str, Any]) -> str:
     campaigns = report.get("campaigns", [])
     header = (
         f"{'seed':>6}  {'events':>8}  {'switches':>8}  {'spans':>5}"
-        f"  {'verdict':>8}  schedule"
+        f"  {'avail':>9}  {'alerts':>6}  {'verdict':>8}  schedule"
     )
     lines += ["", header, "-" * len(header)]
     for digest in campaigns:
         verdict = "ok" if digest["invariants"]["ok"] else "VIOLATED"
+        slo = digest.get("slo") or {}
+        availability = slo.get("availability")
+        avail = f"{availability:.6f}" if availability is not None else "-"
+        fired = sum(
+            1
+            for alert in slo.get("alerts", [])
+            if alert["state"] == "firing"
+        )
         lines.append(
             f"{digest['seed']:>6}"
             f"  {digest['events_emitted']:>8}"
             f"  {digest['metrics']['config_switches']:>8}"
             f"  {len(digest['spans']):>5}"
+            f"  {avail:>9}"
+            f"  {fired:>6}"
             f"  {verdict:>8}"
             f"  {_schedule_summary(digest['schedule'])}"
         )
+
+    alerting = [
+        digest
+        for digest in campaigns
+        if (digest.get("slo") or {}).get("alerts")
+    ]
+    if alerting:
+        lines += ["", "slo alerts", "----------"]
+        for digest in alerting:
+            slo = digest["slo"]
+            suffix = "" if slo["trusted"] else "  (UNTRUSTED: evicted log)"
+            for alert in slo["alerts"]:
+                lines.append(
+                    f"seed {digest['seed']}"
+                    f"  [{alert['rule']}] {alert['state']}"
+                    f" at window {alert['window']}"
+                    f"  burn fast={alert['burn_fast']:.1f}"
+                    f" slow={alert['burn_slow']:.1f}{suffix}"
+                )
 
     broken = [
         digest

@@ -30,6 +30,7 @@ def run_campaign(spec) -> dict[str, Any]:
     from repro.core.strategy import ActivationStrategy
     from repro.dsps import PlatformConfig, two_level_trace
     from repro.laar import ExtendedApplication, MiddlewareConfig
+    from repro.obs.slo import FloorAvailability, attach_slo
     from repro.workloads import load_bundle
 
     if not isinstance(spec, CampaignSpec):
@@ -81,6 +82,20 @@ def run_campaign(spec) -> dict[str, Any]:
         app.deployment, traces
     )
     platform = extended.platform
+    # Streaming SLO verdict: the FT-Search-proven pessimistic floor is
+    # the availability contract, exactly as in the invariant checker —
+    # so a clean campaign burns zero budget and fires zero alerts.
+    slo_engine = attach_slo(
+        platform,
+        FloorAvailability(
+            app.deployment,
+            strategy,
+            reference,
+            initial_config,
+            command_latency=spec.command_latency,
+        ),
+        tenant=str(spec.seed),
+    )
     platform.telemetry.emit(
         "chaos.campaign",
         seed=spec.seed,
@@ -92,6 +107,7 @@ def run_campaign(spec) -> dict[str, Any]:
     drain = 2.0
     metrics = extended.run(drain=drain)
     horizon = spec.duration + drain
+    slo_engine.finalize(horizon)
 
     conservation = {
         str(replica_id): {
@@ -130,8 +146,10 @@ def run_campaign(spec) -> dict[str, Any]:
         "schedule": [injection.to_dict() for injection in schedule],
         "events_emitted": events.emitted,
         "events_evicted": events.evicted,
+        "log_complete": events.evicted == 0,
         "event_counts": dict(sorted(events.type_counts.items())),
         "jsonl": events.to_jsonl(),
+        "slo": slo_engine.summary(),
         "spans": [
             {
                 "name": span.name,

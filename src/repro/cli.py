@@ -385,6 +385,19 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+        burn_alerts = [
+            alert
+            for alert in digest["slo"]["alerts"]
+            if alert["state"] == "firing"
+        ]
+        if not burn_alerts:
+            print(
+                f"sabotage NOT caught by the SLO engine: deactivated"
+                f" ({pe}, c={config}) below the proven bound yet no"
+                " burn-rate alert fired",
+                file=sys.stderr,
+            )
+            return 1
         mini_spec, mini_digest = minimize_campaign(spec, digest)
         artifact = violation_artifact(mini_digest, mini_spec)
         artifact_path = write_artifact(
@@ -394,6 +407,12 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         print(
             f"sabotage caught: ({pe}, c={config}) ->"
             f" [{first['invariant']}] at t={first['time']:.2f}s"
+        )
+        alert = burn_alerts[0]
+        print(
+            f"slo alert fired: [{alert['rule']}] at window"
+            f" {alert['window']} (burn fast={alert['burn_fast']:.1f}"
+            f" slow={alert['burn_slow']:.1f})"
         )
         print(
             f"minimized to {len(mini_digest['schedule'])} injection(s);"
@@ -544,6 +563,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_fleet_dataplane(args: argparse.Namespace) -> int:
     from repro.fleet.dataplane import DataplaneParams
+    from repro.fleet.report import render_dataplane_slo_report
     from repro.fleet.scenario import run_fleet_dataplane
 
     params = DataplaneParams(
@@ -569,6 +589,7 @@ def _cmd_fleet_dataplane(args: argparse.Namespace) -> int:
         f" ({summary['fallback_seconds']}s)"
     )
     print(f"fleet sha256: {summary['fleet_sha256']}")
+    print(render_dataplane_slo_report(summary), end="")
     for item in summary["violations"]:
         print(
             f"violation (tenant {item['tenant']}): {item['violation']}",
@@ -577,6 +598,118 @@ def _cmd_fleet_dataplane(args: argparse.Namespace) -> int:
     if not summary["ok"]:
         return 1
     print(f"artifacts written to {out_dir}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Per-tenant SLO rollups on a small chaos-seasoned dataplane run.
+
+    Writes ``slo.json`` (the fleet summary plus every tenant's windowed
+    rollups — the input format of ``repro obs diff``) and per-tenant
+    ``events-<tenant>.jsonl`` streams that are schema-validated here.
+    """
+    from repro.fleet.dataplane import DataplaneParams
+    from repro.fleet.report import render_dataplane_slo_report
+    from repro.fleet.scenario import run_fleet_dataplane
+    from repro.obs.validate import validate_lines
+
+    params = DataplaneParams(
+        tenants=args.tenants,
+        base_seed=args.seed,
+        duration=args.duration,
+        chaos_every=args.chaos_every,
+        batching=not args.tuple_granular,
+        keep_events=True,
+        slo=True,
+        slo_window=args.window,
+        slo_target=args.objective,
+    )
+    summary, digests = run_fleet_dataplane(params, jobs=args.jobs)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tenants = []
+    for digest in digests:
+        jsonl = digest.pop("jsonl")
+        events_path = out_dir / f"events-{digest['tenant']}.jsonl"
+        events_path.write_text(jsonl)
+        problems = validate_lines(
+            jsonl.splitlines(), origin=str(events_path)
+        )
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        tenants.append(
+            {
+                "tenant": digest["tenant"],
+                "app": digest["app"],
+                "log_complete": digest["log_complete"],
+                "slo": digest["slo"],
+            }
+        )
+    document = {
+        "params": {
+            "tenants": args.tenants,
+            "seed": args.seed,
+            "duration": args.duration,
+            "chaos_every": args.chaos_every,
+            "window": args.window,
+            "objective": args.objective,
+            "batching": not args.tuple_granular,
+        },
+        "fleet": {k: v for k, v in summary.items() if k != "violations"},
+        "tenants": tenants,
+    }
+    (out_dir / "slo.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"slo: {summary['tenants']} tenants,"
+        f" {summary['totals']['input']} tuples in,"
+        f" fleet sha256 {summary['fleet_sha256']}"
+    )
+    print(render_dataplane_slo_report(summary), end="")
+    for item in summary["violations"]:
+        print(
+            f"violation (tenant {item['tenant']}): {item['violation']}",
+            file=sys.stderr,
+        )
+    if not summary["ok"]:
+        return 1
+    print(f"artifacts written to {out_dir}")
+    return 0
+
+
+def _cmd_obs_diff(argv: Sequence[str]) -> int:
+    """``repro obs diff <runA> <runB>``: window-aligned SLO delta report.
+
+    Dispatched before the main parser (the ``obs`` subcommand has a
+    positional bundle argument that would swallow ``diff``).
+    """
+    from repro.obs.diff import diff_runs, render_diff
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs diff",
+        description="attribute SLO/metric deltas between two 'repro slo'"
+        " artifacts, aligned by tenant and sim-time window",
+    )
+    parser.add_argument("run_a", help="baseline slo.json (run A)")
+    parser.add_argument("run_b", help="candidate slo.json (run B)")
+    parser.add_argument(
+        "--out", default=None,
+        help="also write the canonical diff document to this JSON file",
+    )
+    args = parser.parse_args(list(argv))
+
+    doc_a = json.loads(Path(args.run_a).read_text())
+    doc_b = json.loads(Path(args.run_b).read_text())
+    diff = diff_runs(doc_a, doc_b)
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps(diff, indent=2, sort_keys=True) + "\n"
+        )
+    print(render_diff(diff), end="")
     return 0
 
 
@@ -894,6 +1027,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.set_defaults(func=_cmd_fleet)
 
+    slo = commands.add_parser(
+        "slo",
+        help="run a chaos-seasoned dataplane slice with streaming SLO"
+        " rollups and write the slo.json artifact 'repro obs diff'"
+        " consumes (see docs/observability.md)",
+    )
+    slo.add_argument(
+        "--tenants", type=int, default=10,
+        help="how many simulated tenants (default 10)",
+    )
+    slo.add_argument("--seed", type=int, default=7)
+    slo.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated seconds per tenant (default 30)",
+    )
+    slo.add_argument(
+        "--chaos-every", type=int, default=4,
+        help="every Nth tenant gets a scripted mid-run host crash or"
+        " slow-host window (0 = off; default 4)",
+    )
+    slo.add_argument(
+        "--window", type=float, default=5.0,
+        help="SLO rollup window in simulated seconds (default 5)",
+    )
+    slo.add_argument(
+        "--objective", type=float, default=0.999,
+        help="availability objective in (0, 1) (default 0.999)",
+    )
+    slo.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS, then the CPU"
+        " count; 1 = serial); slo.* streams are byte-identical at"
+        " any value",
+    )
+    slo.add_argument(
+        "--tuple-granular", action="store_true",
+        help="run the plain event kernel instead of the batched engine"
+        " (slo.* streams are byte-identical either way)",
+    )
+    slo.add_argument(
+        "--out-dir", default="slo-run",
+        help="directory for slo.json and events-<tenant>.jsonl",
+    )
+    slo.set_defaults(func=_cmd_slo)
+
     lint = commands.add_parser(
         "lint",
         help="run the determinism & event-schema linter (rules R1..R8;"
@@ -951,9 +1129,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    argv_list = list(sys.argv[1:] if argv is None else argv)
     try:
+        # 'obs diff' runs on artifacts, not a bundle — dispatch it
+        # before the main parser (whose 'obs' subcommand would swallow
+        # 'diff' as its positional bundle argument).
+        if argv_list[:2] == ["obs", "diff"]:
+            return _cmd_obs_diff(argv_list[2:])
+        parser = build_parser()
+        args = parser.parse_args(argv_list)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

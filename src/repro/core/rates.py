@@ -13,13 +13,16 @@ CPU constraint (Eq. 11). The failure-aware counterpart Delta-hat lives in
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.core.descriptor import ApplicationDescriptor
 
-__all__ = ["expected_rates", "RateTable"]
+if TYPE_CHECKING:
+    from repro.core.deployment import ReplicatedDeployment
+
+__all__ = ["expected_rates", "fic_rate", "RateTable"]
 
 
 def expected_rates(
@@ -57,6 +60,41 @@ def expected_rates(
             rates[name] = row
 
     return {name: tuple(row) for name, row in rates.items()}
+
+
+def fic_rate(
+    deployment: "ReplicatedDeployment",
+    rate_table: "RateTable",
+    config_index: int,
+    phi: Mapping[str, float],
+) -> float:
+    """Instantaneous FIC rate (tuples/s) in one configuration.
+
+    The Eq. 7 recursion with an explicit per-PE phi map instead of a
+    failure-model object. The chaos checker feeds it either the realized
+    phi of an interval or the reference strategy's pessimistic phi; the
+    SLO engine uses it for per-config reference floors. A PE missing
+    from ``phi`` contributes nothing (phi = 0).
+    """
+    descriptor = deployment.descriptor
+    graph = descriptor.graph
+    rates: dict[str, float] = {}
+    total = 0.0
+    for name in graph.topological_order:
+        component = graph.components[name]
+        if component.is_source:
+            rates[name] = rate_table.rate(name, config_index)
+        elif component.is_pe:
+            inflow = sum(
+                descriptor.selectivity(edge.tail, name) * rates[edge.tail]
+                for edge in graph.pe_input_edges(name)
+            )
+            p = phi.get(name, 0.0)
+            rates[name] = p * inflow
+            total += p * inflow
+        else:  # sink
+            rates[name] = sum(rates[p] for p in graph.pred(name))
+    return total
 
 
 class RateTable:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.deployment import ReplicaId
+from repro.obs.sketch import nearest_rank_index
 
 __all__ = [
     "TimeSeries",
@@ -59,14 +60,27 @@ class LatencyRecorder:
         return sum(lat for _, lat in self._samples) / len(self._samples)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, q in [0, 1]."""
+        """Nearest-rank percentile, q in [0, 1].
+
+        Uses the shared :func:`repro.obs.sketch.nearest_rank_index`
+        definition so exact recorders and log-histogram sketches agree
+        on which sample a given quantile selects.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"percentile must be in [0, 1], got {q}")
         if not self._samples:
             return 0.0
         ordered = sorted(lat for _, lat in self._samples)
-        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
-        return ordered[rank]
+        return ordered[nearest_rank_index(q, len(ordered))]
+
+    def sample_buffer(self) -> list[tuple[float, float]]:
+        """The *live* (arrival time, latency) list, no copy.
+
+        For streaming consumers (the SLO engine) that keep their own
+        cursor into the buffer; everyone else should use
+        :attr:`samples`, which copies.
+        """
+        return self._samples
 
     def mean_in_window(self, start: float, end: float) -> float:
         window = [
@@ -117,6 +131,10 @@ class TimeSeries:
 
     def rate_at(self, second: int) -> int:
         return self._buckets.get(second, 0)
+
+    def bucket_map(self) -> dict[int, int]:
+        """The live second -> count dict, no copy (streaming consumers)."""
+        return self._buckets
 
     def total(self) -> int:
         return sum(self._buckets.values())
@@ -298,8 +316,7 @@ class RunMetrics:
         if not samples:
             return 0.0
         samples.sort()
-        rank = min(len(samples) - 1, max(0, int(q * len(samples))))
-        return samples[rank]
+        return samples[nearest_rank_index(q, len(samples))]
 
     def mean_latency_in_window(self, start: float, end: float) -> float:
         totals = []

@@ -456,6 +456,9 @@ class StreamPlatform:
             float(self.fallback.windows)
         )
         registry.gauge("batch.fallback.seconds").set(self.fallback.covered)
+        registry.gauge("events.evicted").set(
+            float(self.telemetry.events.evicted)
+        )
         if self._engine is not None:
             self._engine.publish_stats(registry)
         return self.metrics

@@ -39,6 +39,7 @@ from repro.core.descriptor import ApplicationDescriptor, EdgeProfile
 from repro.dsps.platform import PlatformConfig, StreamPlatform
 from repro.dsps.traces import two_level_trace
 from repro.errors import ReproError
+from repro.obs.slo import CoverageAvailability, SloConfig, attach_slo
 
 __all__ = [
     "DataplaneParams",
@@ -63,6 +64,11 @@ class DataplaneParams:
     scripted mid-run host crash (and every (N/2 mod N)-th a slow-host
     window), exercising failover and the engine's tuple-granular
     fallback inside the fleet itself.
+
+    ``slo`` attaches a per-tenant streaming SLO engine
+    (:mod:`repro.obs.slo`, coverage availability against
+    ``slo_target``) whose windowed rollups land in the digest under
+    ``"slo"`` and in the event stream as ``slo.*`` events.
     """
 
     tenants: int = 10_000
@@ -83,6 +89,9 @@ class DataplaneParams:
     failover_delay: float = 1.0
     batching: bool = False
     keep_events: bool = False
+    slo: bool = True
+    slo_window: float = 5.0
+    slo_target: float = 0.999
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -251,7 +260,20 @@ def run_tenant(task: TenantTask) -> dict[str, Any]:
     params = task.params
     batching = params.batching if task.batching is None else task.batching
     platform = build_tenant_platform(params, task.tenant, batching)
+    slo_engine = None
+    if params.slo:
+        slo_engine = attach_slo(
+            platform,
+            CoverageAvailability(platform.deployment),
+            SloConfig(
+                window=params.slo_window,
+                availability_target=params.slo_target,
+            ),
+            tenant=str(task.tenant),
+        )
     metrics = platform.run()
+    if slo_engine is not None:
+        slo_engine.finalize(params.duration + 2.0)
 
     violations: list[str] = []
     for replica_id, m in sorted(
@@ -282,6 +304,8 @@ def run_tenant(task: TenantTask) -> dict[str, Any]:
         "events_sha256": hashlib.sha256(jsonl.encode("utf-8")).hexdigest(),
         "fallback_windows": platform.fallback.windows,
         "fallback_seconds": round(platform.fallback.covered, 9),
+        "log_complete": events.evicted == 0,
+        "slo": slo_engine.summary() if slo_engine is not None else None,
         "violations": violations,
         "engine": (
             dict(platform.engine.stats)
@@ -317,23 +341,56 @@ def summarize_dataplane(
     engine_totals: dict[str, int] = {}
     fallback_seconds = 0.0
     violations: list[dict[str, Any]] = []
+    log_complete = True
+    slo_tenants = 0
+    slo_alerts = 0
+    slo_bad_seconds = 0.0
+    slo_min_availability: Optional[float] = None
+    slo_verdicts: dict[str, int] = {}
     for digest in digests:
         fleet.update(str(digest["events_sha256"]).encode("ascii"))
         for key in totals:
             totals[key] += int(digest[key])
         fallback_seconds += float(digest["fallback_seconds"])
+        log_complete = log_complete and bool(digest.get("log_complete", True))
         for item in digest["violations"]:
             violations.append({"tenant": digest["tenant"], "violation": item})
         stats = digest.get("engine")
         if stats:
             for key, value in stats.items():
                 engine_totals[key] = engine_totals.get(key, 0) + int(value)
+        slo = digest.get("slo")
+        if slo:
+            slo_tenants += 1
+            slo_alerts += sum(
+                1 for alert in slo["alerts"] if alert["state"] == "firing"
+            )
+            slo_bad_seconds += float(slo["bad_seconds"])
+            availability = float(slo["availability"])
+            if (
+                slo_min_availability is None
+                or availability < slo_min_availability
+            ):
+                slo_min_availability = availability
+            verdict = str(slo["verdict"])
+            slo_verdicts[verdict] = slo_verdicts.get(verdict, 0) + 1
     return {
         "tenants": len(digests),
         "fleet_sha256": fleet.hexdigest(),
         "totals": totals,
         "fallback_seconds": round(fallback_seconds, 9),
         "engine": engine_totals,
+        "log_complete": log_complete,
+        "slo": {
+            "tenants": slo_tenants,
+            "alerts": slo_alerts,
+            "bad_seconds": slo_bad_seconds,
+            "min_availability": slo_min_availability,
+            "verdicts": {
+                verdict: slo_verdicts[verdict]
+                for verdict in sorted(slo_verdicts)
+            },
+        },
         "violations": violations,
         "ok": not violations,
     }

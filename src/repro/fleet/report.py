@@ -15,7 +15,38 @@ from __future__ import annotations
 
 from repro.fleet.controller import FleetController
 
-__all__ = ["build_fleet_report", "render_fleet_report"]
+__all__ = [
+    "build_fleet_report",
+    "render_dataplane_slo_report",
+    "render_fleet_report",
+]
+
+
+def render_dataplane_slo_report(summary: dict) -> str:
+    """One-paragraph SLO verdict block for a dataplane fleet summary.
+
+    Consumes the ``"slo"``/``"log_complete"`` keys of
+    :func:`repro.fleet.dataplane.summarize_dataplane`; tolerant of older
+    artifacts without them (renders an explicit "not collected" line).
+    """
+    slo = summary.get("slo") or {}
+    if not slo.get("tenants"):
+        return "slo: (not collected)\n"
+    verdicts = ", ".join(
+        f"{name}={count}" for name, count in slo["verdicts"].items()
+    )
+    trust = "" if summary.get("log_complete", True) else (
+        "  (UNTRUSTED: some tenant logs evicted events)"
+    )
+    minimum = slo["min_availability"]
+    lines = [
+        f"slo: {slo['tenants']} tenants,"
+        f" min availability {minimum:.6f},"
+        f" {slo['bad_seconds']:.3f}s out of contract,"
+        f" {slo['alerts']} burn alert(s)",
+        f"slo verdicts: {verdicts}{trust}",
+    ]
+    return "\n".join(lines) + "\n"
 
 
 def build_fleet_report(params, controller: FleetController, telemetry) -> dict:

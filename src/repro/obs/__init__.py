@@ -16,12 +16,19 @@ about the current status of all the PEs and log this information"):
 * :mod:`repro.obs.validate` — the JSONL event-schema validator
   (``python -m repro.obs.validate``);
 * :mod:`repro.obs.runner` / :mod:`repro.obs.report` — the observed-run
-  driver and report renderer behind the ``repro obs`` CLI subcommand.
+  driver and report renderer behind the ``repro obs`` CLI subcommand;
+* :mod:`repro.obs.sketch` — the deterministic log-bucket latency
+  sketch and the shared nearest-rank percentile definition;
+* :mod:`repro.obs.slo` — the streaming SLO engine: windowed rollups,
+  error budgets, multi-window burn-rate alerts (``repro slo``);
+* :mod:`repro.obs.diff` — sim-time-aligned run diffs with per-phase
+  delta attribution (``repro obs diff``).
 
 All telemetry is stamped in simulated time, so event streams are
 bit-identical across runs and worker counts for fixed seeds.
 """
 
+from repro.obs.diff import diff_runs, render_diff
 from repro.obs.events import EVENT_SCHEMA, Event, EventLog, event_to_json
 from repro.obs.progress import ProgressSnapshot, SearchProgress
 from repro.obs.registry import (
@@ -38,6 +45,16 @@ from repro.obs.runner import (
     run_observed,
     run_observed_modes,
 )
+from repro.obs.sketch import LogHistogram, nearest_rank_index
+from repro.obs.slo import (
+    AvailabilityTracker,
+    CoverageAvailability,
+    FloorAvailability,
+    NullAvailability,
+    SloConfig,
+    SloEngine,
+    attach_slo,
+)
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.telemetry import Telemetry, TupleTracer
 
@@ -47,6 +64,17 @@ __all__ = [
     "render_report",
     "run_observed",
     "run_observed_modes",
+    "AvailabilityTracker",
+    "CoverageAvailability",
+    "FloorAvailability",
+    "NullAvailability",
+    "SloConfig",
+    "SloEngine",
+    "attach_slo",
+    "LogHistogram",
+    "nearest_rank_index",
+    "diff_runs",
+    "render_diff",
     "EVENT_SCHEMA",
     "Event",
     "EventLog",

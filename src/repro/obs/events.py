@@ -89,6 +89,42 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     # span tracing (emitted by repro.obs.spans)
     "span.start": frozenset({"span", "name"}),
     "span.end": frozenset({"span", "name", "duration"}),
+    # streaming SLO engine (repro.obs.slo)
+    "slo.window": frozenset(
+        {
+            "tenant",
+            "window",
+            "start",
+            "end",
+            "phase",
+            "availability",
+            "bad_seconds",
+            "input",
+            "output",
+            "drops",
+            "failovers",
+            "lat_count",
+            "lat_p50",
+            "lat_p95",
+            "lat_max",
+        }
+    ),
+    "slo.alert": frozenset(
+        {"tenant", "rule", "state", "window", "burn_fast", "burn_slow"}
+    ),
+    "slo.budget": frozenset(
+        {
+            "tenant",
+            "objective",
+            "windows",
+            "bad_seconds",
+            "budget_seconds",
+            "burned",
+            "alerts",
+            "trusted",
+            "verdict",
+        }
+    ),
 }
 
 
@@ -155,6 +191,7 @@ class EventLog:
         "_head",
         "_maxlen",
         "_seq",
+        "_taps",
         "evicted",
         "type_counts",
     )
@@ -178,6 +215,20 @@ class EventLog:
         self.evicted = 0
         #: Per-type emit counts over the whole run (evictions included).
         self.type_counts: dict[str, int] = {}
+        # Streaming subscribers (see add_tap); empty for plain logs, so
+        # the hot path pays only one truthiness check when unused.
+        self._taps: list[Callable[[Event], None]] = []
+
+    def add_tap(self, tap: Callable[[Event], None]) -> None:
+        """Subscribe ``tap`` to every event at emit time.
+
+        Taps see every event — including ones the ring later evicts —
+        so streaming consumers (the SLO engine) survive truncated logs.
+        A tap may itself emit: nested events get subsequent sequence
+        numbers and are delivered to all taps in turn, so a tap that
+        reacts to its own event types must filter them out.
+        """
+        self._taps.append(tap)
 
     # ------------------------------------------------------------------
     # Emission (the hot path)
@@ -198,6 +249,10 @@ class EventLog:
             events[head] = event
             self._head = (head + 1) % self._maxlen
             self.evicted += 1
+        taps = self._taps
+        if taps:
+            for tap in taps:
+                tap(event)
         return event
 
     # ------------------------------------------------------------------

@@ -15,8 +15,9 @@ byte-identically.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Optional
+
+from repro.obs.sketch import nearest_rank_index
 
 __all__ = [
     "Series",
@@ -150,7 +151,7 @@ class Histogram:
         n = len(ordered)
 
         def pct(q: float) -> float:
-            return ordered[min(n - 1, math.ceil(q * n) - 1)]
+            return ordered[nearest_rank_index(q, n)]
 
         return {
             "count": n,

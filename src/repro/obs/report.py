@@ -76,6 +76,22 @@ def _render_mode(mode: dict[str, Any]) -> list[str]:
     else:
         lines.append("top droppers: (no drops)")
 
+    slo = mode.get("slo")
+    if slo:
+        untrusted = "" if slo["trusted"] else " (UNTRUSTED: evicted log)"
+        lines.append(
+            f"slo: availability={_fmt(slo['availability'], 6)}"
+            f" budget burned={_fmt(slo['burned'], 3)}"
+            f" verdict={slo['verdict']}{untrusted}"
+        )
+        for alert in slo["alerts"]:
+            lines.append(
+                f"  alert[{alert['rule']}] {alert['state']}"
+                f" at window {alert['window']}"
+                f" (burn fast={_fmt(alert['burn_fast'], 1)}"
+                f" slow={_fmt(alert['burn_slow'], 1)})"
+            )
+
     metrics = mode["metrics"]
     lines.append(
         f"tuples: in={metrics['input']} out={metrics['output']}"

@@ -79,6 +79,7 @@ def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
         two_level_trace,
     )
     from repro.laar import ExtendedApplication, MiddlewareConfig
+    from repro.obs.slo import FloorAvailability, attach_slo
     from repro.workloads import load_bundle
 
     app = load_bundle(spec.bundle)
@@ -86,10 +87,19 @@ def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
     trace = two_level_trace(
         app.low_rate, app.high_rate, duration=spec.duration
     )
+    traces = {
+        source: trace
+        for source in app.deployment.descriptor.graph.sources
+    }
+    middleware_config = MiddlewareConfig(
+        monitor_interval=spec.monitor_interval,
+        rate_tolerance=0.25,
+        down_confirmation=2,
+    )
     extended = ExtendedApplication(
         app.deployment,
         strategy,
-        {source: trace for source in app.deployment.descriptor.graph.sources},
+        traces,
         platform_config=PlatformConfig(
             arrival_jitter=spec.jitter,
             seed=spec.seed,
@@ -98,11 +108,23 @@ def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
             tuple_trace_every=spec.tuple_trace_every,
             batching=spec.batching,
         ),
-        middleware_config=MiddlewareConfig(
-            monitor_interval=spec.monitor_interval,
-            rate_tolerance=0.25,
-            down_confirmation=2,
+        middleware_config=middleware_config,
+    )
+    # Streaming SLO verdict against the strategy's own pessimistic
+    # floor: even the "worst"/"crash" modes stay dominated by the
+    # pessimistic model, so only a genuine bound breach burns budget.
+    slo_engine = attach_slo(
+        extended.platform,
+        FloorAvailability(
+            app.deployment,
+            strategy,
+            None,
+            ExtendedApplication._initial_configuration(
+                app.deployment, traces
+            ),
+            command_latency=middleware_config.command_latency,
         ),
+        tenant=spec.mode,
     )
     injected: dict[str, Any] = {}
     if spec.mode == "worst":
@@ -122,6 +144,7 @@ def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
         }
 
     metrics = extended.run()
+    slo_engine.finalize(spec.duration + 2.0)
 
     telemetry = extended.platform.telemetry
     events = telemetry.events
@@ -148,8 +171,10 @@ def run_observed(spec: ObservedRunSpec) -> dict[str, Any]:
         "injected": injected,
         "events_emitted": events.emitted,
         "events_evicted": events.evicted,
+        "log_complete": events.evicted == 0,
         "event_counts": dict(sorted(events.type_counts.items())),
         "jsonl": events.to_jsonl(),
+        "slo": slo_engine.summary(),
         "switches": switches,
         "spans": spans,
         "top_droppers": _drop_leaders(events),

@@ -147,6 +147,32 @@ class TestSweep:
                 "received", "processed", "dropped", "lost", "queued",
             }
 
+    def test_clean_sweep_fires_no_burn_alerts(self, sweep):
+        # A proven strategy under the full injection library must stay
+        # above its pessimistic floor: any firing availability-burn
+        # alert on a clean sweep is a false positive.
+        firing = [
+            (digest["seed"], alert)
+            for digest in sweep
+            for alert in digest["slo"]["alerts"]
+            if alert["state"] == "firing"
+        ]
+        assert firing == []
+        for digest in sweep:
+            slo = digest["slo"]
+            assert slo["verdict"] == "met"
+            assert slo["trusted"] is True
+            assert slo["n_windows"] > 0
+            assert digest["log_complete"] is True
+
+    def test_slo_events_land_in_the_stream(self, sweep):
+        digest = sweep[0]
+        types = {
+            json.loads(line)["type"]
+            for line in digest["jsonl"].splitlines()
+        }
+        assert {"slo.window", "slo.budget"} <= types
+
     def test_failover_spans_exercised(self, sweep):
         checked = sum(
             digest["invariants"]["stats"]["spans_checked"]
@@ -241,6 +267,16 @@ class TestSabotage:
             for violation in digest["invariants"]["violations"]
         }
         assert "ic-bound" in invariants
+        # The streaming SLO engine must catch the same breach as a
+        # burn-rate alert and a breached budget.
+        firing = [
+            alert
+            for alert in digest["slo"]["alerts"]
+            if alert["state"] == "firing"
+        ]
+        assert firing, "sabotage must fire an availability-burn alert"
+        assert firing[0]["rule"] == "availability-burn"
+        assert digest["slo"]["verdict"] == "breached"
 
     def test_sabotage_requires_a_replicated_cell(self, chaos_app, proven):
         broken, _, _ = sabotage_strategy(proven)

@@ -46,6 +46,36 @@ class TestLatencyRecorder:
         with pytest.raises(ValueError):
             LatencyRecorder().percentile(1.5)
 
+    def test_nearest_rank_pins(self):
+        # Unified semantics (repro.obs.sketch.nearest_rank_index): for
+        # n=4 the median is the ceil(0.5*4)=2nd order statistic — a
+        # real sample, never an interpolated midpoint.
+        recorder = LatencyRecorder()
+        for i, latency in enumerate([0.4, 0.1, 0.3, 0.2]):
+            recorder.record(float(i), latency)
+        assert recorder.percentile(0.5) == 0.2
+        assert recorder.percentile(0.75) == 0.3
+        assert recorder.percentile(1.0) == 0.4
+
+    def test_agrees_with_registry_histogram(self):
+        from repro.obs import MetricsRegistry
+
+        recorder = LatencyRecorder()
+        histogram = MetricsRegistry().histogram("lat")
+        values = [0.9, 0.2, 0.7, 0.4, 0.5]
+        for i, value in enumerate(values):
+            recorder.record(float(i), value)
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["p50"] == recorder.percentile(0.50)
+        assert summary["p95"] == recorder.percentile(0.95)
+
+    def test_sample_buffer_is_live(self):
+        recorder = LatencyRecorder()
+        buffer = recorder.sample_buffer()
+        recorder.record(1.0, 0.25)
+        assert buffer == [(1.0, 0.25)]
+
     def test_window_mean(self):
         recorder = LatencyRecorder()
         recorder.record(1.0, 0.1)

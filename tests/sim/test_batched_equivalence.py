@@ -16,6 +16,7 @@ legitimately differ between modes; it is stripped before comparing.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 
@@ -97,6 +98,32 @@ class TestFleetDataplane:
             "runs must commit multi-cascade trains"
         )
 
+    def test_slo_rollups_present_and_identical(self, fleet_pair):
+        # The digests compared above include the slo.* event stream
+        # (events_sha256 covers it) and the summary dict; make the SLO
+        # coverage explicit so a regression reads as an SLO failure.
+        tuple_mode, batched = fleet_pair
+        for t_digest, b_digest in zip(tuple_mode, batched):
+            assert t_digest["log_complete"] is True
+            slo = t_digest["slo"]
+            assert slo["n_windows"] > 0
+            assert json.dumps(slo, sort_keys=True) == json.dumps(
+                b_digest["slo"], sort_keys=True
+            )
+
+    def test_worker_count_does_not_change_slo_streams(self, fleet_pair):
+        from repro.fleet.scenario import run_fleet_dataplane
+
+        _, batched = fleet_pair
+        summary, digests = run_fleet_dataplane(
+            dataclasses.replace(FLEET, batching=True), jobs=4
+        )
+        expected = summarize_dataplane(batched)["fleet_sha256"]
+        assert summary["fleet_sha256"] == expected
+        assert json.dumps(digests, sort_keys=True) == json.dumps(
+            batched, sort_keys=True
+        )
+
 
 class TestSeededDivergence:
     """Prove the comparison can fail: a mutated engine must be caught."""
@@ -168,3 +195,5 @@ class TestObservedRuns:
         assert json.dumps(digests[0], sort_keys=True) == json.dumps(
             digests[1], sort_keys=True
         )
+        assert digests[0]["slo"]["n_windows"] > 0
+        assert digests[0]["log_complete"] is True
