@@ -1,0 +1,161 @@
+"""Elasticity benchmark: migration throughput and consolidation savings.
+
+Three measurements on the autoscaled diurnal dataplane
+(:mod:`repro.elastic.dataplane` — the static fleet workload of
+``bench_sim.py`` with the per-tenant autoscaler, live migrations, and
+night-time host consolidation switched on):
+
+* **Migration throughput** (the headline) — an elastic fleet slice
+  simulated end to end in batched and tuple-granular mode. Event logs
+  must stay byte-identical between modes across every migration (the
+  benchmark hashes and asserts, like ``bench_sim.py``), and every
+  tenant must finish with zero conservation/floor violations; only
+  then is ``migrations_per_sec`` (protocol windows opened per
+  wall-clock second, batched mode) reported.
+* **Autoscaler overhead** — the same fleet with ``autoscale=False``:
+  identical platforms, no control loop. The delta is the all-in cost
+  of elasticity — control ticks plus the tuple-granular fallback
+  windows every migration disturbance opens. Reported honestly as
+  ``overhead_pct`` of static wall time (longer traces amortize it;
+  short smoke slices exaggerate it).
+* **Consolidation savings** — ``core_hours_saved_pct``: active
+  core-seconds the autoscaled fleet uses vs the static fleet, and the
+  reserved-capacity savings from night drains. Sim-time metrics, fully
+  deterministic — this is the number the elasticity layer exists for.
+
+Writes ``BENCH_elastic.json`` next to this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_elastic.py [--smoke]
+
+``--smoke`` shrinks everything to a seconds-long CI sanity check of the
+harness (assertions included), not a measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.elastic import ElasticParams, ElasticTask, run_elastic_tenant
+from repro.elastic.dataplane import summarize_elastic
+
+OUT_PATH = Path(__file__).parent / "BENCH_elastic.json"
+
+#: Elastic slice: chaos density matches the equivalence tests
+#: (chaos_every=4 -> scripted crashes, slow hosts, and one host kill
+#: inside an open migration window per 4-tenant block).
+FULL_SLICE = dict(tenants=64, chaos_every=4, duration=30.0, rounds=3)
+SMOKE_SLICE = dict(tenants=8, chaos_every=4, duration=12.0, rounds=1)
+
+
+def _params(spec: dict, **overrides) -> ElasticParams:
+    return dataclasses.replace(
+        ElasticParams(
+            tenants=spec["tenants"],
+            chaos_every=spec["chaos_every"],
+            duration=spec["duration"],
+        ),
+        **overrides,
+    )
+
+
+def _run_fleet(
+    params: ElasticParams, batching: bool, rounds: int
+) -> tuple[float, list[dict]]:
+    """Min-of-rounds wall time plus the final round's digests."""
+    best = float("inf")
+    digests: list[dict] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        digests = [
+            run_elastic_tenant(ElasticTask(params, tenant, batching))
+            for tenant in range(params.tenants)
+        ]
+        best = min(best, time.perf_counter() - start)
+    return best, digests
+
+
+def bench_elastic(spec: dict) -> dict:
+    rounds = spec["rounds"]
+    elastic_params = _params(spec)
+    static_params = _params(spec, autoscale=False)
+
+    b_time, b_digests = _run_fleet(elastic_params, True, rounds)
+    t_time, t_digests = _run_fleet(elastic_params, False, rounds)
+    b_summary = summarize_elastic(b_digests)
+    t_summary = summarize_elastic(t_digests)
+    assert b_summary["fleet_sha256"] == t_summary["fleet_sha256"], (
+        "event logs diverged between execution modes — run"
+        " tests/sim/test_batched_equivalence.py::TestElasticDataplane"
+    )
+    assert b_summary["ok"], b_summary["violations"]
+    assert t_summary["ok"], t_summary["violations"]
+
+    s_time, s_digests = _run_fleet(static_params, True, rounds)
+    s_summary = summarize_elastic(s_digests)
+    assert s_summary["ok"], s_summary["violations"]
+    assert s_summary["elastic"]["migrations"] == 0
+
+    stats = b_summary["elastic"]
+    static = s_summary["elastic"]
+    active_saved_pct = 100.0 * (
+        1.0
+        - stats["active_core_seconds"] / static["active_core_seconds"]
+    )
+    reserved_saved_pct = 100.0 * (
+        1.0
+        - stats["reserved_core_seconds"]
+        / static["reserved_core_seconds"]
+    )
+    assert stats["active_core_seconds"] < static["active_core_seconds"], (
+        "the autoscaled fleet must use fewer active core-seconds"
+    )
+    return {
+        "tenants": spec["tenants"],
+        "chaos_every": spec["chaos_every"],
+        "duration": spec["duration"],
+        "rounds": rounds,
+        "migrations": stats["migrations"],
+        "completed": stats["completed"],
+        "aborted": stats["aborted"],
+        "refused": stats["refused"],
+        "consolidations": stats["consolidations"],
+        "elastic_seconds": round(b_time, 4),
+        "tuple_granular_seconds": round(t_time, 4),
+        "static_seconds": round(s_time, 4),
+        "migrations_per_sec": round(stats["migrations"] / b_time),
+        "overhead_pct": round(100.0 * (b_time / s_time - 1.0), 1),
+        "active_core_seconds": stats["active_core_seconds"],
+        "static_active_core_seconds": static["active_core_seconds"],
+        "core_hours_saved_pct": round(active_saved_pct, 2),
+        "reserved_core_hours_saved_pct": round(reserved_saved_pct, 2),
+        "fleet_sha256": b_summary["fleet_sha256"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny instances, one round: harness sanity check only",
+    )
+    args = parser.parse_args()
+    smoke = args.smoke
+
+    report = {
+        "mode": "smoke" if smoke else "full",
+        "elastic_fleet": bench_elastic(SMOKE_SLICE if smoke else FULL_SLICE),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

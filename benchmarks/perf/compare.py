@@ -81,6 +81,20 @@ HEADLINE = {
             ),
         ),
     ],
+    "BENCH_elastic": [
+        (
+            "migrations_per_sec",
+            lambda report: report.get("elastic_fleet", {}).get(
+                "migrations_per_sec"
+            ),
+        ),
+        (
+            "core_hours_saved_pct",
+            lambda report: report.get("elastic_fleet", {}).get(
+                "core_hours_saved_pct"
+            ),
+        ),
+    ],
 }
 
 

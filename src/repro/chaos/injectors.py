@@ -32,18 +32,30 @@ Kinds
 ``pessimistic``
     The paper's worst case as a scheduled event: the pessimistic victim
     of every PE (Sec. 4.4) crashes at ``at`` and never recovers.
+``migration_strike``
+    Aimed at the elasticity layer: at ``at``, if the tenant's
+    :class:`~repro.elastic.migration.MigrationEngine` has a migration
+    window open (state transfer or dual-running), the host on one side
+    of the first such window crashes for ``downtime`` seconds — the
+    engine must abort the window and roll back. A deterministic no-op
+    when no window is open. Requires passing ``engine`` to
+    :func:`apply_injection`; not part of the campaign generator's draw
+    (seeded campaign digests stay stable).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.core.deployment import ReplicaId
 from repro.core.strategy import ActivationStrategy
 from repro.dsps.failures import pessimistic_victims
 from repro.dsps.platform import StreamPlatform
 from repro.errors import ChaosError
+
+if TYPE_CHECKING:
+    from repro.elastic.migration import MigrationEngine
 
 __all__ = ["INJECTION_KINDS", "Injection", "apply_injection", "racks"]
 
@@ -56,6 +68,7 @@ INJECTION_KINDS = (
     "replica_hang",
     "recovery_storm",
     "pessimistic",
+    "migration_strike",
 )
 
 
@@ -151,13 +164,15 @@ def apply_injection(
     platform: StreamPlatform,
     injection: Injection,
     strategy: Optional[ActivationStrategy] = None,
+    engine: Optional["MigrationEngine"] = None,
 ) -> None:
     """Schedule one injection on the platform's simulation clock.
 
     ``strategy`` is required for ``pessimistic`` injections (the victim
-    set is a function of the activation strategy). Emits one
-    ``chaos.inject`` event immediately, so the schedule is part of the
-    run's event stream header.
+    set is a function of the activation strategy); ``engine`` (a
+    :class:`~repro.elastic.migration.MigrationEngine`) is required for
+    ``migration_strike``. Emits one ``chaos.inject`` event immediately,
+    so the schedule is part of the run's event stream header.
     """
     env = platform.env
     at = injection.at
@@ -250,5 +265,25 @@ def apply_injection(
             env.schedule_at(
                 at, lambda r=replica_id: platform.crash_replica(r)
             )
+    elif injection.kind == "migration_strike":
+        if engine is None:
+            raise ChaosError(
+                "migration_strike injections need the migration engine"
+            )
+        downtime = fields["downtime"]
+
+        def _strike() -> None:
+            for mid in engine.open_migrations:
+                _pe, src, dst, phase = engine.window(mid)
+                if phase == "drain":
+                    continue  # past the commit point: not abortable
+                target = dst or src
+                platform.crash_host(target)
+                env.schedule(
+                    downtime, lambda h=target: platform.recover_host(h)
+                )
+                return
+
+        env.schedule_at(at, _strike)
     else:  # pragma: no cover - guarded by Injection.__post_init__
         raise ChaosError(f"unknown injection kind {injection.kind!r}")

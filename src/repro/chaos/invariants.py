@@ -166,14 +166,51 @@ class _Replay:
         self.uncovered: dict[str, list[tuple[float, float]]] = {
             pe: [] for pe in deployment.descriptor.graph.pes
         }
-        self._by_pe = {
-            pe: deployment.replicas_of(pe)
+        # Membership and placement are dynamic once migrations run:
+        # both are learned from the event stream on top of the static
+        # deployment seed (mirroring repro.obs.slo._Liveness).
+        self._by_pe: dict[str, list[ReplicaId]] = {
+            pe: list(deployment.replicas_of(pe))
             for pe in deployment.descriptor.graph.pes
         }
+        self.host_of: dict[ReplicaId, str] = {
+            replica: deployment.host_of(replica)
+            for replica in deployment.replicas
+        }
+        #: Open migrations: id -> (attached replica, config at start).
+        #: The config matters for the worse-of-two-deployments floor.
+        self.open_migrations: dict[str, tuple[Optional[ReplicaId], int]] = {}
+        #: Replicas rolled back by an aborted migration — they must
+        #: never rejoin the delivery set (the rollback invariant).
+        self.rolled_back: set[ReplicaId] = set()
 
     def parse_replica(self, text: str) -> ReplicaId:
         pe, _, index = text.partition("#")
         return ReplicaId(pe, int(index))
+
+    def residents(self, host: str) -> list[ReplicaId]:
+        return sorted(
+            replica
+            for replica, name in self.host_of.items()
+            if name == host
+        )
+
+    def _attach(self, replica: ReplicaId, host: str) -> None:
+        members = self._by_pe.setdefault(replica.pe, [])
+        if replica not in members:
+            members.append(replica)
+            members.sort()
+        self.alive[replica] = True
+        self.active.setdefault(replica, False)
+        self.host_of[replica] = host
+
+    def _detach(self, replica: ReplicaId) -> None:
+        members = self._by_pe.get(replica.pe)
+        if members is not None and replica in members:
+            members.remove(replica)
+        self.host_of.pop(replica, None)
+        self.alive.pop(replica, None)
+        self.active.pop(replica, None)
 
     def apply(self, time: float, type_: str, fields: dict) -> None:
         if type_ == "replica.crash":
@@ -181,10 +218,10 @@ class _Replay:
         elif type_ == "replica.recover":
             self.alive[self.parse_replica(fields["replica"])] = True
         elif type_ == "host.crash":
-            for replica in self.deployment.replicas_on(fields["host"]):
+            for replica in self.residents(fields["host"]):
                 self.alive[replica] = False
         elif type_ == "host.recover":
-            for replica in self.deployment.replicas_on(fields["host"]):
+            for replica in self.residents(fields["host"]):
                 self.alive[replica] = True
         elif type_ == "replica.activate":
             self.active[self.parse_replica(fields["replica"])] = True
@@ -193,6 +230,45 @@ class _Replay:
         elif type_ == "config.switch":
             self.config = int(fields["to"])
             self.transition_until = time + self.command_latency
+        elif type_ == "migration.start":
+            replica = self.parse_replica(fields["replica"])
+            action = fields["action"]
+            if action in ("move", "add"):
+                self._attach(replica, fields["dst"])
+                self.open_migrations[fields["migration"]] = (
+                    replica,
+                    self.config,
+                )
+            elif action == "remove":
+                self._detach(replica)
+                self.open_migrations[fields["migration"]] = (
+                    None,
+                    self.config,
+                )
+        elif type_ == "migration.cutover":
+            self._detach(self.parse_replica(fields["from"]))
+        elif type_ == "migration.abort":
+            entry = self.open_migrations.pop(fields["migration"], None)
+            if entry is not None and entry[0] is not None:
+                self._detach(entry[0])
+                self.rolled_back.add(entry[0])
+        elif type_ == "migration.done":
+            self.open_migrations.pop(fields["migration"], None)
+
+    def migration_floor(self, reference_floor: Mapping[int, float]) -> float:
+        """The floor to hold the current interval to.
+
+        Outside migration windows this is the current configuration's
+        proven pessimistic floor. Inside one, the run is held to the
+        *worse* (lower) of the floors of the configurations the window
+        has spanned — a failover during dual-running may legitimately
+        land on either the old or the new deployment, and neither can
+        be expected to beat both.
+        """
+        floor = reference_floor[self.config]
+        for _, start_config in self.open_migrations.values():
+            floor = min(floor, reference_floor[start_config])
+        return floor
 
     def covered(self, pe: str) -> bool:
         return any(
@@ -317,7 +393,7 @@ def check_campaign(
         for host in hosts:
             load = sum(
                 rate_table.replica_load(replica.pe, config)
-                for replica in deployment.replicas_on(host)
+                for replica in state.residents(host)
                 if state.alive[replica] and state.active[replica]
             )
             if load > capacity[host] + _EPS:
@@ -339,7 +415,7 @@ def check_campaign(
         fic_real = _fic_rate(
             deployment, rate_table, config, state.realized_phi()
         )
-        floor = reference_floor[config]
+        floor = state.migration_floor(reference_floor)
         margin = fic_real - floor
         if stats["min_ic_margin"] is None or margin < stats["min_ic_margin"]:
             stats["min_ic_margin"] = margin
@@ -376,6 +452,24 @@ def check_campaign(
                 merged.update(fields)
                 finished_spans.append((started[0], time, merged))
             continue
+        if type_ == "primary.elected":
+            # The rollback invariant: a replica removed by an aborted
+            # migration left the delivery set for good — electing it
+            # primary later means the rollback was not atomic.
+            elected = state.parse_replica(fields["replica"])
+            if elected in state.rolled_back:
+                violations.append(
+                    Violation(
+                        invariant="migration-rollback",
+                        time=time,
+                        detail=(
+                            f"replica {elected} was rolled back by an"
+                            " aborted migration but was elected primary"
+                            f" of {fields.get('pe', elected.pe)}"
+                        ),
+                    )
+                )
+            continue
         if type_ in (
             "replica.crash",
             "replica.recover",
@@ -384,10 +478,18 @@ def check_campaign(
             "replica.activate",
             "replica.deactivate",
             "config.switch",
+            "migration.start",
+            "migration.cutover",
+            "migration.abort",
+            "migration.done",
         ):
             check_interval(cursor, time)
             cursor = max(cursor, time)
             state.apply(time, type_, fields)
+            if type_.startswith("migration."):
+                stats["migrations_seen"] = stats.get("migrations_seen", 0) + (
+                    1 if type_ == "migration.start" else 0
+                )
     check_interval(cursor, horizon)
 
     # Finished failover spans: detection budget plus any time the PE

@@ -566,14 +566,28 @@ def _cmd_fleet_dataplane(args: argparse.Namespace) -> int:
     from repro.fleet.report import render_dataplane_slo_report
     from repro.fleet.scenario import run_fleet_dataplane
 
-    params = DataplaneParams(
-        tenants=args.tenants,
-        base_seed=args.seed,
-        duration=args.duration,
-        chaos_every=args.chaos_every,
-        batching=not args.tuple_granular,
-    )
-    summary, _digests = run_fleet_dataplane(params, jobs=args.jobs)
+    elastic = getattr(args, "elastic", False)
+    if elastic:
+        from repro.elastic import ElasticParams
+        from repro.elastic.scenario import run_elastic_fleet
+
+        params = ElasticParams(
+            tenants=args.tenants,
+            base_seed=args.seed,
+            duration=args.duration,
+            chaos_every=args.chaos_every,
+            batching=not args.tuple_granular,
+        )
+        summary, _digests = run_elastic_fleet(params, jobs=args.jobs)
+    else:
+        params = DataplaneParams(
+            tenants=args.tenants,
+            base_seed=args.seed,
+            duration=args.duration,
+            chaos_every=args.chaos_every,
+            batching=not args.tuple_granular,
+        )
+        summary, _digests = run_fleet_dataplane(params, jobs=args.jobs)
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -582,14 +596,104 @@ def _cmd_fleet_dataplane(args: argparse.Namespace) -> int:
     )
     totals = summary["totals"]
     mode = "tuple-granular" if args.tuple_granular else "batched"
+    label = "elastic dataplane" if elastic else "dataplane"
     print(
-        f"dataplane ({mode}): {summary['tenants']} tenants,"
+        f"{label} ({mode}): {summary['tenants']} tenants,"
         f" {totals['input']} tuples in, {totals['output']} out,"
         f" {totals['fallback_windows']} fallback windows"
         f" ({summary['fallback_seconds']}s)"
     )
+    if elastic:
+        stats = summary["elastic"]
+        print(
+            f"elastic: {stats['migrations']} migrations"
+            f" ({stats['completed']} completed, {stats['aborted']}"
+            f" aborted, {stats['refused']} refused),"
+            f" {stats['consolidations']} consolidations,"
+            f" {stats['active_core_seconds']} active core-seconds"
+        )
     print(f"fleet sha256: {summary['fleet_sha256']}")
     print(render_dataplane_slo_report(summary), end="")
+    for item in summary["violations"]:
+        print(
+            f"violation (tenant {item['tenant']}): {item['violation']}",
+            file=sys.stderr,
+        )
+    if not summary["ok"]:
+        return 1
+    print(f"artifacts written to {out_dir}")
+    return 0
+
+
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    """Run the autoscaled diurnal dataplane and write elastic.json.
+
+    Every tenant's event stream is schema-validated (the migration and
+    host-lifecycle events are part of ``EVENT_SCHEMA``), and any
+    conservation/floor violation makes the command exit 1.
+    """
+    from repro.elastic import ElasticParams
+    from repro.elastic.scenario import run_elastic_fleet
+    from repro.obs.validate import validate_lines
+
+    params = ElasticParams(
+        tenants=args.tenants,
+        base_seed=args.seed,
+        duration=args.duration,
+        chaos_every=args.chaos_every,
+        batching=not args.tuple_granular,
+        keep_events=True,
+        slo=True,
+    )
+    summary, digests = run_elastic_fleet(params, jobs=args.jobs)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tenants = []
+    for digest in digests:
+        jsonl = digest.pop("jsonl")
+        events_path = out_dir / f"events-{digest['tenant']}.jsonl"
+        events_path.write_text(jsonl)
+        problems = validate_lines(
+            jsonl.splitlines(), origin=str(events_path)
+        )
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        tenants.append(digest)
+    document = {
+        "params": {
+            "tenants": args.tenants,
+            "seed": args.seed,
+            "duration": args.duration,
+            "chaos_every": args.chaos_every,
+            "batching": not args.tuple_granular,
+        },
+        "fleet": {k: v for k, v in summary.items() if k != "violations"},
+        "tenants": tenants,
+    }
+    (out_dir / "elastic.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    stats = summary["elastic"]
+    mode = "tuple-granular" if args.tuple_granular else "batched"
+    print(
+        f"elastic ({mode}): {summary['tenants']} tenants,"
+        f" {stats['migrations']} migrations"
+        f" ({stats['completed']} completed, {stats['aborted']} aborted,"
+        f" {stats['refused']} refused)"
+    )
+    print(
+        f"autoscaler: {stats['scale_ups']} ups, {stats['scale_downs']}"
+        f" downs, {stats['consolidations']} consolidations,"
+        f" {stats['moves']} moves"
+    )
+    print(
+        f"core-seconds: {stats['active_core_seconds']} active,"
+        f" {stats['reserved_core_seconds']} reserved"
+    )
+    print(f"fleet sha256: {summary['fleet_sha256']}")
     for item in summary["violations"]:
         print(
             f"violation (tenant {item['tenant']}): {item['violation']}",
@@ -1025,7 +1129,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataplane only: run the plain event kernel instead of"
         " the batched engine (event logs are byte-identical)",
     )
+    fleet.add_argument(
+        "--elastic", action="store_true",
+        help="dataplane only: attach the runtime elasticity layer —"
+        " per-tenant autoscaler, live migrations, night-time host"
+        " consolidation (see docs/elasticity.md)",
+    )
     fleet.set_defaults(func=_cmd_fleet)
+
+    elastic = commands.add_parser(
+        "elastic",
+        help="run the autoscaled diurnal dataplane (live migrations,"
+        " host drains, chaos inside migration windows) and write the"
+        " elastic.json artifact (see docs/elasticity.md)",
+    )
+    elastic.add_argument(
+        "--tenants", type=int, default=8,
+        help="how many simulated tenants (default 8)",
+    )
+    elastic.add_argument("--seed", type=int, default=7)
+    elastic.add_argument(
+        "--duration", type=float, default=12.0,
+        help="simulated seconds per tenant (default 12)",
+    )
+    elastic.add_argument(
+        "--chaos-every", type=int, default=4,
+        help="every Nth tenant gets scripted chaos; one slot lands a"
+        " host kill inside an open migration window (0 = off;"
+        " default 4)",
+    )
+    elastic.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS, then the CPU"
+        " count; 1 = serial — the fleet sha256 is identical either"
+        " way)",
+    )
+    elastic.add_argument(
+        "--tuple-granular", action="store_true",
+        help="run the plain event kernel instead of the batched engine"
+        " (event logs are byte-identical)",
+    )
+    elastic.add_argument(
+        "--out-dir", default="elastic-run",
+        help="directory for elastic.json and per-tenant event streams",
+    )
+    elastic.set_defaults(func=_cmd_elastic)
 
     slo = commands.add_parser(
         "slo",

@@ -370,6 +370,36 @@ class ReplicaGroup:
             self._last_beat[replica] = self._env.now
             self._start_beats(replica)
 
+    def remove(self, replica: OperatorReplica) -> None:
+        """Detach a member (live migration cutover / rollback).
+
+        The replica keeps its metrics and any queued work — it simply
+        stops being a delivery target and can no longer be (re)elected.
+        A detached primary hands the role over immediately: the detach
+        is a controller action, so the handover is reliable and ordered
+        like a deactivation, not a crash.
+        """
+        if replica not in self._members:
+            raise SimulationError(
+                f"replica {replica.replica_id} is not a member of {self.pe}"
+            )
+        self._members.remove(replica)
+        replica.group = None
+        self._last_beat.pop(replica, None)
+        if self.primary is replica:
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    "primary.lost",
+                    pe=self.pe,
+                    replica=str(replica.replica_id),
+                    reason="deactivate",
+                )
+            self._set_primary(None)
+            if self._pending_election is not None:
+                self._pending_election.cancel()
+                self._pending_election = None
+            self._elect()
+
     @property
     def members(self) -> tuple[OperatorReplica, ...]:
         return tuple(self._members)

@@ -145,6 +145,9 @@ class StreamPlatform:
 
         self._validate_core_budget()
         rate_table = RateTable(self._descriptor)
+        # Retained for dynamic replica attachment (live migration):
+        # ports of late-built replicas are sized from the same table.
+        self._rate_table = rate_table
 
         # One processor-sharing scheduler per host (the Eq. 11 capacity).
         self._host_schedulers: dict[str, HostScheduler] = {
@@ -217,6 +220,19 @@ class StreamPlatform:
                     fanout=fanout,
                     network=self.metrics.network,
                 )
+
+        # Dynamic host residency: which replicas currently execute on
+        # which host. Starts as the deployment's static assignment and
+        # is updated by live migrations (attach/detach), so host-level
+        # failures hit the replicas *actually* there, not the ones the
+        # original placement put there.
+        self._residents: dict[str, list[ReplicaId]] = {
+            host.name: list(deployment.replicas_on(host.name))
+            for host in deployment.hosts
+        }
+        #: Hooks invoked (in registration order) after a host crash has
+        #: been applied — the migration engine aborts open windows here.
+        self.on_host_crash: list = []
 
         # Build sinks, then sources (sources start emitting immediately).
         self._sinks: dict[str, SinkOperator] = {}
@@ -395,8 +411,10 @@ class StreamPlatform:
         self.metrics.failure_events.append((self.env.now, "crash-host", host))
         self.telemetry.emit("host.crash", host=host)
         self._note_disturbance("host.crash")
-        for replica_id in self._deployment.replicas_on(host):
+        for replica_id in tuple(self.residents(host)):
             self.replica(replica_id).crash()
+        for hook in tuple(self.on_host_crash):
+            hook(host)
 
     def recover_host(self, host: str) -> None:
         self.metrics.failure_events.append(
@@ -404,7 +422,7 @@ class StreamPlatform:
         )
         self.telemetry.emit("host.recover", host=host)
         self._note_disturbance("host.recover")
-        for replica_id in self._deployment.replicas_on(host):
+        for replica_id in tuple(self.residents(host)):
             self.replica(replica_id).recover()
 
     def degrade_host(self, host: str, factor: float) -> None:
@@ -468,3 +486,88 @@ class StreamPlatform:
             return self._host_schedulers[host]
         except KeyError:
             raise SimulationError(f"unknown host {host!r}") from None
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration primitives (driven by repro.elastic)
+    # ------------------------------------------------------------------
+
+    def residents(self, host: str) -> tuple[ReplicaId, ...]:
+        """The replicas currently executing on ``host`` (dynamic)."""
+        try:
+            return tuple(self._residents[host])
+        except KeyError:
+            raise SimulationError(f"unknown host {host!r}") from None
+
+    def attach_replica(
+        self, pe: str, host: str, active: bool = False
+    ) -> ReplicaId:
+        """Deploy a fresh replica of ``pe`` on ``host`` (live migration).
+
+        The new replica gets the next unused index for the PE (indices
+        are never reused: detached replicas keep their metrics under the
+        old identity). It joins the PE's replica group inactive by
+        default — the migration protocol warms it up with an explicit
+        activation after the state transfer. Placement invariants are
+        enforced here, admission-style: one replica per core, and no
+        other replica of the same PE already on the host.
+        """
+        group = self.group(pe)
+        scheduler = self.host_scheduler(host)
+        host_obj = self._deployment.host(host)
+        residents = self._residents[host]
+        if len(residents) >= host_obj.cores:
+            raise SimulationError(
+                f"host {host!r} has {host_obj.cores} cores and"
+                f" {len(residents)} resident replicas; the simulator pins"
+                " one replica per core"
+            )
+        for member in group.members:
+            if member.host.name == host:
+                raise SimulationError(
+                    f"PE {pe!r} already has a replica on host {host!r}"
+                    " (anti-affinity)"
+                )
+        index = max(
+            (r.replica for r in self._replicas if r.pe == pe),
+            default=-1,
+        ) + 1
+        replica_id = ReplicaId(pe, index)
+        replica = OperatorReplica(
+            env=self.env,
+            replica_id=replica_id,
+            host=scheduler,
+            ports=self._build_ports(pe, self._rate_table),
+            metrics=self.metrics.replica(replica_id),
+            emit=self._forward_output,
+            initially_active=active,
+            resync_delay=self._config.resync_delay,
+            events=self.telemetry.events,
+            tracer=self.telemetry.tuple_tracer,
+        )
+        if self._engine is not None:
+            replica.on_state_change = self._engine.bump_epoch
+        self._replicas[replica_id] = replica
+        group.add(replica)
+        residents.append(replica_id)
+        residents.sort()
+        self._note_disturbance("migration.attach")
+        return replica_id
+
+    def detach_replica(self, replica_id: ReplicaId) -> None:
+        """Remove a replica from its group and host (cutover/rollback).
+
+        The replica object — and its metrics — survive under the old
+        identity so tuple conservation still closes over the whole run;
+        it just stops being a delivery target. Queued work keeps being
+        served (the drain) unless the caller deactivates the replica.
+        """
+        replica = self.replica(replica_id)
+        if replica.group is None:
+            raise SimulationError(
+                f"replica {replica_id} is already detached"
+            )
+        self._note_disturbance("migration.detach")
+        replica.group.remove(replica)
+        residents = self._residents[replica.host.name]
+        if replica_id in residents:
+            residents.remove(replica_id)

@@ -1,0 +1,258 @@
+"""A deterministic per-tenant autoscaler for the diurnal dataplane.
+
+The fleet dataplane gives every tenant one High-rate burst per run —
+its "daily peak", staggered across tenants the way time zones stagger a
+real diurnal cycle. This control loop turns that calendar into
+elasticity actions on the live platform:
+
+* **ahead of the peak** it scales every PE up to its full replica set
+  (activating warm standbys, or re-adding replicas that the night
+  consolidation removed) with enough lead for state transfers to land
+  before the burst arrives;
+* **after the peak** it scales back down to a single active replica per
+  PE, and — for consolidating tenants — removes the standby replicas on
+  one designated host and drains it so its cores can be reclaimed;
+* **every tick** it runs a reactive cover guard: a PE whose processable
+  cover has been wiped out (host crash during the trough, say) gets an
+  alive standby re-activated immediately, calendar or not.
+
+Every action is submitted through the :class:`MigrationEngine`'s
+feasibility proof — the loop *proposes*, the proof *admits* — so no
+intermediate deployment ever drops below the IC-SLA floor by
+construction: a scale-down that would remove the last processable
+cover is refused, not retried harder.
+
+Determinism: the loop is pure sim-time (``env.schedule`` ticks), reads
+only platform state, and never draws randomness, so an elastic run is
+bit-identical across execution modes and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dsps.platform import StreamPlatform
+from repro.elastic.migration import MigrationAction, MigrationEngine
+from repro.errors import SimulationError
+
+__all__ = ["Autoscaler", "AutoscalerPolicy"]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Knobs of the control loop (all simulated seconds).
+
+    ``lead`` is how long before the peak the scale-up starts — it must
+    cover the slowest state transfer plus the dual-running window, or
+    the proof will still be warming replicas when the burst lands.
+    ``consolidate`` additionally removes the standby replicas on one
+    host during the trough and drains it (night consolidation);
+    ``rebalance`` live-moves one standby to the least-loaded host after
+    the peak (exercising the full transfer/dual/cutover protocol).
+    """
+
+    tick: float = 0.25
+    lead: float = 2.0
+    lag: float = 1.0
+    peak_parallelism: int = 2
+    trough_parallelism: int = 1
+    consolidate: bool = False
+    consolidate_margin: float = 1.5
+    rebalance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise SimulationError("tick must be > 0")
+        if self.lead < 0 or self.lag < 0 or self.consolidate_margin < 0:
+            raise SimulationError("lead/lag/margin must be >= 0")
+        if self.trough_parallelism < 1:
+            raise SimulationError("trough_parallelism must be >= 1")
+        if self.peak_parallelism < self.trough_parallelism:
+            raise SimulationError(
+                "peak_parallelism must be >= trough_parallelism"
+            )
+
+
+class Autoscaler:
+    """One tenant's elasticity control loop.
+
+    Parameters
+    ----------
+    platform, engine:
+        The live platform and the migration engine driving it.
+    peak_start, peak_end:
+        The tenant's High-rate window (known calendar, not a forecast —
+        the diurnal cycle is the one thing a fleet operator can bank
+        on; the reactive guard covers everything the calendar cannot).
+    horizon:
+        Run length; the loop stops scheduling ticks past it.
+    consolidation_host:
+        The host the night consolidation empties (required when the
+        policy consolidates).
+    """
+
+    def __init__(
+        self,
+        platform: StreamPlatform,
+        engine: MigrationEngine,
+        peak_start: float,
+        peak_end: float,
+        horizon: float,
+        policy: Optional[AutoscalerPolicy] = None,
+        consolidation_host: Optional[str] = None,
+    ) -> None:
+        self._platform = platform
+        self._engine = engine
+        self._policy = policy or AutoscalerPolicy()
+        self._peak_start = peak_start
+        self._peak_end = peak_end
+        self._horizon = horizon
+        self._chost = consolidation_host
+        if self._policy.consolidate and consolidation_host is None:
+            raise SimulationError(
+                "consolidating policy needs a consolidation_host"
+            )
+        self._pes = platform.deployment.descriptor.graph.pes
+        self._consolidated = False
+        self._removed: list[str] = []
+        self._moved = False
+        # Counters (reported in the tenant digest).
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.reactivations = 0
+        self.consolidations = 0
+        self.expansions = 0
+        self.moves = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin ticking at t=0."""
+        self._platform.env.schedule(0.0, self._tick)
+
+    def desired_parallelism(self, now: float) -> int:
+        """The calendar's answer: peak parallelism inside the widened
+        High window (lead before, lag after), trough outside it."""
+        policy = self._policy
+        if self._peak_start - policy.lead <= now < self._peak_end + policy.lag:
+            return policy.peak_parallelism
+        return policy.trough_parallelism
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self._platform.env.now
+        self._reconcile(now)
+        if now + self._policy.tick <= self._horizon:
+            self._platform.env.schedule(self._policy.tick, self._tick)
+
+    def _reconcile(self, now: float) -> None:
+        policy = self._policy
+        if policy.consolidate and self._chost is not None:
+            night_until = (
+                self._peak_start - policy.lead - policy.consolidate_margin
+            )
+            want_consolidated = (
+                now < night_until or now >= self._peak_end + policy.lag
+            )
+            if want_consolidated and not self._consolidated:
+                self._consolidate(self._chost)
+            elif not want_consolidated and self._consolidated:
+                self._expand(self._chost)
+        if (
+            policy.rebalance
+            and not self._moved
+            and now >= self._peak_end + policy.lag
+        ):
+            self._move_standby()
+        target = self.desired_parallelism(now)
+        for pe in self._pes:
+            self._reconcile_pe(pe, target)
+
+    def _reconcile_pe(self, pe: str, target: int) -> None:
+        engine = self._engine
+        members = self._platform.group(pe).members
+        if not members:
+            return
+        actives = sum(1 for m in members if m.active)
+        covered = any(m.processable for m in members)
+        if not covered and any(m.alive and not m.active for m in members):
+            # Reactive cover guard: the calendar does not get a vote
+            # when the PE has no processable replica left.
+            want = min(len(members), actives + 1)
+            action = MigrationAction(kind="rescale", pe=pe, parallelism=want)
+            ok, _ = engine.feasible(action)
+            if ok:
+                engine.rescale(pe, want)
+                self.reactivations += 1
+            else:
+                self.skipped += 1
+            return
+        want = min(target, len(members))
+        if actives == want:
+            return
+        action = MigrationAction(kind="rescale", pe=pe, parallelism=want)
+        ok, _ = engine.feasible(action)
+        if not ok:
+            self.skipped += 1
+            return
+        changed = engine.rescale(pe, want)
+        if want > actives:
+            self.scale_ups += len(changed)
+        else:
+            self.scale_downs += len(changed)
+
+    # ------------------------------------------------------------------
+    # Night consolidation
+    # ------------------------------------------------------------------
+
+    def _consolidate(self, chost: str) -> None:
+        engine = self._engine
+        platform = self._platform
+        for rid in platform.residents(chost):
+            action = MigrationAction(kind="remove", pe=rid.pe, src=chost)
+            ok, _ = engine.feasible(action)
+            if not ok:
+                self.skipped += 1
+                continue
+            engine.remove_replica(rid.pe, chost)
+            self._removed.append(rid.pe)
+        engine.drain(chost)
+        self._consolidated = True
+        self.consolidations += 1
+
+    def _expand(self, chost: str) -> None:
+        engine = self._engine
+        engine.uncordon(chost)
+        for pe in self._removed:
+            action = MigrationAction(kind="add", pe=pe, dst=chost)
+            ok, _ = engine.feasible(action)
+            if not ok:
+                self.skipped += 1
+                continue
+            engine.add_replica(pe, chost)
+        self._removed = []
+        self._consolidated = False
+        self.expansions += 1
+
+    # ------------------------------------------------------------------
+    # Rebalancing move (exercises the full migration protocol)
+    # ------------------------------------------------------------------
+
+    def _move_standby(self) -> None:
+        self._moved = True
+        engine = self._engine
+        for pe in self._pes:
+            for member in self._platform.group(pe).members:
+                if member.is_primary or not member.alive:
+                    continue
+                src = member.host.name
+                dst = engine.best_target(pe, src)
+                if dst is None:
+                    continue
+                engine.migrate(pe, src, dst)
+                self.moves += 1
+                return
+        self.skipped += 1

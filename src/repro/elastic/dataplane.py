@@ -1,0 +1,362 @@
+"""The autoscaled diurnal dataplane: the elastic twin of the fleet run.
+
+Reuses the fleet dataplane's tenants verbatim — same apps, same
+staggered High bursts, same scripted chaos — and adds the elasticity
+layer on top: every tenant gets a :class:`MigrationEngine` and an
+:class:`Autoscaler` driven by its own diurnal calendar. Tenant roles
+rotate deterministically:
+
+* every ``consolidate_every``-th tenant runs night consolidation
+  (standby removal + host drain + reclaim) during its trough;
+* every other odd tenant rebalances — one full live migration
+  (transfer / dual-running / cutover) after its peak;
+* every ``chaos_every``-th-ish rebalancer *also* gets a host kill aimed
+  into its open migration window, exercising abort-and-rollback.
+
+A :class:`CoreHourMeter` samples active-replica and reserved-host core
+time in both elastic and static runs, so ``summarize_elastic`` can
+price what the autoscaler saved. Everything stays inside the fleet's
+byte-identity contract: elasticity actions are control-plane events,
+identical across execution modes and worker counts.
+
+(Like :mod:`repro.fleet.dataplane`, this module must not import the
+parallel fabric — fabric workers import it to unpickle tasks. The
+fan-out driver lives in :mod:`repro.elastic.scenario`.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.dsps.platform import StreamPlatform
+from repro.elastic.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.elastic.migration import MigrationConfig, MigrationEngine
+from repro.errors import ReproError
+from repro.fleet.dataplane import DataplaneParams, build_tenant_platform
+from repro.obs.slo import CoverageAvailability, SloConfig, attach_slo
+
+__all__ = [
+    "CoreHourMeter",
+    "ElasticParams",
+    "ElasticTask",
+    "run_elastic_tenant",
+    "summarize_elastic",
+]
+
+
+@dataclass(frozen=True)
+class ElasticParams(DataplaneParams):
+    """Fleet dataplane shape plus the elasticity knobs (still scalars).
+
+    ``autoscale=False`` runs the *same* tenants with the meter attached
+    but no engine or autoscaler — the static baseline the benchmark
+    prices core-hour savings against.
+    """
+
+    autoscale: bool = True
+    consolidate_every: int = 4
+    rebalance_every: int = 2
+    autoscale_tick: float = 0.25
+    scale_lead: float = 2.0
+    scale_lag: float = 1.0
+    transfer_seconds_per_gcycle: float = 0.5
+    dual_window: float = 1.0
+    drain_grace: float = 1.0
+    chaos_mid_migration: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.autoscale_tick <= 0:
+            raise ReproError("autoscale_tick must be > 0")
+        if self.consolidate_every < 0 or self.rebalance_every < 0:
+            raise ReproError("role cadences must be >= 0")
+
+
+@dataclass(frozen=True)
+class ElasticTask:
+    """One elastic tenant run (the picklable fan-out unit)."""
+
+    params: ElasticParams
+    tenant: int
+    batching: Optional[bool] = None
+
+
+class CoreHourMeter:
+    """Samples core usage over the run (left-Riemann, sim-time ticks).
+
+    ``active_core_seconds`` integrates replicas that are alive *and*
+    active — the cores actually burning cycles. ``reserved_core_seconds``
+    integrates every provisioned host's cores except reclaimed ones
+    (cordoned *and* empty) — the cores the provider still bills.
+    Sampling at event boundaries keeps the integral deterministic and
+    identical across execution modes: platform state only changes at
+    kernel events, and the tick is one.
+    """
+
+    def __init__(
+        self,
+        platform: StreamPlatform,
+        horizon: float,
+        tick: float = 0.25,
+        engine: Optional[MigrationEngine] = None,
+    ) -> None:
+        if tick <= 0:
+            raise ReproError("meter tick must be > 0")
+        self._platform = platform
+        self._horizon = horizon
+        self._tick = tick
+        self._engine = engine
+        self.active_core_seconds = 0.0
+        self.reserved_core_seconds = 0.0
+
+    def start(self) -> None:
+        self._platform.env.schedule(0.0, self._sample)
+
+    def _sample(self) -> None:
+        platform = self._platform
+        now = platform.env.now
+        dt = min(self._tick, self._horizon - now)
+        if dt <= 0:
+            return
+        active = sum(
+            1
+            for host in platform.deployment.hosts
+            for rid in platform.residents(host.name)
+            if platform.replica(rid).alive and platform.replica(rid).active
+        )
+        self.active_core_seconds += active * dt
+        reserved = 0
+        for host in platform.deployment.hosts:
+            if (
+                self._engine is not None
+                and host.name in self._engine.cordoned
+                and not platform.residents(host.name)
+            ):
+                continue  # reclaimed: cordoned and empty
+            reserved += host.cores
+        self.reserved_core_seconds += reserved * dt
+        if now + self._tick < self._horizon:
+            platform.env.schedule(self._tick, self._sample)
+
+
+def peak_window(params: DataplaneParams, tenant: int) -> tuple[float, float]:
+    """The tenant's High-rate window, from the same math as its trace."""
+    phase = (tenant % params.phases) / params.phases
+    high_length = params.duration * params.high_fraction
+    start = (params.duration - high_length) * phase
+    return start, start + high_length
+
+
+def tenant_roles(params: ElasticParams, tenant: int) -> tuple[bool, bool]:
+    """``(consolidates, rebalances)`` for this tenant — deterministic."""
+    consolidates = (
+        params.consolidate_every > 0
+        and tenant % params.consolidate_every == 0
+    )
+    rebalances = (
+        not consolidates
+        and params.rebalance_every > 0
+        and tenant % params.rebalance_every == 1
+    )
+    return consolidates, rebalances
+
+
+def _schedule_migration_chaos(
+    platform: StreamPlatform,
+    engine: MigrationEngine,
+    params: ElasticParams,
+    move_at: float,
+) -> None:
+    """Aim a host kill into the tenant's open migration window.
+
+    Fired half a dual-window after the rebalancing move starts, so the
+    transfer or dual-running phase is open; the engine's crash hook
+    aborts the migration and rolls back to the old deployment. A
+    deterministic no-op if no window is open (late-phase tenants whose
+    move never fires before the horizon).
+    """
+    kill_at = move_at + 0.5 * params.dual_window
+
+    def _kill() -> None:
+        mids = engine.open_migrations
+        if not mids:
+            return
+        _pe, src, dst, phase = engine.window(mids[0])
+        if phase == "drain":
+            return
+        target = dst or src
+        platform.crash_host(target)
+        platform.env.schedule(
+            params.chaos_downtime, lambda: platform.recover_host(target)
+        )
+
+    if kill_at < params.duration:
+        platform.env.schedule_at(kill_at, _kill)
+
+
+def run_elastic_tenant(task: ElasticTask) -> dict[str, Any]:
+    """Run one elastic tenant and distil it into a plain digest.
+
+    Mirrors :func:`repro.fleet.dataplane.run_tenant` — same conservation
+    verdict, same canonical event-stream hash — plus an ``"elastic"``
+    block with the engine and autoscaler counters and the meter's
+    core-second integrals.
+    """
+    params = task.params
+    batching = params.batching if task.batching is None else task.batching
+    platform = build_tenant_platform(params, task.tenant, batching)
+
+    engine: Optional[MigrationEngine] = None
+    scaler: Optional[Autoscaler] = None
+    if params.autoscale:
+        engine = MigrationEngine(
+            platform,
+            MigrationConfig(
+                transfer_seconds_per_gcycle=params.transfer_seconds_per_gcycle,
+                dual_window=params.dual_window,
+                drain_grace=params.drain_grace,
+            ),
+        )
+        consolidates, rebalances = tenant_roles(params, task.tenant)
+        peak_start, peak_end = peak_window(params, task.tenant)
+        policy = AutoscalerPolicy(
+            tick=params.autoscale_tick,
+            lead=params.scale_lead,
+            lag=params.scale_lag,
+            consolidate=consolidates,
+            rebalance=rebalances,
+        )
+        chost = f"h{params.n_hosts - 1:02d}" if consolidates else None
+        scaler = Autoscaler(
+            platform,
+            engine,
+            peak_start,
+            peak_end,
+            horizon=params.duration,
+            policy=policy,
+            consolidation_host=chost,
+        )
+        scaler.start()
+        if (
+            rebalances
+            and params.chaos_mid_migration
+            and params.chaos_every > 0
+            and task.tenant % params.chaos_every == params.chaos_every // 4
+        ):
+            ticks = math.ceil((peak_end + params.scale_lag) / policy.tick)
+            _schedule_migration_chaos(
+                platform, engine, params, move_at=ticks * policy.tick
+            )
+
+    meter = CoreHourMeter(
+        platform,
+        horizon=params.duration,
+        tick=params.autoscale_tick,
+        engine=engine,
+    )
+    meter.start()
+
+    slo_engine = None
+    if params.slo:
+        slo_engine = attach_slo(
+            platform,
+            CoverageAvailability(platform.deployment),
+            SloConfig(
+                window=params.slo_window,
+                availability_target=params.slo_target,
+            ),
+            tenant=str(task.tenant),
+        )
+    metrics = platform.run()
+    if slo_engine is not None:
+        slo_engine.finalize(params.duration + 2.0)
+
+    violations: list[str] = []
+    for replica_id, m in sorted(
+        metrics.replicas.items(), key=lambda item: str(item[0])
+    ):
+        queued = platform.replica(replica_id).queue_length
+        if m.received != m.processed + m.dropped + m.lost + queued:
+            violations.append(
+                f"conservation {replica_id}: received={m.received}"
+                f" != processed={m.processed} + dropped={m.dropped}"
+                f" + lost={m.lost} + queued={queued}"
+            )
+    if metrics.total_output == 0:
+        violations.append("no-output: sinks received nothing")
+
+    events = platform.telemetry.events
+    jsonl = events.to_jsonl()
+    digest: dict[str, Any] = {
+        "tenant": task.tenant,
+        "app": platform.deployment.descriptor.name,
+        "batching": batching,
+        "input": metrics.total_input,
+        "output": metrics.total_output,
+        "processed": metrics.tuples_processed,
+        "dropped": metrics.logical_dropped,
+        "lost": metrics.total_lost,
+        "events_emitted": events.emitted,
+        "events_sha256": hashlib.sha256(jsonl.encode("utf-8")).hexdigest(),
+        "fallback_windows": platform.fallback.windows,
+        "fallback_seconds": round(platform.fallback.covered, 9),
+        "log_complete": events.evicted == 0,
+        "slo": slo_engine.summary() if slo_engine is not None else None,
+        "violations": violations,
+        "engine": (
+            dict(platform.engine.stats)
+            if platform.engine is not None
+            else None
+        ),
+        "elastic": {
+            "migrations": engine.attempted if engine is not None else 0,
+            "completed": engine.completed if engine is not None else 0,
+            "aborted": engine.aborted if engine is not None else 0,
+            "refused": engine.refused if engine is not None else 0,
+            "open": len(engine.open_migrations) if engine is not None else 0,
+            "scale_ups": scaler.scale_ups if scaler is not None else 0,
+            "scale_downs": scaler.scale_downs if scaler is not None else 0,
+            "reactivations": (
+                scaler.reactivations if scaler is not None else 0
+            ),
+            "consolidations": (
+                scaler.consolidations if scaler is not None else 0
+            ),
+            "expansions": scaler.expansions if scaler is not None else 0,
+            "moves": scaler.moves if scaler is not None else 0,
+            "skipped": scaler.skipped if scaler is not None else 0,
+            "active_core_seconds": round(meter.active_core_seconds, 9),
+            "reserved_core_seconds": round(meter.reserved_core_seconds, 9),
+        },
+    }
+    if params.keep_events:
+        digest["jsonl"] = jsonl
+    return digest
+
+
+def summarize_elastic(
+    digests: Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Fold elastic tenant digests into one fleet report.
+
+    Wraps the fleet summary (same ``fleet_sha256`` chaining, same
+    violation roll-up) and adds the summed elasticity counters.
+    """
+    from repro.fleet.dataplane import summarize_dataplane
+
+    summary = summarize_dataplane(digests)
+    elastic: dict[str, float] = {}
+    for digest in digests:
+        block = digest.get("elastic")
+        if not block:
+            continue
+        for key, value in block.items():
+            elastic[key] = elastic.get(key, 0) + value
+    for key in ("active_core_seconds", "reserved_core_seconds"):
+        if key in elastic:
+            elastic[key] = round(elastic[key], 9)
+    summary["elastic"] = {key: elastic[key] for key in sorted(elastic)}
+    return summary

@@ -1,0 +1,50 @@
+"""Fleet driver for the elastic (autoscaled) diurnal dataplane.
+
+This is the fabric-facing half of :mod:`repro.elastic.dataplane`: it
+fans :func:`~repro.elastic.dataplane.run_elastic_tenant` out over the
+experiment fabric's process pool — one fully simulated, autoscaled
+stream platform per tenant — and folds the per-tenant digests into a
+single report via :func:`~repro.elastic.dataplane.summarize_elastic`.
+
+It lives in its own module (not in ``repro.elastic.dataplane``) for
+the same reason :func:`repro.fleet.scenario.run_fleet_dataplane` does:
+task modules are imported by fabric *workers* and must not import
+:mod:`repro.experiments.parallel` themselves, or the pool would try to
+re-initialise inside a worker. Keep the split when adding drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.elastic.dataplane import (
+    ElasticParams,
+    ElasticTask,
+    run_elastic_tenant,
+    summarize_elastic,
+)
+from repro.experiments.parallel import FabricProfile, run_tasks
+
+__all__ = ["run_elastic_fleet"]
+
+
+def run_elastic_fleet(
+    params: Optional[ElasticParams] = None,
+    jobs: Optional[int] = None,
+    profile: Optional[FabricProfile] = None,
+) -> tuple[dict, list]:
+    """Run the autoscaled diurnal dataplane over the experiment fabric.
+
+    Returns ``(summary, digests)``. The summary's ``fleet_sha256``
+    chains every tenant's event-log hash, so it is bit-identical at any
+    ``jobs`` value and across execution modes (batched vs
+    tuple-granular) — the same contract as the static dataplane, now
+    holding across live migrations, host drains, and chaos that lands
+    inside open migration windows.
+    """
+    params = params or ElasticParams()
+    tasks = [
+        ElasticTask(params, tenant) for tenant in range(params.tenants)
+    ]
+    digests = run_tasks(run_elastic_tenant, tasks, jobs=jobs, profile=profile)
+    return summarize_elastic(digests), digests

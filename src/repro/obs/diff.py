@@ -71,6 +71,11 @@ def diff_runs(
     }
     availability = [0.0, 0.0]
     unaligned_windows = 0
+    # Migration-window exposure per side (counted over *all* windows of
+    # the side, aligned or not — a run that migrates more is visible
+    # even when the other run ended earlier).
+    migration_windows = [0, 0]
+    migration_bad = [0.0, 0.0]
 
     for tenant in common:
         a = slo_a[tenant]
@@ -94,6 +99,11 @@ def diff_runs(
 
         windows_a = a["windows"]
         windows_b = b["windows"]
+        for side, windows in ((0, windows_a), (1, windows_b)):
+            for window in windows:
+                if window["phase"] == "migration":
+                    migration_windows[side] += 1
+                    migration_bad[side] += window["bad_seconds"]
         aligned = min(len(windows_a), len(windows_b))
         unaligned_windows += (
             len(windows_a) - aligned + len(windows_b) - aligned
@@ -182,6 +192,12 @@ def diff_runs(
             }
             for phase, bucket in sorted(phases.items())
         },
+        "migration_windows": {
+            "windows": _pair(
+                float(migration_windows[0]), float(migration_windows[1])
+            ),
+            "bad_seconds": _pair(migration_bad[0], migration_bad[1]),
+        },
         "verdict_changes": verdict_changes,
         "top_movers": movers[:_TOP_MOVERS],
     }
@@ -225,6 +241,18 @@ def render_diff(diff: Mapping[str, Any]) -> str:
             f" {_fmt(bucket['output']['delta']):>10}"
             f" {_fmt(bucket['drops']['delta']):>8}"
             f" {_fmt(bucket['lat_p95']['delta']):>10}"
+        )
+    migration = diff.get("migration_windows")
+    if migration is not None:
+        windows = migration["windows"]
+        bad = migration["bad_seconds"]
+        lines.append("")
+        lines.append("-- migration windows (A -> B) --")
+        lines.append(
+            f"  windows {_fmt(windows['a'])} -> {_fmt(windows['b'])}"
+            f" (delta {_fmt(windows['delta'])});"
+            f" bad_seconds {_fmt(bad['a'])} -> {_fmt(bad['b'])}"
+            f" (delta {_fmt(bad['delta'])})"
         )
     if diff["verdict_changes"]:
         lines.append("")

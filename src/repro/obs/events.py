@@ -67,6 +67,20 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     # both execution modes when a control action forces tuple-granular
     # processing for a settle window.
     "batch.fallback": frozenset({"reason", "until"}),
+    # Runtime elasticity (repro.elastic): live migrations and host
+    # lifecycle. ``migration.start`` names the replica being attached
+    # (or detached, for removals) so streaming consumers can track the
+    # dynamic membership without a deployment re-read.
+    "migration.start": frozenset(
+        {"migration", "pe", "action", "replica", "src", "dst"}
+    ),
+    "migration.transfer": frozenset({"migration", "pe", "replica", "seconds"}),
+    "migration.cutover": frozenset({"migration", "pe", "from", "to"}),
+    "migration.done": frozenset({"migration", "pe", "action", "lost"}),
+    "migration.abort": frozenset({"migration", "pe", "reason"}),
+    "host.cordon": frozenset({"host"}),
+    "host.drain": frozenset({"host", "residents"}),
+    "host.reclaim": frozenset({"host", "cores"}),
     # replication control
     "replica.activate": frozenset({"replica"}),
     "replica.deactivate": frozenset({"replica"}),

@@ -68,7 +68,9 @@ __all__ = [
 _EPS = 1e-9
 
 #: Event types that change replica liveness/activation (and, for the
-#: floor tracker, the input configuration).
+#: floor tracker, the input configuration). Migration events are state
+#: events too: they change the *membership* a PE's coverage is judged
+#: over (see :class:`_Liveness`).
 _STATE_EVENTS = frozenset(
     {
         "replica.crash",
@@ -78,6 +80,10 @@ _STATE_EVENTS = frozenset(
         "replica.activate",
         "replica.deactivate",
         "config.switch",
+        "migration.start",
+        "migration.cutover",
+        "migration.abort",
+        "migration.done",
     }
 )
 
@@ -85,6 +91,20 @@ _STATE_EVENTS = frozenset(
 _FAILURE_EVENTS = frozenset({"replica.crash", "host.crash", "host.degrade"})
 _REPLAN_EVENTS = frozenset({"config.switch", "fleet.replan"})
 _DROP_EVENTS = frozenset({"tuple.drop", "queue.overflow"})
+#: Events that attribute a window to the ``migration`` phase (below
+#: failover/failure, above replan) and track open migration windows.
+_MIGRATION_EVENTS = frozenset(
+    {
+        "migration.start",
+        "migration.transfer",
+        "migration.cutover",
+        "migration.done",
+        "migration.abort",
+        "host.cordon",
+        "host.drain",
+        "host.reclaim",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -148,15 +168,51 @@ class _Liveness:
             }
         else:
             self.active = dict(initial_active)
-        self.by_pe: dict[str, tuple[ReplicaId, ...]] = {
-            pe: deployment.replicas_of(pe)
+        # Membership and placement are *dynamic*: migrations attach and
+        # detach replicas at runtime, so both are learned from the event
+        # stream on top of the deployment's static seed.
+        self.by_pe: dict[str, list[ReplicaId]] = {
+            pe: list(deployment.replicas_of(pe))
             for pe in deployment.descriptor.graph.pes
         }
+        self.host_of: dict[ReplicaId, str] = {
+            replica: deployment.host_of(replica)
+            for replica in deployment.replicas
+        }
+        # Open migrations: id -> the replica being attached, so an
+        # abort knows which member to roll back out of the set.
+        self._migrations: dict[str, ReplicaId] = {}
 
     @staticmethod
     def parse_replica(text: str) -> ReplicaId:
         pe, _, index = text.partition("#")
         return ReplicaId(pe, int(index))
+
+    def _residents(self, host: str) -> list[ReplicaId]:
+        return sorted(
+            replica
+            for replica, name in self.host_of.items()
+            if name == host
+        )
+
+    def _attach(self, replica: ReplicaId, host: str) -> None:
+        members = self.by_pe.setdefault(replica.pe, [])
+        if replica not in members:
+            members.append(replica)
+            members.sort()
+        self.alive[replica] = True
+        self.active.setdefault(replica, False)
+        self.host_of[replica] = host
+
+    def _detach(self, replica: ReplicaId) -> None:
+        members = self.by_pe.get(replica.pe)
+        if members is not None and replica in members:
+            members.remove(replica)
+        self.host_of.pop(replica, None)
+        # Forget its flags too: a replica that died mid-migration and
+        # was rolled back must not read as "degraded" forever after.
+        self.alive.pop(replica, None)
+        self.active.pop(replica, None)
 
     def apply(self, type_: str, fields: Mapping[str, Any]) -> None:
         if type_ == "replica.crash":
@@ -164,15 +220,31 @@ class _Liveness:
         elif type_ == "replica.recover":
             self.alive[self.parse_replica(fields["replica"])] = True
         elif type_ == "host.crash":
-            for replica in self.deployment.replicas_on(fields["host"]):
+            for replica in self._residents(fields["host"]):
                 self.alive[replica] = False
         elif type_ == "host.recover":
-            for replica in self.deployment.replicas_on(fields["host"]):
+            for replica in self._residents(fields["host"]):
                 self.alive[replica] = True
         elif type_ == "replica.activate":
             self.active[self.parse_replica(fields["replica"])] = True
         elif type_ == "replica.deactivate":
             self.active[self.parse_replica(fields["replica"])] = False
+        elif type_ == "migration.start":
+            replica = self.parse_replica(fields["replica"])
+            action = fields["action"]
+            if action in ("move", "add"):
+                self._attach(replica, fields["dst"])
+                self._migrations[fields["migration"]] = replica
+            elif action == "remove":
+                self._detach(replica)
+        elif type_ == "migration.cutover":
+            self._detach(self.parse_replica(fields["from"]))
+        elif type_ == "migration.abort":
+            replica = self._migrations.pop(fields["migration"], None)
+            if replica is not None:
+                self._detach(replica)
+        elif type_ == "migration.done":
+            self._migrations.pop(fields["migration"], None)
 
     def covered(self, pe: str) -> bool:
         alive = self.alive
@@ -407,7 +479,9 @@ class SloEngine:
         self._window_failover_end = False
         self._window_failures = False
         self._window_replans = False
+        self._window_migrations = False
         self._open_failovers = 0
+        self._open_migrations = 0
         # Run-level accumulators.
         self._bad_history: list[float] = []
         self._alert_on = False
@@ -449,6 +523,8 @@ class SloEngine:
                 self._window_failures = True
             elif type_ in _REPLAN_EVENTS:
                 self._window_replans = True
+            elif type_ in _MIGRATION_EVENTS:
+                self._note_migration(type_)
         elif type_ == "span.start":
             if event.fields.get("name") == "failover":
                 self._window_failovers += 1
@@ -463,6 +539,15 @@ class SloEngine:
             self._window_failures = True
         elif type_ in _REPLAN_EVENTS:
             self._window_replans = True
+        elif type_ in _MIGRATION_EVENTS:
+            self._note_migration(type_)
+
+    def _note_migration(self, type_: str) -> None:
+        self._window_migrations = True
+        if type_ == "migration.start":
+            self._open_migrations += 1
+        elif type_ in ("migration.done", "migration.abort"):
+            self._open_migrations = max(0, self._open_migrations - 1)
 
     # ------------------------------------------------------------------
     # Window rollup
@@ -506,7 +591,9 @@ class SloEngine:
 
         # Phase attribution, most disruptive first. A window counts as
         # "failover" if a failover span started, ended, or stayed open
-        # anywhere inside it.
+        # anywhere inside it; "migration" likewise covers windows a
+        # migration protocol touched or spanned (planned churn, ranked
+        # below unplanned failure but above a mere replan).
         if (
             self._window_failovers
             or self._window_failover_end
@@ -515,6 +602,8 @@ class SloEngine:
             phase = "failover"
         elif self._window_failures or self._availability.degraded():
             phase = "failure"
+        elif self._window_migrations or self._open_migrations > 0:
+            phase = "migration"
         elif self._window_replans:
             phase = "replan"
         else:
@@ -570,6 +659,7 @@ class SloEngine:
         self._window_failover_end = False
         self._window_failures = False
         self._window_replans = False
+        self._window_migrations = False
 
     def _check_burn(self, bad_fraction: float) -> None:
         cfg = self._config

@@ -127,7 +127,10 @@ class TestSweep:
             for digest in sweep
             for injection in digest["schedule"]
         }
-        assert kinds == set(INJECTION_KINDS)
+        # migration_strike needs a live MigrationEngine, so it is not
+        # part of the generator's draw (and seeded schedules predating
+        # it stay stable); everything else must be covered.
+        assert kinds == set(INJECTION_KINDS) - {"migration_strike"}
 
     def test_no_campaign_loses_events(self, sweep):
         assert all(digest["events_evicted"] == 0 for digest in sweep)

@@ -243,3 +243,90 @@ class TestApplyInjection:
                     ),
                 ),
             )
+
+
+class TestMigrationStrike:
+    def _build(self, pipeline_descriptor):
+        from repro.core import Host
+        from repro.dsps import StreamPlatform, two_level_trace
+        from repro.elastic import MigrationEngine
+        from repro.placement import balanced_placement
+
+        hosts = [
+            Host(f"h{i}", cores=4, cycles_per_core=1.0e9)
+            for i in range(3)
+        ]
+        deployment = balanced_placement(
+            pipeline_descriptor, hosts, replication_factor=2
+        )
+        platform = StreamPlatform(
+            deployment,
+            {"src": two_level_trace(4.0, 8.0, duration=10.0)},
+        )
+        return platform, MigrationEngine(platform)
+
+    def _free_host(self, platform, pe):
+        taken = {
+            m.host.name for m in platform.group(pe).members
+        }
+        return sorted(
+            h.name
+            for h in platform.deployment.hosts
+            if h.name not in taken
+        )[0]
+
+    def test_requires_the_migration_engine(self, pipeline_descriptor):
+        from repro.chaos.injectors import apply_injection
+
+        platform, _engine = self._build(pipeline_descriptor)
+        injection = Injection.build(
+            "migration_strike", at=2.5, downtime=1.0
+        )
+        with pytest.raises(ChaosError, match="migration engine"):
+            apply_injection(platform, injection)
+
+    def test_strike_aborts_the_open_window(self, pipeline_descriptor):
+        from repro.chaos.injectors import apply_injection
+
+        platform, engine = self._build(pipeline_descriptor)
+        src = sorted(
+            m.host.name for m in platform.group("pe1").members
+        )[0]
+        dst = self._free_host(platform, "pe1")
+        platform.env.schedule_at(
+            2.0, lambda: engine.migrate("pe1", src, dst)
+        )
+        # Transfer 0.05s then a 1s dual window: 2.5 lands inside it.
+        apply_injection(
+            platform,
+            Injection.build("migration_strike", at=2.5, downtime=1.0),
+            engine=engine,
+        )
+        platform.run()
+        assert engine.aborted == 1
+        assert engine.completed == 0
+        types = [
+            json.loads(line)["type"]
+            for line in platform.telemetry.events.to_jsonl().splitlines()
+        ]
+        assert "chaos.inject" in types
+        assert "migration.abort" in types
+
+    def test_no_open_window_is_a_deterministic_noop(
+        self, pipeline_descriptor
+    ):
+        from repro.chaos.injectors import apply_injection
+
+        platform, engine = self._build(pipeline_descriptor)
+        apply_injection(
+            platform,
+            Injection.build("migration_strike", at=2.5, downtime=1.0),
+            engine=engine,
+        )
+        platform.run()
+        assert engine.attempted == 0
+        types = [
+            json.loads(line)["type"]
+            for line in platform.telemetry.events.to_jsonl().splitlines()
+        ]
+        assert "host.crash" not in types

@@ -350,3 +350,131 @@ class TestConservationAndLog:
         assert not result.ok
         assert result.first().invariant == "log-complete"
         assert "12" in result.first().detail
+
+
+class TestMigrationInvariants:
+    def _move_events(self, *extra):
+        return _events(
+            {
+                "t": 2.0, "type": "migration.start", "migration": "m0",
+                "pe": "pe1", "action": "move", "replica": "pe1#2",
+                "src": "h0", "dst": "h1",
+            },
+            *extra,
+        )
+
+    def test_aborted_migration_rolls_back_cleanly(
+        self, pipeline_deployment
+    ):
+        result = _check(
+            pipeline_deployment,
+            self._move_events(
+                {
+                    "t": 3.0, "type": "migration.abort",
+                    "migration": "m0", "pe": "pe1",
+                    "reason": "host.crash:h1",
+                },
+            ),
+        )
+        assert result.ok
+        assert result.stats["migrations_seen"] == 1
+
+    def test_election_of_rolled_back_replica_is_flagged(
+        self, pipeline_deployment
+    ):
+        result = _check(
+            pipeline_deployment,
+            self._move_events(
+                {
+                    "t": 3.0, "type": "migration.abort",
+                    "migration": "m0", "pe": "pe1",
+                    "reason": "host.crash:h1",
+                },
+                {
+                    "t": 4.0, "type": "primary.elected",
+                    "pe": "pe1", "replica": "pe1#2",
+                },
+            ),
+        )
+        assert not result.ok
+        assert [v.invariant for v in result.violations] == [
+            "migration-rollback"
+        ]
+
+    def test_election_after_completed_migration_is_fine(
+        self, pipeline_deployment
+    ):
+        result = _check(
+            pipeline_deployment,
+            self._move_events(
+                {
+                    "t": 3.0, "type": "migration.cutover",
+                    "migration": "m0", "pe": "pe1",
+                    "from": "pe1#0", "to": "pe1#2",
+                },
+                {
+                    "t": 3.5, "type": "migration.done",
+                    "migration": "m0", "pe": "pe1", "action": "move",
+                    "lost": 0,
+                },
+                {
+                    "t": 4.0, "type": "primary.elected",
+                    "pe": "pe1", "replica": "pe1#2",
+                },
+            ),
+        )
+        assert result.ok
+
+    def test_open_window_holds_the_worse_floor(self, pipeline_deployment):
+        from repro.chaos.invariants import _Replay
+
+        state = _Replay(
+            pipeline_deployment,
+            ActivationStrategy.all_active(pipeline_deployment),
+            initial_config=0,
+            command_latency=0.05,
+        )
+        floors = {0: 0.9, 1: 0.4}
+        assert state.migration_floor(floors) == 0.9
+        state.apply(
+            2.0,
+            "migration.start",
+            {
+                "migration": "m0", "pe": "pe1", "action": "move",
+                "replica": "pe1#2", "src": "h0", "dst": "h1",
+            },
+        )
+        # The window opened in config 0; after a switch to config 1 the
+        # interval is held to the worse of the two deployments' floors.
+        state.apply(2.5, "config.switch", {"to": 1})
+        assert state.migration_floor(floors) == 0.4
+        state.apply(2.6, "config.switch", {"to": 0})
+        floors_flipped = {0: 0.4, 1: 0.9}
+        state.apply(
+            2.7,
+            "migration.done",
+            {"migration": "m0", "pe": "pe1", "action": "move", "lost": 0},
+        )
+        assert state.migration_floor(floors_flipped) == 0.4
+
+    def test_remove_shrinks_membership(self, pipeline_deployment):
+        result = _check(
+            pipeline_deployment,
+            _events(
+                {
+                    "t": 2.0, "type": "migration.start",
+                    "migration": "m0", "pe": "pe1", "action": "remove",
+                    "replica": "pe1#1", "src": "h1", "dst": "",
+                },
+                {
+                    "t": 2.0, "type": "migration.done",
+                    "migration": "m0", "pe": "pe1", "action": "remove",
+                    "lost": 0,
+                },
+                # The removed replica's host crashing later must not
+                # count against pe1 — it no longer lives there.
+                {"t": 5.0, "type": "host.crash", "host": "h1"},
+                {"t": 6.0, "type": "host.recover", "host": "h1"},
+            ),
+        )
+        assert result.ok

@@ -1,0 +1,1 @@
+"""Tests for the runtime elasticity layer (repro.elastic)."""

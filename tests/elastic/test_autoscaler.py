@@ -1,0 +1,185 @@
+"""Tests for the per-tenant autoscaler (repro.elastic.autoscaler)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Host
+from repro.dsps import PlatformConfig, StreamPlatform, two_level_trace
+from repro.elastic import Autoscaler, AutoscalerPolicy, MigrationEngine
+from repro.errors import SimulationError
+from repro.placement import balanced_placement
+
+GIGA = 1.0e9
+
+PEAK_START = 4.0
+PEAK_END = 8.0
+DURATION = 14.0
+
+
+def build(pipeline_descriptor, *, batching=False, hosts=3):
+    pool = [
+        Host(f"h{i}", cores=4, cycles_per_core=GIGA) for i in range(hosts)
+    ]
+    deployment = balanced_placement(
+        pipeline_descriptor, pool, replication_factor=2
+    )
+    trace = two_level_trace(
+        4.0,
+        8.0,
+        duration=DURATION,
+        high_fraction=(PEAK_END - PEAK_START) / DURATION,
+        high_position=PEAK_START / (DURATION - (PEAK_END - PEAK_START)),
+    )
+    platform = StreamPlatform(
+        deployment,
+        {"src": trace},
+        config=PlatformConfig(batching=batching),
+    )
+    return platform, MigrationEngine(platform)
+
+
+def scaler(platform, engine, policy=None, chost=None):
+    return Autoscaler(
+        platform,
+        engine,
+        peak_start=PEAK_START,
+        peak_end=PEAK_END,
+        horizon=DURATION + 2.0,
+        policy=policy,
+        consolidation_host=chost,
+    )
+
+
+def event_types(platform):
+    return [
+        json.loads(line)["type"]
+        for line in platform.telemetry.events.to_jsonl().splitlines()
+    ]
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AutoscalerPolicy(tick=0.0)
+        with pytest.raises(SimulationError):
+            AutoscalerPolicy(trough_parallelism=0)
+        with pytest.raises(SimulationError):
+            AutoscalerPolicy(peak_parallelism=1, trough_parallelism=2)
+
+    def test_consolidation_needs_a_host(self, pipeline_descriptor):
+        platform, engine = build(pipeline_descriptor)
+        with pytest.raises(SimulationError, match="consolidation_host"):
+            scaler(
+                platform,
+                engine,
+                policy=AutoscalerPolicy(consolidate=True),
+            )
+
+    def test_desired_parallelism_window(self, pipeline_descriptor):
+        platform, engine = build(pipeline_descriptor)
+        control = scaler(platform, engine)
+        policy = AutoscalerPolicy()
+        assert control.desired_parallelism(0.0) == policy.trough_parallelism
+        assert (
+            control.desired_parallelism(PEAK_START - policy.lead)
+            == policy.peak_parallelism
+        )
+        assert (
+            control.desired_parallelism(PEAK_END + policy.lag)
+            == policy.trough_parallelism
+        )
+
+
+class TestControlLoop:
+    def test_scales_up_for_peak_and_down_after(self, pipeline_descriptor):
+        platform, engine = build(pipeline_descriptor)
+        control = scaler(platform, engine)
+        control.start()
+        platform.run()
+        assert control.scale_ups > 0
+        assert control.scale_downs > 0
+        # After the run the fleet is back in trough shape.
+        for pe in ("pe1", "pe2"):
+            active = sum(
+                1 for m in platform.group(pe).members if m.active
+            )
+            assert active == 1
+
+    def test_consolidation_drains_and_expands(self, pipeline_descriptor):
+        platform, engine = build(pipeline_descriptor)
+        pe1_hosts = {
+            m.host.name for m in platform.group("pe1").members
+        }
+        chost = min(
+            h.name
+            for h in platform.deployment.hosts
+            if h.name not in pe1_hosts
+        )
+        # Park a standby on the consolidation host so there is
+        # something for the night shift to remove.
+        engine.add_replica("pe1", chost)
+        control = scaler(
+            platform,
+            engine,
+            policy=AutoscalerPolicy(consolidate=True),
+            chost=chost,
+        )
+        control.start()
+        platform.run()
+        assert control.consolidations >= 1
+        assert control.expansions >= 1
+        types = event_types(platform)
+        assert "host.drain" in types
+        assert "host.reclaim" in types
+
+    def test_reactive_cover_guard(self, pipeline_descriptor):
+        platform, engine = build(pipeline_descriptor)
+        control = scaler(platform, engine)
+        control.start()
+
+        def kill_active_cover():
+            # In the trough only one replica per PE is active; crash
+            # its host so the guard must re-activate a standby.
+            for member in platform.group("pe1").members:
+                if member.active and member.alive:
+                    platform.crash_host(member.host.name)
+                    return
+
+        platform.env.schedule_at(1.5, kill_active_cover)
+        platform.run()
+        assert control.reactivations > 0
+
+    def test_every_action_passes_the_proof(self, pipeline_descriptor):
+        platform, engine = build(pipeline_descriptor, hosts=2)
+        control = scaler(platform, engine)
+        control.start()
+        # Crash one of the two hosts over the scale-down boundary: the
+        # calendar wants parallelism 1, the proof must keep refusing
+        # while the survivor is the only cover.
+        platform.env.schedule_at(8.2, lambda: platform.crash_host("h0"))
+        platform.env.schedule_at(11.0, lambda: platform.recover_host("h0"))
+        platform.run()
+        for pe in ("pe1", "pe2"):
+            assert any(
+                m.alive and m.active
+                for m in platform.group(pe).members
+            )
+
+    def test_batched_matches_tuple_granular(self, pipeline_descriptor):
+        logs = []
+        for batching in (False, True):
+            platform, engine = build(
+                pipeline_descriptor, batching=batching
+            )
+            control = scaler(
+                platform,
+                engine,
+                policy=AutoscalerPolicy(rebalance=True),
+            )
+            control.start()
+            platform.run()
+            logs.append(platform.telemetry.events.to_jsonl())
+        assert logs[0] == logs[1]

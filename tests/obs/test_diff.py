@@ -172,3 +172,44 @@ class TestRenderDiff:
         text = render_diff(diff_runs(doc, doc))
         assert "(delta 0)" in text
         assert "verdict changes" not in text
+
+
+class TestMigrationWindows:
+    def test_counts_per_side_including_unaligned(self):
+        doc_a = _doc(
+            _tenant("0", [_window(0), _window(1, phase="migration", bad=0.5)])
+        )
+        doc_b = _doc(
+            _tenant(
+                "0",
+                [
+                    _window(0, phase="migration", bad=1.0),
+                    _window(1, phase="migration", bad=0.25),
+                    _window(2, phase="migration", bad=0.25),
+                ],
+            )
+        )
+        diff = diff_runs(doc_a, doc_b)
+        migration = diff["migration_windows"]
+        assert migration["windows"]["a"] == 1
+        assert migration["windows"]["b"] == 3
+        assert migration["windows"]["delta"] == 2
+        assert migration["bad_seconds"]["a"] == 0.5
+        assert migration["bad_seconds"]["b"] == 1.5
+        assert migration["bad_seconds"]["delta"] == 1.0
+
+    def test_zero_when_no_migration_phase(self):
+        doc = _doc(_tenant("0", [_window(0), _window(1, phase="failover")]))
+        diff = diff_runs(doc, doc)
+        assert diff["migration_windows"]["windows"] == {
+            "a": 0,
+            "b": 0,
+            "delta": 0,
+        }
+
+    def test_rendered_section_present(self):
+        doc_a = _doc(_tenant("0", [_window(0)]))
+        doc_b = _doc(_tenant("0", [_window(0, phase="migration", bad=0.5)]))
+        text = render_diff(diff_runs(doc_a, doc_b))
+        assert "-- migration windows (A -> B) --" in text
+        assert "windows 0 -> 1 (delta 1)" in text

@@ -197,3 +197,69 @@ class TestObservedRuns:
         )
         assert digests[0]["slo"]["n_windows"] > 0
         assert digests[0]["log_complete"] is True
+
+
+def _elastic_params():
+    """Migration-heavy slice: every tenant autoscales around its
+    diurnal peak, tenant 0/4 consolidate a host at night, tenant 1/5
+    run a live rebalance move, and tenant 1's scripted host kill lands
+    inside its open migration window (the chaos-mid-migration path)."""
+    from repro.elastic import ElasticParams
+
+    return ElasticParams(tenants=8, chaos_every=4, duration=12.0)
+
+
+def _elastic_digests(batching: bool) -> list[dict]:
+    from repro.elastic import ElasticTask, run_elastic_tenant
+
+    params = _elastic_params()
+    return [
+        run_elastic_tenant(ElasticTask(params, tenant, batching=batching))
+        for tenant in range(params.tenants)
+    ]
+
+
+@pytest.fixture(scope="module")
+def elastic_pair() -> tuple[list[dict], list[dict]]:
+    return (_elastic_digests(False), _elastic_digests(True))
+
+
+class TestElasticDataplane:
+    """The byte-identity contract holds across live migrations."""
+
+    def test_digests_identical_modulo_engine(self, elastic_pair):
+        tuple_mode, batched = elastic_pair
+        for t_digest, b_digest in zip(tuple_mode, batched):
+            t_clean = _without_engine(dict(t_digest, batching=None))
+            b_clean = _without_engine(dict(b_digest, batching=None))
+            assert t_clean == b_clean, t_digest["tenant"]
+
+    def test_fleet_sha_identical_and_clean(self, elastic_pair):
+        from repro.elastic import summarize_elastic
+
+        tuple_mode, batched = elastic_pair
+        t_summary = summarize_elastic(tuple_mode)
+        b_summary = summarize_elastic(batched)
+        assert t_summary["fleet_sha256"] == b_summary["fleet_sha256"]
+        assert t_summary["ok"] and b_summary["ok"]
+        assert t_summary["elastic"]["migrations"] > 0
+        assert t_summary["elastic"]["aborted"] > 0, (
+            "the chaos-mid-migration slot must abort at least one"
+            " migration"
+        )
+
+    def test_worker_count_does_not_change_elastic_streams(
+        self, elastic_pair
+    ):
+        from repro.elastic import summarize_elastic
+        from repro.elastic.scenario import run_elastic_fleet
+
+        _, batched = elastic_pair
+        summary, digests = run_elastic_fleet(
+            dataclasses.replace(_elastic_params(), batching=True), jobs=4
+        )
+        expected = summarize_elastic(batched)["fleet_sha256"]
+        assert summary["fleet_sha256"] == expected
+        assert json.dumps(digests, sort_keys=True) == json.dumps(
+            batched, sort_keys=True
+        )

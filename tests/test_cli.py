@@ -309,3 +309,74 @@ class TestObs:
         )
         assert code == 2
         assert "unknown failure mode" in capsys.readouterr().err
+
+
+class TestElastic:
+    def test_elastic_writes_artifact_and_valid_events(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "elastic"
+        code = main(
+            [
+                "elastic",
+                "--tenants", "4",
+                "--duration", "10",
+                "--jobs", "1",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elastic (batched):" in out
+        assert "migrations" in out
+        assert "fleet sha256:" in out
+
+        from repro.obs.validate import validate_file
+
+        document = json.loads((out_dir / "elastic.json").read_text())
+        assert document["fleet"]["ok"] is True
+        assert document["fleet"]["elastic"]["migrations"] > 0
+        assert len(document["tenants"]) == 4
+        for entry in document["tenants"]:
+            path = out_dir / f"events-{entry['tenant']}.jsonl"
+            assert path.exists()
+            assert validate_file(path) == []
+
+    def test_fleet_elastic_flag_runs_autoscaled_dataplane(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "fleet-elastic"
+        code = main(
+            [
+                "fleet", "--dataplane", "--elastic",
+                "--tenants", "4",
+                "--duration", "8",
+                "--jobs", "1",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elastic dataplane (batched):" in out
+        summary = json.loads((out_dir / "dataplane.json").read_text())
+        assert summary["ok"] is True
+        assert summary["elastic"]["migrations"] > 0
+
+    def test_elastic_batched_and_tuple_granular_agree(self, tmp_path):
+        shas = []
+        for index, extra in enumerate(([], ["--tuple-granular"])):
+            out_dir = tmp_path / f"mode-{index}"
+            code = main(
+                [
+                    "elastic",
+                    "--tenants", "2",
+                    "--duration", "8",
+                    "--jobs", "1",
+                    "--out-dir", str(out_dir),
+                    *extra,
+                ]
+            )
+            assert code == 0
+            document = json.loads((out_dir / "elastic.json").read_text())
+            shas.append(document["fleet"]["fleet_sha256"])
+        assert shas[0] == shas[1]
