@@ -1,9 +1,17 @@
-"""FT-Search core microbenchmark: fast core vs reference implementation.
+"""FT-Search core microbenchmark: scalar, vectorized, parallel engines.
 
-Runs both engines on one pinned, fully-exhaustible instance (no time
-budget, so the node count is deterministic and identical for both — the
-equivalence property tests guarantee it) and reports nodes expanded per
-second. Writes ``BENCH_ftsearch.json`` next to this script.
+Runs four engines on one pinned, fully-exhaustible instance (no time
+budget) and reports nodes expanded per second:
+
+* ``FTSearch`` (the fast scalar core) vs ``ReferenceFTSearch`` — these
+  two are bit-identical, so their node counts must match exactly and
+  their progress snapshot series is checked byte-for-byte.
+* ``VectorFTSearch`` (``jobs=1``) and the multi-process driver
+  (``jobs=4``) — these promise *cost and strategy* equality only
+  (node counts are engine-specific), asserted here against the
+  reference result on every run.
+
+Writes ``BENCH_ftsearch.json`` next to this script.
 
 Usage::
 
@@ -19,13 +27,18 @@ import argparse
 import json
 import time
 from pathlib import Path
+from typing import Any, Callable, Optional
 
 from repro.core.optimizer import (
     FTSearch,
     FTSearchConfig,
     OptimizationProblem,
     ReferenceFTSearch,
+    SearchResult,
+    VectorFTSearch,
+    ft_search,
 )
+from repro.core.optimizer.parallel import shutdown
 from repro.obs.progress import SearchProgress
 from repro.workloads.generator import (
     ClusterParams,
@@ -41,6 +54,11 @@ OUT_PATH = Path(__file__).parent / "BENCH_ftsearch.json"
 FULL = dict(seed=2, n_pes=10, n_hosts=4, cores_per_host=5, ic_target=0.6)
 SMOKE = dict(seed=2014, n_pes=6, n_hosts=3, cores_per_host=4, ic_target=0.6)
 
+#: Worker count for the parallel-driver measurement. Efficiency is
+#: reported against the vectorized serial engine, so an oversubscribed
+#: runner shows up as a low number rather than a bogus speedup.
+PARALLEL_JOBS = 4
+
 
 def _instance(spec: dict) -> OptimizationProblem:
     app = generate_application(
@@ -54,24 +72,52 @@ def _instance(spec: dict) -> OptimizationProblem:
     return OptimizationProblem(app.deployment, ic_target=spec["ic_target"])
 
 
-def _time_engine(engine_cls, problem, rounds: int) -> tuple[float, int]:
-    """Best-of-``rounds`` wall time and the (deterministic) node count."""
-    config = FTSearchConfig(time_limit=None)
+def _activation_matrix(strategy: Any) -> Optional[tuple]:
+    """Engine-agnostic strategy fingerprint: active PEs per config."""
+    if strategy is None:
+        return None
+    n_configs = len(strategy.deployment.descriptor.configuration_space)
+    return tuple(
+        tuple(sorted(strategy.active_map(c).items()))
+        for c in range(n_configs)
+    )
+
+
+def _assert_same_optimum(
+    result: SearchResult, oracle: SearchResult, engine: str
+) -> None:
+    """Cost/strategy equality — the vector/parallel engines' contract."""
+    assert result.outcome is oracle.outcome, engine
+    assert result.best_cost == oracle.best_cost, engine
+    assert result.best_ic == oracle.best_ic, engine
+    assert _activation_matrix(result.strategy) == _activation_matrix(
+        oracle.strategy
+    ), engine
+
+
+def _time_runs(
+    run: Callable[[], SearchResult], rounds: int
+) -> tuple[float, int, SearchResult]:
+    """Best-of-``rounds`` wall time, that round's node count, a result."""
     best = float("inf")
     nodes = 0
+    result: Optional[SearchResult] = None
     for _ in range(rounds):
         start = time.perf_counter()
-        result = engine_cls(problem, config).run()
+        result = run()
         elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-        nodes = result.stats.nodes_expanded
-    return best, nodes
+        if elapsed < best:
+            best = elapsed
+            nodes = result.stats.nodes_expanded
+    assert result is not None
+    return best, nodes, result
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--smoke", action="store_true",
+        "--smoke",
+        action="store_true",
         help="tiny instance, one round: harness sanity check only",
     )
     parser.add_argument("--rounds", type=int, default=None)
@@ -80,15 +126,43 @@ def main() -> int:
     spec = SMOKE if args.smoke else FULL
     rounds = args.rounds or (1 if args.smoke else 3)
     problem = _instance(spec)
+    config = FTSearchConfig(time_limit=None)
 
-    fast_time, fast_nodes = _time_engine(FTSearch, problem, rounds)
-    ref_time, ref_nodes = _time_engine(ReferenceFTSearch, problem, rounds)
-    assert fast_nodes == ref_nodes, "engines diverged — run the equivalence tests"
+    fast_time, fast_nodes, _ = _time_runs(
+        lambda: FTSearch(problem, config).run(), rounds
+    )
+    ref_time, ref_nodes, ref_result = _time_runs(
+        lambda: ReferenceFTSearch(problem, config).run(), rounds
+    )
+    assert fast_nodes == ref_nodes, (
+        "scalar engines diverged — run the equivalence tests"
+    )
+
+    # The vectorized serial engine: same optimum, engine-specific node
+    # count (block folding changes the incumbent discovery order).
+    vec_time, vec_nodes, vec_result = _time_runs(
+        lambda: VectorFTSearch(problem, config).run(), rounds
+    )
+    _assert_same_optimum(vec_result, ref_result, "vector")
+
+    # The multi-process driver: one discarded warm-up run forks the
+    # persistent pool so the timed rounds measure search, not fork.
+    try:
+        ft_search(problem, time_limit=None, jobs=PARALLEL_JOBS)
+        par_time, par_nodes, par_result = _time_runs(
+            lambda: ft_search(
+                problem, time_limit=None, jobs=PARALLEL_JOBS
+            ),
+            rounds,
+        )
+    finally:
+        shutdown()
+    _assert_same_optimum(par_result, ref_result, "parallel")
 
     # A separate instrumented run (outside the timing loops): progress
-    # snapshots every N nodes, checked bit-identical across the engines.
+    # snapshots every N nodes, checked bit-identical across the scalar
+    # engines.
     every = max(1, fast_nodes // 8)
-    config = FTSearchConfig(time_limit=None)
     fast_progress = SearchProgress(every=every)
     ref_progress = SearchProgress(every=every)
     FTSearch(problem, config, progress=fast_progress).run()
@@ -107,6 +181,17 @@ def main() -> int:
         "fast_nodes_per_sec": round(fast_nodes / fast_time),
         "reference_nodes_per_sec": round(ref_nodes / ref_time),
         "speedup": round(ref_time / fast_time, 2),
+        "vector_seconds": round(vec_time, 4),
+        "vector_nodes_expanded": vec_nodes,
+        "vector_nodes_per_sec": round(vec_nodes / vec_time),
+        "vector_speedup": round(fast_time / vec_time, 2),
+        "parallel_jobs": PARALLEL_JOBS,
+        "parallel_seconds": round(par_time, 4),
+        "parallel_nodes_expanded": par_nodes,
+        "parallel_nodes_per_sec": round(par_nodes / par_time),
+        "efficiency": round(
+            vec_time / (par_time * PARALLEL_JOBS), 3
+        ),
         "progress_every": every,
         "progress_snapshots": fast_progress.to_list(),
     }

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Optional
@@ -31,6 +32,18 @@ HEADLINE = {
         (
             "fast_nodes_per_sec",
             lambda report: report.get("fast_nodes_per_sec"),
+        ),
+        (
+            "vector_nodes_per_sec",
+            lambda report: report.get("vector_nodes_per_sec"),
+        ),
+        (
+            "parallel_nodes_per_sec",
+            lambda report: report.get("parallel_nodes_per_sec"),
+        ),
+        (
+            "efficiency",
+            lambda report: report.get("efficiency"),
         ),
     ],
     "BENCH_experiments": [
@@ -182,6 +195,32 @@ def render_table(rows: list[dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def render_markdown(rows: list[dict[str, Any]]) -> str:
+    """One markdown table row per metric, for ``$GITHUB_STEP_SUMMARY``."""
+
+    def fmt(value: Optional[float]) -> str:
+        return (
+            f"{value:,.1f}" if isinstance(value, (int, float)) else "-"
+        )
+
+    lines = [
+        "### Benchmark comparison",
+        "",
+        "| benchmark | metric | baseline | fresh | delta | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        delta = (
+            f"{row['delta']:+.1%}" if row["delta"] is not None else "-"
+        )
+        lines.append(
+            f"| {row['benchmark']} | {row['metric']}"
+            f" | {fmt(row['baseline'])} | {fmt(row['fresh'])}"
+            f" | {delta} | {row['status']} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -204,6 +243,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.baseline, args.fresh, args.threshold
     )
     print(render_table(rows))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(render_markdown(rows))
     if failures:
         print()
         for failure in failures:

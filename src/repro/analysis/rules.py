@@ -18,18 +18,23 @@ R5            unfrozen-spec          dataclasses crossing the fabric pickle
                                      boundary (``*Spec``) are ``frozen=True``
 R6            object-identity        no ``id()`` / builtin ``hash()`` on sim
                                      paths (both vary across processes)
-R7            import-fence           sim-path modules never import the
+R7            import-fence           fenced modules never import the
                                      process fabric or threading machinery
 R8            suppression            allow comments are well-formed, carry a
                                      reason, and actually suppress something
 ============  =====================  ==========================================
 
-Scoping: R1, R2, R3, R4, R5 and R8 apply to every scanned file; R6 and
-R7 apply only to sim-path modules (``repro.sim``, ``repro.dsps``,
+Scoping: R1, R2, R3, R4, R5 and R8 apply to every scanned file; R6
+applies only to sim-path modules (``repro.sim``, ``repro.dsps``,
 ``repro.laar``, ``repro.chaos``, ``repro.fleet``, ``repro.obs``).
-Legitimate exceptions are expressed per line with
-``# repro: allow[Rn] reason=...`` or per module in the allowlist file —
-never by editing the rule.
+R7 covers the sim path *and* ``repro.core``: the deterministic core is
+imported by every sim-path module, so a process-bearing import there
+would breach the fence transitively. The parallel-search driver is the
+one audited exception (see ``_R7_AUDITED_EXCEPTIONS``) — exact modules
+only, each reviewed so that importing its parent package never
+executes the cleared import. Legitimate exceptions elsewhere are
+expressed per line with ``# repro: allow[Rn] reason=...`` or per module
+in the allowlist file — never by editing the rule.
 """
 
 from __future__ import annotations
@@ -105,7 +110,7 @@ RULES: tuple[Rule, ...] = (
     Rule(
         "R7",
         "import-fence",
-        "sim modules never import the fabric",
+        "sim/core modules never import the fabric",
         sim_path_only=True,
     ),
     Rule("R8", "suppression", "allow comments are well-formed and used"),
@@ -529,16 +534,43 @@ def _check_object_identity(facts: FileFacts) -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
-# R7 — import fences around the sim path
+# R7 — import fences around the sim path and the deterministic core
 # ----------------------------------------------------------------------
 
 _BANNED_IMPORT_PREFIXES = (
     "repro.experiments",
+    "repro.core.optimizer.parallel",
     "multiprocessing",
     "concurrent",
     "threading",
     "subprocess",
 )
+
+#: Trees the fence covers beyond the sim path: the deterministic core
+#: is imported by every sim-path module, so a process-bearing import
+#: here would breach the fence transitively.
+_CORE_FENCED_PREFIXES = ("repro.core",)
+
+#: Audited R7 exceptions. Keys are *exact* modules (never prefixes —
+#: the audit does not extend to new files); values are the banned
+#: prefixes that module is cleared for, after review that importing its
+#: parent package never executes the cleared import:
+#:
+#: * ``repro.core.optimizer.parallel`` IS the process-bearing parallel
+#:   search driver; it owns the fabric pool and shared bound, and the
+#:   optimizer package's ``__init__`` deliberately does not import it.
+#: * ``repro.core.optimizer.ftsearch`` dispatches to the driver from a
+#:   function-local import inside ``ft_search`` (executed only when a
+#:   caller explicitly passes ``jobs=``), never at module import time.
+_R7_AUDITED_EXCEPTIONS: dict[str, tuple[str, ...]] = {
+    "repro.core.optimizer.parallel": (
+        "repro.experiments",
+        "multiprocessing",
+    ),
+    "repro.core.optimizer.ftsearch": (
+        "repro.core.optimizer.parallel",
+    ),
+}
 
 
 def _banned_import(module: str) -> Optional[str]:
@@ -548,9 +580,17 @@ def _banned_import(module: str) -> Optional[str]:
     return None
 
 
+def _is_fenced_module(module: str) -> bool:
+    return _is_sim_path(module) or any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _CORE_FENCED_PREFIXES
+    )
+
+
 def _check_import_fence(facts: FileFacts) -> list[Diagnostic]:
-    if not _is_sim_path(facts.module):
+    if not _is_fenced_module(facts.module):
         return []
+    cleared = _R7_AUDITED_EXCEPTIONS.get(facts.module, ())
     diagnostics = []
     for node in ast.walk(facts.tree):
         imported: list[str] = []
@@ -561,15 +601,15 @@ def _check_import_fence(facts: FileFacts) -> list[Diagnostic]:
                 imported = [node.module]
         for module in imported:
             banned = _banned_import(module)
-            if banned is not None:
+            if banned is not None and banned not in cleared:
                 diagnostics.append(
                     _diag(
                         facts,
                         node,
                         "R7",
-                        f"sim-path module imports {module!r}: the"
+                        f"fenced module imports {module!r}: the"
                         f" {banned} machinery is wall-clock/process-"
-                        "bearing and fenced off the sim path",
+                        "bearing and fenced off the sim path and core",
                     )
                 )
     return diagnostics

@@ -103,9 +103,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         penalty_weight=args.penalty,
         seed_incumbent=True,
+        jobs=args.jobs,
     )
+    engine = "serial" if args.jobs is None else f"jobs={args.jobs}"
     print(
-        f"FT-Search: {result.outcome.value}"
+        f"FT-Search [{engine}]: {result.outcome.value}"
         f" ({result.stats.nodes_expanded} nodes, {result.elapsed:.2f}s)"
     )
     if result.strategy is None:
@@ -895,6 +897,15 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--ic", type=float, required=True)
     optimize.add_argument("--time-limit", type=float, default=10.0)
     optimize.add_argument("--penalty", type=float, default=None)
+    optimize.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "parallel search workers (1 = vectorized in-process;"
+            " default: serial fast core)"
+        ),
+    )
     optimize.add_argument("--out", required=True)
     optimize.set_defaults(func=_cmd_optimize)
 

@@ -12,11 +12,13 @@ from repro.core.optimizer.placement_search import JointResult, joint_optimize
 from repro.core.optimizer.problem import OptimizationProblem, StrategyEvaluation
 from repro.core.optimizer.reference import ReferenceFTSearch
 from repro.core.optimizer.stats import PruneRule, SearchStats
+from repro.core.optimizer.vector import VectorFTSearch
 
 __all__ = [
     "FTSearch",
     "FTSearchConfig",
     "ReferenceFTSearch",
+    "VectorFTSearch",
     "ft_search",
     "SearchOutcome",
     "SearchResult",

@@ -133,6 +133,20 @@ class FTSearchConfig:
     same optimal cost and strategy as a cold run, expanding at most as
     many nodes. Unusable warm starts (wrong shape, infeasible here) are
     silently ignored.
+
+    ``jobs`` selects the engine. ``None`` (the default) runs this
+    module's scalar fast core — bit-identical to the reference oracle.
+    Any integer >= 1 routes the search through the vectorized engine
+    (:mod:`repro.core.optimizer.vector`), with ``jobs > 1`` splitting
+    the root frontier across that many worker processes
+    (:mod:`repro.core.optimizer.parallel`). The vectorized engines pin
+    *optimal cost and strategy* equality against the scalar cores; node
+    counts and prune statistics are engine-specific.
+
+    ``shared_bound`` (parallel engine only) shares the incumbent cost
+    bound across workers so prunes compound. Sharing never changes what
+    is returned — only node counts, which become timing-dependent; set
+    it to False for bitwise-reproducible parallel statistics.
     """
 
     time_limit: Optional[float] = 10.0
@@ -142,12 +156,16 @@ class FTSearchConfig:
     seed_incumbent: bool = False
     hungry_configs_first: bool = True
     warm_start: Optional[ActivationStrategy] = None
+    jobs: Optional[int] = None
+    shared_bound: bool = True
 
     def __post_init__(self) -> None:
         if self.time_limit is not None and self.time_limit <= 0:
             raise OptimizationError("time_limit must be > 0 or None")
         if self.node_limit is not None and self.node_limit <= 0:
             raise OptimizationError("node_limit must be > 0 or None")
+        if self.jobs is not None and self.jobs < 1:
+            raise OptimizationError("jobs must be >= 1 or None")
         if self.penalty_weight is not None and self.penalty_weight < 0:
             raise OptimizationError("penalty_weight must be >= 0 or None")
         for rule in self.disabled_rules:
@@ -1119,8 +1137,16 @@ def ft_search(
     hungry_configs_first: bool = True,
     warm_start: Optional[ActivationStrategy] = None,
     progress: Optional[SearchProgress] = None,
+    jobs: Optional[int] = None,
+    shared_bound: bool = True,
 ) -> SearchResult:
-    """Convenience wrapper: build and run an :class:`FTSearch`."""
+    """Convenience wrapper: build and run the configured engine.
+
+    ``jobs=None`` runs the scalar fast core (the oracle-equivalent
+    default); ``jobs >= 1`` dispatches to the vectorized/parallel
+    engines, which pin optimal cost and strategy — but not node counts —
+    against the scalar cores.
+    """
     config = FTSearchConfig(
         time_limit=time_limit,
         node_limit=node_limit,
@@ -1129,5 +1155,11 @@ def ft_search(
         seed_incumbent=seed_incumbent,
         hungry_configs_first=hungry_configs_first,
         warm_start=warm_start,
+        jobs=jobs,
+        shared_bound=shared_bound,
     )
-    return FTSearch(problem, config, progress=progress).run()
+    if config.jobs is None:
+        return FTSearch(problem, config, progress=progress).run()
+    from repro.core.optimizer.parallel import parallel_ft_search
+
+    return parallel_ft_search(problem, config, progress=progress)

@@ -1,0 +1,942 @@
+"""Vectorized FT-Search: block-at-a-time branch-and-bound over numpy.
+
+The scalar fast core (:mod:`repro.core.optimizer.ftsearch`) expands one
+node per Python-interpreter step. This engine expands *blocks* of nodes:
+a block is a set of same-depth partial assignments stored as row-parallel
+numpy arrays over the scalar core's flat per-depth layout, and one
+``_advance`` call applies the Δ(x,c) rate recurrences (Eq. 3-6), the
+Eq. 11 per-host capacity checks, and all four pruning rules to every row
+of the block at once. Blocks are kept on a LIFO stack and split to a
+bounded row count, so exploration stays depth-first *in blocks*: the
+search reaches leaves (and therefore a COST incumbent) after ~n_vars
+advances, and peak memory is bounded by ``block_rows`` rows per depth.
+
+Equality contract — this engine pins *optimal cost and strategy* against
+the scalar cores, not node counts. Two deliberate departures make that
+work:
+
+* **Banded pruning.** The scalar DFS prunes with ``bound >= best*(1-eps)``
+  because its value ordering guarantees the incumbent it keeps is the
+  first-found among equal-cost optima. A block engine sees equal-cost
+  leaves in block order, so it prunes against the slightly looser
+  ``best*(1+band)`` and keeps every leaf within the band as a candidate.
+* **Rank fold.** Every row carries a per-depth *rank*: the position its
+  value would have taken in the scalar engine's dynamic value order
+  (host-load comparison plus DOM exclusion). Folding the surviving
+  candidates in rank-lexicographic order with the scalar strict-
+  improvement rule (< best*(1-eps)) reproduces the scalar tie-break, and
+  the winning assignment is re-evaluated through ``_replay_assignment``
+  so the reported cost/IC are bit-identical to the scalar engines'.
+
+The per-row float recurrences use a fixed elementwise operation order
+(no variable-order reductions), so every row's state is independent of
+which rows share its block — the property that makes subtree-parallel
+runs (:mod:`repro.core.optimizer.parallel`) value-stable regardless of
+how the frontier was split.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.optimizer.ftsearch import (
+    _COMPL_I,
+    _COST_I,
+    _CPU_I,
+    _DOM_I,
+    _REL_EPS,
+    _RULES,
+    _VALUE_TUPLES,
+    FTSearch,
+    FTSearchConfig,
+    _replay_assignment,
+)
+from repro.core.optimizer.outcomes import SearchOutcome, SearchResult
+from repro.core.optimizer.problem import OptimizationProblem
+from repro.core.optimizer.stats import PruneRule, SearchStats
+
+if TYPE_CHECKING:  # import only for annotations: keeps the core light
+    from repro.obs.progress import SearchProgress
+
+__all__ = ["BoundChannel", "Candidate", "RawSearch", "VectorFTSearch"]
+
+# Relative slack for the candidate band (see module docstring). Wider
+# than _REL_EPS so float residue in the blockwise accumulators can never
+# prune a leaf the scalar engine's strict rule would have kept.
+_BAND_EPS = 4e-9
+
+# A near-optimal leaf: (raw objective, rank bytes, assignment codes
+# bytes). Rank bytes compare lexicographically exactly like the per-depth
+# rank vector, so sorting candidates by the middle field restores the
+# scalar engine's DFS visit order — including across subtree tasks.
+Candidate = tuple[float, bytes, bytes]
+
+
+class BoundChannel(Protocol):
+    """Where a search run reads/publishes the shared incumbent bound.
+
+    The parallel driver hands every worker a channel backed by one
+    ``multiprocessing.Value``; the engine polls :meth:`get` between
+    blocks and calls :meth:`offer` when a block fold improves its local
+    incumbent. Implementations must be tighten-only: ``offer`` may never
+    raise the stored bound.
+    """
+
+    def get(self) -> float:
+        """Current global incumbent objective (``inf`` when none)."""
+        ...
+
+    def offer(self, objective: float) -> None:
+        """Publish a local incumbent; ignored unless it tightens."""
+        ...
+
+
+@dataclass
+class _Block:
+    """One stack entry: row-parallel state of same-depth search nodes."""
+
+    depth: int
+    codes: np.ndarray  # (R, n_vars) int8, assigned value codes
+    rank: np.ndarray  # (R, n_vars) uint8, scalar value-order position
+    host_load: np.ndarray  # (R, n_hosts * n_configs) float64
+    delta_hat: np.ndarray  # (R, n_vars) float64
+    excluded: np.ndarray  # (R, n_vars) bool, DOM exclusions
+    fic: np.ndarray  # (R,) float64, assigned FIC mass
+    cost: np.ndarray  # (R,) float64, assigned cost
+
+    def rows(self) -> int:
+        return len(self.fic)
+
+    def slice(self, lo: int, hi: int) -> "_Block":
+        return _Block(
+            depth=self.depth,
+            codes=self.codes[lo:hi],
+            rank=self.rank[lo:hi],
+            host_load=self.host_load[lo:hi],
+            delta_hat=self.delta_hat[lo:hi],
+            excluded=self.excluded[lo:hi],
+            fic=self.fic[lo:hi],
+            cost=self.cost[lo:hi],
+        )
+
+
+@dataclass
+class RawSearch:
+    """What one block-search pass produces, before the candidate fold.
+
+    The parallel driver merges several of these (one per subtree task)
+    and folds all candidates at once; the serial vector path folds a
+    single one. ``best_raw`` is the tightest raw-accumulator objective
+    seen (the in-search prune bound), not the clean replayed optimum.
+    """
+
+    candidates: list[Candidate]
+    best_raw: float
+    nodes: int
+    values_tried: int
+    solutions_found: int
+    prune_counts: list[int]
+    prune_heights: list[int]
+    expired: bool
+    first_raw_cost: Optional[float]
+    first_raw_time: Optional[float]
+
+
+@dataclass(frozen=True)
+class _Seed:
+    """The pre-search incumbent (greedy seed and/or warm start)."""
+
+    objective: float
+    cost: float
+    ic: float
+    codes: Optional[tuple[int, ...]]
+
+
+class VectorFTSearch:
+    """One vectorized FT-Search run over a fixed problem.
+
+    ``roots`` restricts the run to the subtrees under the given partial
+    assignments — one bytes object of value codes per subtree root, all
+    of the same depth (the parallel driver's task chunks). The roots are
+    replayed into one multi-row block, so a task amortizes the per-level
+    vector overhead across all its subtrees. ``bound`` is an optional
+    :class:`BoundChannel` polled between blocks. ``block_rows`` caps the
+    rows advanced per step (memory/latency trade-off; correctness never
+    depends on it).
+    """
+
+    def __init__(
+        self,
+        problem: OptimizationProblem,
+        config: Optional[FTSearchConfig] = None,
+        progress: Optional["SearchProgress"] = None,
+        *,
+        roots: Optional[Sequence[bytes]] = None,
+        bound: Optional[BoundChannel] = None,
+        block_rows: int = 4096,
+    ) -> None:
+        if block_rows < 1:
+            raise ValueError(
+                f"block_rows must be >= 1, got {block_rows}"
+            )
+        if roots is not None:
+            if not roots:
+                raise ValueError("roots must be non-empty when given")
+            if len({len(root) for root in roots}) != 1:
+                raise ValueError("all roots must share one depth")
+        # The scalar engine is the layout donor: its _prepare builds the
+        # flat per-depth arrays (and validates k=2); this engine only
+        # adds row-parallel state on top.
+        donor = FTSearch(problem, config)
+        self._donor = donor
+        self._problem = problem
+        self._config = donor._config
+        self._progress = progress
+        self._roots = (
+            None if roots is None else [bytes(root) for root in roots]
+        )
+        self._bound = bound
+        self._block_rows = block_rows
+        self._last_parent = np.zeros(0, np.intp)
+
+        self._n_vars: int = donor._n_vars
+        self._n_slots: int = len(donor._hosts) * donor._n_configs
+        self._d_load: list[float] = donor._d_load
+        self._d_prob: list[float] = donor._d_prob
+        self._d_prob_load: list[float] = donor._d_prob_load
+        self._d_h0: list[int] = donor._d_h0
+        self._d_h1: list[int] = donor._d_h1
+        self._d_cap0: list[float] = donor._d_cap0
+        self._d_cap1: list[float] = donor._d_cap1
+        self._d_src_sel: list[float] = donor._d_src_sel
+        self._d_src_sum: list[float] = donor._d_src_sum
+        self._d_preds = donor._d_preds
+        self._d_pred_depths = donor._d_pred_depths
+        self._d_rest = donor._d_rest
+        self._d_suffix_bic: list[float] = donor._d_suffix_bic
+        self._d_dom_source: list[bool] = donor._d_dom_source
+        self._suffix_min_cost: list[float] = donor._suffix_min_cost
+        self._bic: float = donor._bic
+        self._fic_thresh: float = donor._fic_target - _REL_EPS * donor._bic
+        self._ic_target: float = problem.ic_target
+        self._cap_row = np.asarray(donor._cap_flat)
+        n_pes = len(donor._pes)
+        # Unassigned depths of the same configuration, in increasing
+        # order — the DOM recompute span after assigning depth d.
+        self._d_config_rest: list[tuple[int, ...]] = [
+            tuple(range(d + 1, (d // n_pes + 1) * n_pes))
+            for d in range(self._n_vars)
+        ]
+
+        config_obj = self._config
+        disabled = config_obj.disabled_rules
+        self._penalty = config_obj.penalty_weight
+        self._cpu_on = PruneRule.CPU not in disabled
+        self._compl_on = PruneRule.COMPLETENESS not in disabled
+        self._cost_on = PruneRule.COST not in disabled
+        self._dom_on = PruneRule.DOMAIN not in disabled
+        self._need_fic_upper = self._penalty is not None or self._compl_on
+        self._compl_prune_on = self._penalty is None and self._compl_on
+
+        self._seed = self._install_seed()
+        self._reset_counters()
+
+    # ------------------------------------------------------------------
+    # Seeding (delegated to the scalar engine's installers)
+    # ------------------------------------------------------------------
+
+    def _install_seed(self) -> _Seed:
+        """Evaluate the greedy/warm incumbents via the donor engine.
+
+        Runs the scalar engine's own installers against zeroed incumbent
+        state, so the seed objective/cost/IC are bit-identical to what a
+        scalar run starts from (both go through _replay_assignment).
+        """
+        donor = self._donor
+        donor._best_cost = math.inf
+        donor._best_objective = math.inf
+        donor._best_ic = 0.0
+        donor._best_assignment = None
+        donor._best_time = None
+        if self._config.seed_incumbent:
+            donor._install_greedy_incumbent()
+        if self._config.warm_start is not None:
+            donor._install_warm_incumbent()
+        codes = (
+            None
+            if donor._best_assignment is None
+            else tuple(donor._best_assignment)
+        )
+        return _Seed(
+            objective=donor._best_objective,
+            cost=donor._best_cost,
+            ic=donor._best_ic,
+            codes=codes,
+        )
+
+    @property
+    def seed(self) -> _Seed:
+        return self._seed
+
+    def _reset_counters(self) -> None:
+        self._nodes = 0
+        self._values_tried = 0
+        self._solutions_found = 0
+        self._prune_counts = [0, 0, 0, 0]
+        self._prune_heights = [0, 0, 0, 0]
+        self._best_raw = self._seed.objective
+        self._best_raw_cost = (
+            math.inf if self._seed.codes is None else self._seed.cost
+        )
+        self._candidates: list[Candidate] = []
+        self._first_raw_cost: Optional[float] = None
+        self._first_raw_time: Optional[float] = None
+        self._start = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        deadline: Optional[float] = None,
+        node_budget: Optional[int] = None,
+    ) -> RawSearch:
+        """Run the block search; returns raw candidates and counters.
+
+        ``deadline`` overrides the config time limit with an absolute
+        ``time.monotonic`` deadline (the parallel driver passes one so
+        every worker expires at the same wall-clock instant);
+        ``node_budget`` likewise overrides the config node limit.
+        """
+        self._reset_counters()
+        if deadline is None and self._config.time_limit is not None:
+            deadline = self._start + self._config.time_limit
+        if node_budget is None:
+            node_budget = self._config.node_limit
+
+        expired = False
+        root = self._root_block()
+        stack: list[_Block] = [] if root is None else [root]
+        while stack:
+            if node_budget is not None and self._nodes >= node_budget:
+                expired = True
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                expired = True
+                break
+            self._refresh_bound()
+            block = stack.pop()
+            child = self._advance(block)
+            if child is None:
+                continue
+            if child.depth == self._n_vars:
+                self._fold_leaves(child)
+                continue
+            self._push(stack, child)
+        return RawSearch(
+            candidates=list(self._candidates),
+            best_raw=self._best_raw,
+            nodes=self._nodes,
+            values_tried=self._values_tried,
+            solutions_found=self._solutions_found,
+            prune_counts=list(self._prune_counts),
+            prune_heights=list(self._prune_heights),
+            expired=expired,
+            first_raw_cost=self._first_raw_cost,
+            first_raw_time=self._first_raw_time,
+        )
+
+    def split_frontier(
+        self, min_rows: int
+    ) -> tuple[list[bytes], RawSearch]:
+        """Expand level-synchronously until the frontier has enough rows.
+
+        Returns ``(prefixes, raw)``: each prefix is the codes of one
+        frontier row (all at the same depth), sorted into scalar DFS
+        order by rank — contiguous chunks of this list are the parallel
+        driver's subtree tasks — and ``raw`` carries the counters the
+        split phase itself accrued. If the whole search finishes before
+        the frontier grows to ``min_rows`` (tiny instances, infeasible
+        roots), ``prefixes`` is empty and ``raw`` is the complete
+        search.
+        """
+        self._reset_counters()
+        prefixes: list[bytes] = []
+        block = self._root_block()
+        while block is not None and block.depth < self._n_vars:
+            if block.depth > 0 and block.rows() >= min_rows:
+                order = np.lexsort(
+                    [
+                        block.rank[:, d]
+                        for d in range(block.depth - 1, -1, -1)
+                    ]
+                )
+                prefixes = [
+                    block.codes[row, : block.depth].tobytes()
+                    for row in order
+                ]
+                break
+            block = self._advance(block)
+        else:
+            if block is not None:
+                self._fold_leaves(block)
+        return prefixes, RawSearch(
+            candidates=list(self._candidates),
+            best_raw=self._best_raw,
+            nodes=self._nodes,
+            values_tried=self._values_tried,
+            solutions_found=self._solutions_found,
+            prune_counts=list(self._prune_counts),
+            prune_heights=list(self._prune_heights),
+            expired=False,
+            first_raw_cost=self._first_raw_cost,
+            first_raw_time=self._first_raw_time,
+        )
+
+    def run(self) -> SearchResult:
+        """Execute the search and build a scalar-compatible result."""
+        raw = self.search()
+        return self.build_result([raw])
+
+    # ------------------------------------------------------------------
+    # Result assembly (shared with the parallel driver)
+    # ------------------------------------------------------------------
+
+    def fold_candidates(
+        self, candidates: Sequence[Candidate]
+    ) -> tuple[Optional[tuple[int, ...]], float, float, float]:
+        """Fold candidates in rank order; returns (codes, obj, cost, ic).
+
+        Replays the scalar engine's recorder over the candidate leaves in
+        DFS (rank-lexicographic) order, starting from the seed incumbent:
+        a candidate is accepted only on strict improvement, and every
+        accepted candidate is re-evaluated through _replay_assignment so
+        the final cost/IC are clean functions of the assignment.
+        """
+        seed = self._seed
+        best_codes = seed.codes
+        best_objective = seed.objective
+        best_cost = seed.cost
+        best_ic = seed.ic
+        for raw_objective, _, code_bytes in sorted(
+            candidates, key=lambda cand: cand[1]
+        ):
+            if best_codes is not None and not (
+                raw_objective < best_objective * (1 - _REL_EPS)
+            ):
+                continue
+            codes = tuple(
+                int(code) for code in np.frombuffer(code_bytes, np.int8)
+            )
+            values = [_VALUE_TUPLES[code] for code in codes]
+            _, ic, cost = _replay_assignment(
+                self._problem, self._donor._rate_table, self._donor._vars,
+                values,
+            )
+            if self._penalty is None:
+                objective = cost
+            else:
+                deficit = max(0.0, self._ic_target - ic)
+                objective = cost + self._penalty * deficit
+            best_codes = codes
+            best_objective = objective
+            best_cost = cost
+            best_ic = ic
+        return best_codes, best_objective, best_cost, best_ic
+
+    def build_result(self, raws: Sequence[RawSearch]) -> SearchResult:
+        """Fold one or more raw searches into a :class:`SearchResult`."""
+        merged: list[Candidate] = []
+        nodes = 0
+        values_tried = 0
+        solutions_found = 0
+        prune_counts = [0, 0, 0, 0]
+        prune_heights = [0, 0, 0, 0]
+        expired = False
+        first_cost: Optional[float] = None
+        first_time: Optional[float] = None
+        for raw in raws:
+            merged.extend(raw.candidates)
+            nodes += raw.nodes
+            values_tried += raw.values_tried
+            solutions_found += raw.solutions_found
+            expired = expired or raw.expired
+            for i in range(4):
+                prune_counts[i] += raw.prune_counts[i]
+                prune_heights[i] += raw.prune_heights[i]
+            if raw.first_raw_cost is not None and first_cost is None:
+                first_cost = raw.first_raw_cost
+                first_time = raw.first_raw_time
+
+        codes, _, best_cost, best_ic = self.fold_candidates(merged)
+        if self._progress is not None:
+            self._progress.finish(
+                nodes,
+                None if math.isinf(best_cost) else best_cost,
+                self._prunes_by_name(prune_counts),
+            )
+        stats = SearchStats(
+            nodes_expanded=nodes,
+            values_tried=values_tried,
+            solutions_found=solutions_found,
+            depth=self._n_vars,
+        )
+        for i, rule in enumerate(_RULES):
+            stats.prune_counts[rule] = prune_counts[i]
+            stats.prune_height_sums[rule] = prune_heights[i]
+
+        elapsed = time.monotonic() - self._start
+        strategy = (
+            None
+            if codes is None
+            else self._donor._build_strategy(list(codes))
+        )
+        if strategy is not None:
+            outcome = (
+                SearchOutcome.FEASIBLE if expired else SearchOutcome.OPTIMAL
+            )
+        else:
+            outcome = (
+                SearchOutcome.TIMEOUT
+                if expired
+                else SearchOutcome.INFEASIBLE
+            )
+        return SearchResult(
+            outcome=outcome,
+            strategy=strategy,
+            best_cost=best_cost if strategy is not None else math.inf,
+            best_ic=best_ic,
+            first_solution_cost=first_cost,
+            first_solution_time=first_time,
+            best_solution_time=None if strategy is None else elapsed,
+            elapsed=elapsed,
+            stats=stats,
+        )
+
+    def _prunes_by_name(self, counts: Sequence[int]) -> dict[str, int]:
+        return {rule.value: counts[i] for i, rule in enumerate(_RULES)}
+
+    # ------------------------------------------------------------------
+    # Block machinery
+    # ------------------------------------------------------------------
+
+    def _root_block(self) -> Optional[_Block]:
+        """The starting block: one row per root (one empty row for the
+        whole tree), forced-replayed to the roots' shared depth.
+
+        The replay runs ``_advance`` with a per-row forced value, so all
+        roots of a task reach their depth through one chain of block
+        advances — the amortization that makes many-subtree tasks cheap.
+        Counters and progress are snapshotted around the replay: the
+        parallel driver already counted these rows in its split phase.
+        """
+        n = self._n_vars
+        roots = self._roots
+        rows = 1 if roots is None else len(roots)
+        block = _Block(
+            depth=0,
+            codes=np.zeros((rows, n), np.int8),
+            rank=np.zeros((rows, n), np.uint8),
+            host_load=np.zeros((rows, self._n_slots)),
+            delta_hat=np.zeros((rows, n)),
+            excluded=np.zeros((rows, n), bool),
+            fic=np.zeros(rows),
+            cost=np.zeros(rows),
+        )
+        if roots is None:
+            return block
+        depth = len(roots[0])
+        if depth == 0:
+            return block.slice(0, 1)
+        desired = np.frombuffer(b"".join(roots), np.int8).reshape(
+            rows, depth
+        )
+        saved = (
+            self._nodes,
+            self._values_tried,
+            list(self._prune_counts),
+            list(self._prune_heights),
+        )
+        progress, self._progress = self._progress, None
+        try:
+            alive = np.arange(rows)
+            replayed: Optional[_Block] = block
+            for d in range(depth):
+                if replayed is None:
+                    return None
+                replayed = self._advance(
+                    replayed, forced=desired[alive, d]
+                )
+                if replayed is not None:
+                    alive = alive[self._last_parent]
+            return replayed
+        finally:
+            (
+                self._nodes,
+                self._values_tried,
+                self._prune_counts,
+                self._prune_heights,
+            ) = (saved[0], saved[1], list(saved[2]), list(saved[3]))
+            self._progress = progress
+
+    def _push(self, stack: list[_Block], block: _Block) -> None:
+        """Push a block, split into bounded chunks (later chunks first,
+        so the stack pops them in frontier order)."""
+        rows = block.rows()
+        if rows <= self._block_rows:
+            stack.append(block)
+            return
+        chunks = -(-rows // self._block_rows)
+        bounds = [
+            (i * rows // chunks, (i + 1) * rows // chunks)
+            for i in range(chunks)
+        ]
+        for lo, hi in reversed(bounds):
+            stack.append(block.slice(lo, hi))
+
+    def _refresh_bound(self) -> None:
+        """Adopt the shared incumbent when it is tighter than ours."""
+        if self._bound is None:
+            return
+        shared = self._bound.get()
+        if shared < self._best_raw:
+            self._best_raw = shared
+
+    def _advance(
+        self, block: _Block, forced: Optional[np.ndarray] = None
+    ) -> Optional[_Block]:
+        """Expand every row of ``block`` one depth; None when all die.
+
+        With ``forced`` (root replay), each row keeps only its forced
+        value code — the prune arithmetic is unchanged, so a replayed
+        row carries bit-identical state to the split-phase row it
+        reproduces.
+        """
+        depth = block.depth
+        rows = block.rows()
+        self._nodes += rows
+        progress = self._progress
+        if progress is not None and progress.on_nodes(
+            self._nodes, rows, depth
+        ):
+            progress.snapshot(
+                self._nodes,
+                (
+                    None
+                    if math.isinf(self._best_raw_cost)
+                    else self._best_raw_cost
+                ),
+                self._prunes_by_name(self._prune_counts),
+            )
+
+        height = self._n_vars - depth
+        h0 = self._d_h0[depth]
+        h1 = self._d_h1[depth]
+        load = self._d_load[depth]
+        prob_load = self._d_prob_load[depth]
+        min_cost_rest = self._suffix_min_cost[depth + 1]
+        host_load = block.host_load
+        delta_hat = block.delta_hat
+        excluded = block.excluded
+        excluded_d = excluded[:, depth]
+        load0 = host_load[:, h0]
+        load1 = host_load[:, h1]
+
+        # Δ-hat of the "both active" value (Eq. 3-6 recurrence) and its
+        # FIC contribution, for all rows at once. The predecessor terms
+        # accumulate in the same fixed order as the scalar loop.
+        dh_both = np.full(rows, self._d_src_sel[depth])
+        plain = np.full(rows, self._d_src_sum[depth])
+        for pred_depth, selectivity in self._d_preds[depth]:
+            x = delta_hat[:, pred_depth]
+            dh_both = dh_both + selectivity * x
+            plain = plain + x
+        contrib_both = self._d_prob[depth] * plain
+
+        valid0 = ~excluded_d
+        valid1 = np.ones(rows, bool)
+        valid2 = np.ones(rows, bool)
+        self._values_tried += int(valid0.sum()) + 2 * rows
+        if forced is not None:
+            valid0 &= forced == 0
+            valid1 &= forced == 1
+            valid2 &= forced == 2
+
+        # CPU rule (Eq. 11, strict inequality on both hosts).
+        if self._cpu_on:
+            fits0 = load0 + load < self._d_cap0[depth]
+            fits1 = load1 + load < self._d_cap1[depth]
+            self._count_prunes(
+                _CPU_I,
+                height,
+                int((valid0 & ~(fits0 & fits1)).sum())
+                + int((~fits0).sum())
+                + int((~fits1).sum()),
+            )
+            valid0 &= fits0 & fits1
+            valid1 &= fits0
+            valid2 &= fits1
+
+        # COMPL rule: IC upper bound via the rest-of-configuration walk.
+        fic_upper0: Optional[np.ndarray] = None
+        fic_upper_single: Optional[np.ndarray] = None
+        if self._need_fic_upper:
+            total0, total_single = self._walk(
+                depth, dh_both, delta_hat, excluded
+            )
+            suffix = self._d_suffix_bic[depth]
+            fic_upper0 = block.fic + contrib_both + (total0 + suffix)
+            fic_upper_single = block.fic + (total_single + suffix)
+            if self._compl_prune_on:
+                keeps0 = fic_upper0 >= self._fic_thresh
+                keeps_single = fic_upper_single >= self._fic_thresh
+                self._count_prunes(
+                    _COMPL_I,
+                    height,
+                    int((valid0 & ~keeps0).sum())
+                    + int((valid1 & ~keeps_single).sum())
+                    + int((valid2 & ~keeps_single).sum()),
+                )
+                valid0 &= keeps0
+                valid1 &= keeps_single
+                valid2 &= keeps_single
+
+        # COST rule: assigned cost + cheapest completion, against the
+        # banded incumbent (plus the soft-IC deficit in penalty mode).
+        if self._cost_on:
+            threshold = self._best_raw * (1 + _BAND_EPS)
+            bound0 = block.cost + 2 * prob_load + min_cost_rest
+            bound_single = block.cost + prob_load + min_cost_rest
+            if self._penalty is not None:
+                assert fic_upper0 is not None
+                assert fic_upper_single is not None
+                bound0 = bound0 + self._penalty * np.maximum(
+                    0.0,
+                    self._ic_target
+                    - np.minimum(1.0, fic_upper0 / self._bic),
+                )
+                bound_single = bound_single + self._penalty * np.maximum(
+                    0.0,
+                    self._ic_target
+                    - np.minimum(1.0, fic_upper_single / self._bic),
+                )
+            keeps0 = bound0 < threshold
+            keeps_single = bound_single < threshold
+            self._count_prunes(
+                _COST_I,
+                height,
+                int((valid0 & ~keeps0).sum())
+                + int((valid1 & ~keeps_single).sum())
+                + int((valid2 & ~keeps_single).sum()),
+            )
+            valid0 &= keeps0
+            valid1 &= keeps_single
+            valid2 &= keeps_single
+
+        rows0 = np.nonzero(valid0)[0]
+        rows1 = np.nonzero(valid1)[0]
+        rows2 = np.nonzero(valid2)[0]
+        n0, n1, n2 = len(rows0), len(rows1), len(rows2)
+        total = n0 + n1 + n2
+        if total == 0:
+            return None
+
+        parent = np.concatenate([rows0, rows1, rows2])
+        self._last_parent = parent
+        child = _Block(
+            depth=depth + 1,
+            codes=block.codes[parent],
+            rank=block.rank[parent],
+            host_load=host_load[parent],
+            delta_hat=delta_hat[parent],
+            excluded=excluded[parent],
+            fic=block.fic[parent].copy(),
+            cost=block.cost[parent].copy(),
+        )
+        g0 = slice(0, n0)
+        g1 = slice(n0, n0 + n1)
+        g2 = slice(n0 + n1, total)
+        child.codes[g0, depth] = 0
+        child.codes[g1, depth] = 1
+        child.codes[g2, depth] = 2
+
+        # Rank: the position each value takes in the scalar engine's
+        # dynamic order — "both" first unless DOM-excluded, then the
+        # single replica on the less-loaded host.
+        less_loaded0 = load0 <= load1
+        rank1 = np.where(
+            excluded_d,
+            np.where(less_loaded0, 0, 1),
+            np.where(less_loaded0, 1, 2),
+        ).astype(np.uint8)
+        rank2 = np.where(
+            excluded_d,
+            np.where(less_loaded0, 1, 0),
+            np.where(less_loaded0, 2, 1),
+        ).astype(np.uint8)
+        child.rank[g1, depth] = rank1[rows1]
+        child.rank[g2, depth] = rank2[rows2]
+
+        child.host_load[g0, h0] += load
+        child.host_load[g0, h1] += load
+        child.host_load[g1, h0] += load
+        child.host_load[g2, h1] += load
+        child.delta_hat[g0, depth] = dh_both[rows0]
+        child.fic[g0] += contrib_both[rows0]
+        child.cost[g0] += 2 * prob_load
+        child.cost[g1] += prob_load
+        child.cost[g2] += prob_load
+
+        if self._dom_on:
+            self._propagate_domain(child, depth)
+        return child
+
+    def _count_prunes(self, rule: int, height: int, count: int) -> None:
+        if count:
+            self._prune_counts[rule] += count
+            self._prune_heights[rule] += height * count
+
+    def _walk(
+        self,
+        depth: int,
+        dh_both: np.ndarray,
+        delta_hat: np.ndarray,
+        excluded: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The COMPL rest-of-configuration walk, row-parallel.
+
+        Mirrors the scalar walk exactly: one pass per remaining PE of
+        the depth's configuration in topological order, carrying the
+        per-position upper bounds; returns the walk totals for the
+        "both" value and for the single-replica values (whose candidate
+        Δ-hat is zero).
+        """
+        rest = self._d_rest[depth]
+        rows = len(dh_both)
+        total_both = np.zeros(rows)
+        total_single = np.zeros(rows)
+        if not rest:
+            return total_both, total_single
+        prob_c = self._d_prob[depth]
+        upper_both: dict[int, np.ndarray] = {}
+        upper_single: dict[int, np.ndarray] = {}
+        for var_depth, position, init_sel, init_sum, preds in rest:
+            sel_both = np.full(rows, init_sel)
+            sum_both = np.full(rows, init_sum)
+            sel_single = np.full(rows, init_sel)
+            sum_single = np.full(rows, init_sum)
+            for code, ref, selectivity in preds:
+                if code == 0:
+                    # The candidate variable itself: Δ-hat is dh_both
+                    # for the "both" value, zero for the singles.
+                    sel_both = sel_both + selectivity * dh_both
+                    sum_both = sum_both + dh_both
+                elif code == 1:
+                    sel_both = (
+                        sel_both + selectivity * upper_both[ref]
+                    )
+                    sum_both = sum_both + upper_both[ref]
+                    sel_single = (
+                        sel_single + selectivity * upper_single[ref]
+                    )
+                    sum_single = sum_single + upper_single[ref]
+                else:
+                    x = delta_hat[:, ref]
+                    sel_both = sel_both + selectivity * x
+                    sum_both = sum_both + x
+                    sel_single = sel_single + selectivity * x
+                    sum_single = sum_single + x
+            dead = excluded[:, var_depth]
+            upper_both[position] = np.where(dead, 0.0, sel_both)
+            upper_single[position] = np.where(dead, 0.0, sel_single)
+            total_both += np.where(dead, 0.0, prob_c * sum_both)
+            total_single += np.where(dead, 0.0, prob_c * sum_single)
+        return total_both, total_single
+
+    def _propagate_domain(self, child: _Block, depth: int) -> None:
+        """DOM: recompute exclusions over the rest of the configuration.
+
+        A variable is dead when every predecessor is dead (assigned with
+        Δ-hat zero, or unassigned and excluded); processing the
+        remaining depths in increasing order reaches the same fixpoint
+        as the scalar engine's recursive propagation. Variables with
+        live source inflow or no in-graph predecessors are never
+        excluded (the scalar engine only reaches successors of dead
+        variables).
+        """
+        span = self._d_config_rest[depth]
+        if not span:
+            return
+        excluded = child.excluded
+        delta_hat = child.delta_hat
+        height_base = self._n_vars
+        for succ_depth in span:
+            preds = self._d_pred_depths[succ_depth]
+            if self._d_dom_source[succ_depth] or not preds:
+                continue
+            dead = np.ones(child.rows(), bool)
+            for pred_depth in preds:
+                if pred_depth <= depth:
+                    dead &= delta_hat[:, pred_depth] == 0.0
+                else:
+                    dead &= excluded[:, pred_depth]
+            fresh = dead & ~excluded[:, succ_depth]
+            count = int(fresh.sum())
+            if count:
+                self._count_prunes(
+                    _DOM_I, height_base - succ_depth, count
+                )
+                excluded[:, succ_depth] |= fresh
+
+    def _fold_leaves(self, block: _Block) -> None:
+        """Collect near-optimal leaves and tighten the raw incumbent."""
+        objective = block.cost
+        feasible = np.ones(block.rows(), bool)
+        # Constraints normally enforced en route move to the leaves when
+        # their rule is disabled — same contract as the scalar recorder.
+        if not self._cpu_on:
+            feasible &= (block.host_load < self._cap_row).all(axis=1)
+        if not self._compl_on and self._penalty is None:
+            feasible &= block.fic >= self._fic_thresh
+        if self._penalty is not None:
+            ic = np.maximum(0.0, block.fic / self._bic)
+            deficit = np.maximum(0.0, self._ic_target - ic)
+            objective = block.cost + self._penalty * deficit
+        objective = np.where(feasible, objective, math.inf)
+        self._solutions_found += int(feasible.sum())
+
+        band = self._best_raw * (1 + _BAND_EPS)
+        # Finite filter: infeasible leaves carry objective inf, and with
+        # no incumbent yet (band inf) "inf <= inf" would smuggle them in.
+        keep = np.nonzero(np.isfinite(objective) & (objective <= band))[0]
+        if len(keep) == 0:
+            return
+        best_row = int(keep[np.argmin(objective[keep])])
+        if objective[best_row] < self._best_raw:
+            self._best_raw = float(objective[best_row])
+            self._best_raw_cost = float(block.cost[best_row])
+            if self._bound is not None:
+                self._bound.offer(self._best_raw)
+            band = self._best_raw * (1 + _BAND_EPS)
+        if self._first_raw_cost is None:
+            self._first_raw_cost = float(block.cost[keep[0]])
+            self._first_raw_time = time.monotonic() - self._start
+        for row in keep:
+            obj = float(objective[row])
+            if obj <= band:
+                self._candidates.append(
+                    (
+                        obj,
+                        block.rank[row].tobytes(),
+                        block.codes[row].tobytes(),
+                    )
+                )
+        self._candidates = [
+            cand for cand in self._candidates if cand[0] <= band
+        ]

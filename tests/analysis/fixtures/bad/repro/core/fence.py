@@ -1,0 +1,11 @@
+"""R7 fixture: core module importing process-bearing machinery."""
+
+import multiprocessing
+
+from repro.core.optimizer.parallel import parallel_ft_search
+
+
+def drive() -> None:
+    """Uses machinery fenced off the deterministic core."""
+    multiprocessing.Value("d", 0.0)
+    parallel_ft_search(None)

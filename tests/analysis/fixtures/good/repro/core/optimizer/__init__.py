@@ -1,0 +1,1 @@
+"""Fixture package (does not import the parallel driver)."""

@@ -1,0 +1,15 @@
+"""Good fixture: lazy, function-local dispatch to the parallel driver.
+
+Mirrors the real ``repro.core.optimizer.ftsearch``: the cleared import
+runs only when a caller explicitly asks for parallel search, never at
+module import time.
+"""
+
+
+def ft_search(problem: object, jobs: int = 0) -> object:
+    """Serial by default; the parallel import is behind the flag."""
+    if jobs:
+        from repro.core.optimizer.parallel import parallel_ft_search
+
+        return parallel_ft_search(problem)
+    return problem

@@ -1,0 +1,16 @@
+"""Good fixture: the audited parallel-driver exception module.
+
+Mirrors the real ``repro.core.optimizer.parallel``: it is cleared for
+the fabric and multiprocessing imports because the optimizer package
+never imports it at module load time.
+"""
+
+import multiprocessing
+
+from repro.experiments.parallel import run_tasks
+
+
+def fan_out(tasks: list) -> list:
+    """The process-bearing driver the exception table clears."""
+    multiprocessing.Value("d", 0.0)
+    return run_tasks(tasks)

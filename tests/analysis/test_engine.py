@@ -138,7 +138,7 @@ class TestReport:
         assert data["tool"] == "repro.analysis"
         assert data["version"] == 1
         assert data["ok"] is False
-        assert data["files_checked"] == 12
+        assert data["files_checked"] == 14
         assert sorted(data["counts"]) == [f"R{n}" for n in range(1, 9)]
         assert sum(data["counts"].values()) == len(data["diagnostics"])
         first = data["diagnostics"][0]
@@ -152,7 +152,7 @@ class TestReport:
     def test_render_text_summary_line(self):
         report = run_analysis([FIXTURES / "good"], allowlist_path=NO_ALLOWLIST)
         assert report.render_text().endswith(
-            "8 file(s) checked, 0 finding(s), 1 suppressed"
+            "12 file(s) checked, 0 finding(s), 1 suppressed"
         )
 
     def test_syntax_error_is_reported_not_fatal(self, tmp_path):

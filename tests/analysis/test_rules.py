@@ -106,6 +106,17 @@ class TestBadCorpus:
         assert "'threading'" in messages[0]
         assert "'repro.experiments.parallel'" in messages[1]
 
+    def test_r7_fence_covers_the_deterministic_core(self):
+        hits = _hits(self.report, "core/fence.py")
+        assert hits == [(3, "R7"), (5, "R7")]
+        messages = [
+            d.message
+            for d in self.report.diagnostics
+            if d.file.endswith("core/fence.py")
+        ]
+        assert "'multiprocessing'" in messages[0]
+        assert "'repro.core.optimizer.parallel'" in messages[1]
+
     def test_r8_malformed_and_unused(self):
         assert _hits(self.report, "bad/repro/suppress.py") == [
             (3, "R8"),
@@ -119,7 +130,7 @@ class TestBadCorpus:
     def test_total_finding_count_is_pinned(self):
         # A new finding (or a silently dropped one) must be a conscious
         # fixture change, not drift.
-        assert len(self.report.diagnostics) == 19
+        assert len(self.report.diagnostics) == 21
         assert not self.report.errors
 
     def test_diagnostics_render_as_path_line_col_rule(self):
@@ -137,6 +148,46 @@ class TestGoodCorpus:
         assert report.diagnostics == []
         assert report.errors == []
         assert report.ok
+
+
+class TestAuditedFenceExceptions:
+    """The R7 exception table is exactly as large as it needs to be."""
+
+    REPO_SRC = Path(__file__).parents[2] / "src"
+
+    def _fence(self, module: str) -> list:
+        from repro.analysis.facts import collect_facts
+        from repro.analysis.rules import _check_import_fence
+
+        path = self.REPO_SRC / (module.replace(".", "/") + ".py")
+        return _check_import_fence(collect_facts(path, str(path)))
+
+    def test_real_driver_modules_pass_through_the_table(self):
+        # With the audited exceptions in place, the real parallel
+        # driver and its lazy dispatcher are fence-clean.
+        assert self._fence("repro.core.optimizer.parallel") == []
+        assert self._fence("repro.core.optimizer.ftsearch") == []
+
+    def test_every_exception_entry_earns_its_keep(self, monkeypatch):
+        # Dropping the table must surface findings in the exact modules
+        # it names — a stale entry (or a blanket one) fails here.
+        import repro.analysis.rules as rules
+
+        monkeypatch.setattr(rules, "_R7_AUDITED_EXCEPTIONS", {})
+        for module in (
+            "repro.core.optimizer.parallel",
+            "repro.core.optimizer.ftsearch",
+        ):
+            findings = self._fence(module)
+            assert findings, f"{module} no longer needs its exception"
+            assert all(d.rule == "R7" for d in findings)
+
+    def test_exception_keys_are_exact_modules(self):
+        from repro.analysis.rules import _R7_AUDITED_EXCEPTIONS
+
+        for module in _R7_AUDITED_EXCEPTIONS:
+            path = self.REPO_SRC / (module.replace(".", "/") + ".py")
+            assert path.is_file(), f"exception names missing {module}"
 
     def test_used_suppression_is_counted_not_reported(self):
         report = _analyze("good")

@@ -295,3 +295,54 @@ class TestSLAReport:
         report = provisioned.sla_report(metrics)
         assert report.observed_latency is None
         assert report.latency_clause_met
+
+
+class TestParallelSearchProvisioning:
+    def test_jobs_kept_out_of_signature_by_default(self, provider_hosts):
+        serial = Provisioner(provider_hosts, search_time_limit=None)
+        assert ":jobs=" not in serial._search_signature()
+
+    def test_jobs_tag_store_signature(self, provider_hosts):
+        parallel = Provisioner(
+            provider_hosts, search_time_limit=None, search_jobs=2
+        )
+        assert ":jobs=2" in parallel._search_signature()
+
+    def test_parallel_provision_matches_serial(
+        self, pipeline_contract, provider_hosts
+    ):
+        from repro.core.optimizer.parallel import shutdown
+
+        serial = Provisioner(
+            provider_hosts, search_time_limit=None
+        ).provision(pipeline_contract)
+        try:
+            vectored = Provisioner(
+                provider_hosts, search_time_limit=None, search_jobs=1
+            ).provision(pipeline_contract)
+        finally:
+            shutdown()
+        assert vectored.search.best_cost == serial.search.best_cost
+        assert vectored.search.best_ic == serial.search.best_ic
+        assert vectored.fare == serial.fare
+
+    def test_serial_and_parallel_records_do_not_collide(
+        self, pipeline_contract, provider_hosts
+    ):
+        from repro.core.optimizer.parallel import shutdown
+
+        store = StrategyStore()
+        Provisioner(
+            provider_hosts, search_time_limit=None, store=store
+        ).provision(pipeline_contract)
+        try:
+            parallel = Provisioner(
+                provider_hosts,
+                search_time_limit=None,
+                store=store,
+                search_jobs=1,
+            )
+            assert not parallel.provision(pipeline_contract).from_cache
+        finally:
+            shutdown()
+        assert len(store) == 2
