@@ -1,0 +1,109 @@
+"""Whole-program linter benchmark: the gate must stay interactive.
+
+``repro lint`` went from per-file AST checks to a whole-program pass
+(call graph + effect propagation + typed schema inference), and CI runs
+it on every push. This benchmark times the exact scan CI gates on —
+``src/repro`` plus ``benchmarks``, with the checked-in allowlist — and
+fails (exit 1) when it exceeds ``SCAN_BUDGET_SECONDS``, so an
+accidentally quadratic resolution or propagation step shows up as a red
+perf job instead of a slow pre-merge loop. It also asserts the scan is
+clean: a finding here means the tree and its gate disagree.
+
+Writes ``BENCH_lint.json`` next to this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_lint.py [--smoke]
+
+``--smoke`` runs a single round (the scan itself is already seconds
+long, so smoke and full differ only in repetition count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.engine import run_analysis
+
+OUT_PATH = Path(__file__).parent / "BENCH_lint.json"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Hard wall-clock ceiling for one full gate scan. The acceptance bound
+#: from the analysis rework: the whole-program pass must stay a
+#: pre-commit-friendly one-digit number of seconds.
+SCAN_BUDGET_SECONDS = 10.0
+
+SCAN_ROOTS = ("src/repro", "benchmarks")
+ALLOWLIST = "analysis-allowlist.txt"
+
+
+def time_scan() -> tuple[float, dict]:
+    """One full gate scan; returns (seconds, summary facts).
+
+    Runs from the repo root with relative paths — exactly how CI
+    invokes the gate — because the checked-in allowlist matches
+    repo-relative path globs (``benchmarks/*``).
+    """
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        start = time.perf_counter()
+        report = run_analysis(
+            [Path(root) for root in SCAN_ROOTS],
+            allowlist_path=Path(ALLOWLIST),
+        )
+        seconds = time.perf_counter() - start
+    finally:
+        os.chdir(cwd)
+    assert not report.errors, report.errors
+    assert not report.diagnostics, [d.render() for d in report.diagnostics]
+    return seconds, {
+        "files_checked": report.files_checked,
+        "findings": len(report.diagnostics),
+        "suppressed": len(report.suppressed),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single round: CI sanity check only",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args()
+
+    rounds = 1 if args.smoke else args.rounds
+    timings = []
+    summary: dict = {}
+    for _ in range(rounds):
+        seconds, summary = time_scan()
+        timings.append(seconds)
+    best = min(timings)
+
+    ok = best <= SCAN_BUDGET_SECONDS
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "rounds": rounds,
+        "scan_roots": list(SCAN_ROOTS),
+        "files_checked": summary["files_checked"],
+        "findings": summary["findings"],
+        "suppressed": summary["suppressed"],
+        "scan_seconds": round(best, 4),
+        "scan_budget_seconds": SCAN_BUDGET_SECONDS,
+        "files_per_sec": round(summary["files_checked"] / best, 1),
+        "within_budget": ok,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"written to {OUT_PATH}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

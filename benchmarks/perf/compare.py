@@ -94,6 +94,12 @@ HEADLINE = {
             ),
         ),
     ],
+    "BENCH_lint": [
+        (
+            "files_per_sec",
+            lambda report: report.get("files_per_sec"),
+        ),
+    ],
     "BENCH_elastic": [
         (
             "migrations_per_sec",

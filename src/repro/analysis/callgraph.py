@@ -1,0 +1,475 @@
+"""Project-wide call graph over the scanned tree (pass 2 substrate).
+
+Pass 1 gives every file a :class:`~repro.analysis.facts.FileFacts`;
+this module merges them into one :class:`CallGraph`: every function and
+class definition indexed by dotted qualname, plus every call site with
+its resolved callee. The effect inference (:mod:`repro.analysis.effects`)
+and the interprocedural rules (R1/R2/R3 at call sites, R10 fabric
+hygiene) are consumers.
+
+Resolution is deliberately *syntactic* and layered — no file under
+analysis is ever imported:
+
+1. **direct** — a bare name naming a function defined in the same
+   module (or the lexically enclosing function, for nested defs);
+2. **alias** — ``from``-import and module-import aliases, followed
+   through package re-exports (``from repro.core.optimizer import
+   ft_search`` resolves to ``repro.core.optimizer.ftsearch.ft_search``
+   through the package ``__init__``);
+3. **constructor** — a resolved class name called as a constructor
+   binds to its ``__init__`` when one is defined in the scan;
+4. **self** — ``self.method()`` binds within the enclosing class
+   (base-class methods are a known blind spot);
+5. **receiver** — ``obj.method()`` through the inferred type of
+   ``obj``: parameter/variable annotations, assignment from a resolved
+   constructor or from a call whose return annotation names a scanned
+   class, ``with ... as`` bindings, and one level of annotated
+   attribute access (``session.pool.map``);
+6. **unique** — a method call on a receiver of *unknown* type falls
+   back to the method name when exactly one scanned class defines it.
+   A receiver whose type resolved to something *external* (e.g. a
+   ``ProcessPoolExecutor``) blocks this fallback: known-foreign is not
+   unknown.
+
+Unresolved calls produce no edge — the analysis is deliberately
+under-approximate, and docs/static-analysis.md lists the blind spots.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.analysis.facts import FileFacts, resolve_call_target
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FuncInfo",
+    "build_call_graph",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Receiver types resolved to a dotted name outside the scan are marked
+#: with this prefix: they carry enough information to *block* the
+#: unique-name fallback without ever matching a scanned class.
+EXTERNAL = "external:"
+
+
+@dataclass
+class FuncInfo:
+    """One function or method definition in the scanned tree."""
+
+    qualname: str
+    module: str
+    file: str
+    line: int
+    name: str
+    class_qualname: Optional[str]
+    is_nested: bool
+    node: FunctionNode
+    facts: FileFacts
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    @property
+    def is_top_level(self) -> bool:
+        return not self.is_nested and self.class_qualname is None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, annotated attributes, decorators."""
+
+    qualname: str
+    module: str
+    file: str
+    line: int
+    name: str
+    node: ast.ClassDef
+    facts: FileFacts
+    methods: dict[str, FuncInfo] = field(default_factory=dict)
+    #: Attribute name -> resolved type (class qualname or external:...).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: Attribute name -> raw annotation node, for primitive-tag
+    #: inference (typed R4). Strict-gated like ``attr_types``.
+    attr_annotations: dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge: caller scope, callee, position."""
+
+    caller: str  # enclosing function qualname, or the module for
+    # module-level calls
+    callee: str  # resolved function/method qualname
+    file: str
+    line: int
+    col: int
+    resolution: str  # direct | alias | constructor | self | receiver
+    # | unique
+    node: ast.Call = field(repr=False)
+
+
+class CallGraph:
+    """Merged definitions and resolved call edges for one scan."""
+
+    def __init__(self, strict_prefixes: tuple[str, ...] = ()) -> None:
+        self.functions: dict[str, FuncInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.call_sites: list[CallSite] = []
+        self.calls_from: dict[str, list[CallSite]] = {}
+        self.callers_of: dict[str, list[CallSite]] = {}
+        #: ``module.bound -> absolute target`` for every from-import,
+        #: giving re-export chains through package ``__init__`` files.
+        self.reexports: dict[str, str] = {}
+        self._methods_by_name: dict[str, list[str]] = {}
+        #: Module prefixes whose annotations are mypy-strict-gated; only
+        #: their class attribute annotations are trusted for inference.
+        self.strict_prefixes = strict_prefixes
+        self._scope_types: dict[str, dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _index_file(self, facts: FileFacts) -> None:
+        for bound, target in facts.name_aliases.items():
+            self.reexports[f"{facts.module}.{bound}"] = target
+        self._index_body(facts, facts.tree.body, facts.module, None, False)
+
+    def _index_body(
+        self,
+        facts: FileFacts,
+        body: list[ast.stmt],
+        scope: str,
+        class_info: Optional[ClassInfo],
+        nested: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{scope}.{stmt.name}"
+                info = FuncInfo(
+                    qualname=qualname,
+                    module=facts.module,
+                    file=facts.file,
+                    line=stmt.lineno,
+                    name=stmt.name,
+                    class_qualname=(
+                        class_info.qualname if class_info else None
+                    ),
+                    is_nested=nested,
+                    node=stmt,
+                    facts=facts,
+                )
+                self.functions.setdefault(qualname, info)
+                if class_info is not None:
+                    class_info.methods.setdefault(stmt.name, info)
+                    self._methods_by_name.setdefault(stmt.name, []).append(
+                        qualname
+                    )
+                self._index_body(facts, stmt.body, qualname, None, True)
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{scope}.{stmt.name}"
+                cinfo = ClassInfo(
+                    qualname=qualname,
+                    module=facts.module,
+                    file=facts.file,
+                    line=stmt.lineno,
+                    name=stmt.name,
+                    node=stmt,
+                    facts=facts,
+                )
+                self.classes.setdefault(qualname, cinfo)
+                self._index_class_attrs(facts, cinfo)
+                self._index_body(facts, stmt.body, qualname, cinfo, nested)
+
+    def _index_class_attrs(self, facts: FileFacts, info: ClassInfo) -> None:
+        if not self._is_strict_module(facts.module):
+            return
+        for stmt in info.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                info.attr_annotations[stmt.target.id] = stmt.annotation
+                resolved = self.annotation_type(facts, stmt.annotation)
+                if resolved is not None:
+                    info.attr_types[stmt.target.id] = resolved
+
+    def _is_strict_module(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.strict_prefixes
+        )
+
+    def enclosing_function(
+        self, facts: FileFacts, node: ast.AST
+    ) -> Optional[FuncInfo]:
+        """The :class:`FuncInfo` lexically enclosing ``node``, if any."""
+        chain = facts.ancestors(node)  # innermost first
+        for index, ancestor in enumerate(chain):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names = [ancestor.name]
+                for outer in chain[index + 1 :]:
+                    if isinstance(
+                        outer,
+                        (
+                            ast.FunctionDef,
+                            ast.AsyncFunctionDef,
+                            ast.ClassDef,
+                        ),
+                    ):
+                        names.append(outer.name)
+                qualname = ".".join([facts.module, *reversed(names)])
+                return self.functions.get(qualname)
+        return None
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+
+    def resolve_export(self, dotted: str) -> str:
+        """Follow re-export chains (``pkg.name -> pkg.module.name``)."""
+        seen = set()
+        while dotted in self.reexports and dotted not in seen:
+            seen.add(dotted)
+            dotted = self.reexports[dotted]
+        return dotted
+
+    def annotation_type(
+        self, facts: FileFacts, node: Optional[ast.expr]
+    ) -> Optional[str]:
+        """Resolve an annotation to a scanned class qualname or
+        ``external:<dotted>``; ``None`` when it cannot be named."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):
+            base = self.annotation_type(facts, node.value)
+            if base == f"{EXTERNAL}typing.Optional":
+                inner = node.slice
+                return self.annotation_type(facts, inner)
+            return base
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = resolve_call_target(facts, node)
+            if dotted is None:
+                return None
+            dotted = self.resolve_export(dotted)
+            if dotted in self.classes:
+                return dotted
+            local = f"{facts.module}.{dotted}"
+            if local in self.classes:
+                return local
+            return f"{EXTERNAL}{dotted}"
+        return None
+
+    def _scope_variable_types(self, info: FuncInfo) -> dict[str, str]:
+        """Variable name -> resolved type inside one function scope."""
+        cached = self._scope_types.get(info.qualname)
+        if cached is not None:
+            return cached
+        types: dict[str, str] = {}
+        args = info.node.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            resolved = self.annotation_type(info.facts, arg.annotation)
+            if resolved is not None:
+                types[arg.arg] = resolved
+        for node in self._walk_scope(info.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                resolved = self.annotation_type(info.facts, node.annotation)
+                if resolved is not None:
+                    types[node.target.id] = resolved
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    resolved = self._value_type(info.facts, node.value)
+                    if resolved is not None:
+                        types[target.id] = resolved
+            elif isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        resolved = self._value_type(
+                            info.facts, item.context_expr
+                        )
+                        if resolved is not None:
+                            types[item.optional_vars.id] = resolved
+        self._scope_types[info.qualname] = types
+        return types
+
+    def _value_type(self, facts: FileFacts, node: ast.expr) -> Optional[str]:
+        """The type of an expression used as an assignment source."""
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = resolve_call_target(facts, node.func)
+        if dotted is not None:
+            dotted = self.resolve_export(dotted)
+            for candidate in (dotted, f"{facts.module}.{dotted}"):
+                if candidate in self.classes:
+                    return candidate
+                called = self.functions.get(candidate)
+                if called is not None:
+                    return self.annotation_type(
+                        called.facts, called.node.returns
+                    )
+            if "." in dotted:
+                return f"{EXTERNAL}{dotted}"
+        return None
+
+    @staticmethod
+    def _walk_scope(root: FunctionNode) -> list[ast.AST]:
+        """Every node of one function body, nested defs excluded."""
+        found: list[ast.AST] = []
+        stack: list[ast.AST] = list(root.body)
+        while stack:
+            node = stack.pop()
+            found.append(node)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    continue
+                stack.append(child)
+        return found
+
+    # ------------------------------------------------------------------
+    # Call-site resolution
+    # ------------------------------------------------------------------
+
+    def receiver_type(
+        self, info: Optional[FuncInfo], facts: FileFacts, node: ast.expr
+    ) -> Optional[str]:
+        """The resolved type of a method-call receiver expression."""
+        if isinstance(node, ast.Name):
+            if info is not None:
+                scoped = self._scope_variable_types(info).get(node.id)
+                if scoped is not None:
+                    return scoped
+            return None
+        if isinstance(node, ast.Call):
+            return self._value_type(facts, node)
+        if isinstance(node, ast.Attribute):
+            base = self.receiver_type(info, facts, node.value)
+            if base is None and isinstance(node.value, ast.Name):
+                if node.value.id == "self" and info is not None:
+                    base = info.class_qualname
+            if base is not None and base in self.classes:
+                return self.classes[base].attr_types.get(node.attr)
+            return None
+        return None
+
+    def _resolve_call(
+        self,
+        facts: FileFacts,
+        info: Optional[FuncInfo],
+        call: ast.Call,
+    ) -> Optional[tuple[str, str]]:
+        """``(callee qualname, resolution kind)`` for one call, if any."""
+        func = call.func
+        dotted = resolve_call_target(facts, func)
+        if dotted is not None:
+            resolved = self.resolve_export(dotted)
+            kind = "direct" if "." not in resolved else "alias"
+            for candidate in (resolved, f"{facts.module}.{resolved}"):
+                if candidate in self.functions:
+                    return candidate, kind
+                if candidate in self.classes:
+                    init = self.classes[candidate].methods.get("__init__")
+                    if init is not None:
+                        return init.qualname, "constructor"
+                    return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            if info is not None and info.class_qualname is not None:
+                owner = self.classes.get(info.class_qualname)
+                if owner is not None and method in owner.methods:
+                    return owner.methods[method].qualname, "self"
+                return None
+        rtype = self.receiver_type(info, facts, receiver)
+        if rtype is not None and rtype in self.classes:
+            target = self.classes[rtype].methods.get(method)
+            if target is not None:
+                return target.qualname, "receiver"
+            return None
+        if rtype is not None and rtype.startswith(EXTERNAL):
+            return None  # known-foreign receiver: no fallback
+        candidates = self._methods_by_name.get(method, [])
+        if len(candidates) == 1:
+            return candidates[0], "unique"
+        return None
+
+    def _link_file(self, facts: FileFacts) -> None:
+        # Map every call node to its lexically enclosing function.
+        owners: dict[int, Optional[FuncInfo]] = {}
+
+        def assign_owner(
+            body: list[ast.stmt], owner: Optional[FuncInfo], scope: str
+        ) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inner = self.functions.get(f"{scope}.{stmt.name}")
+                    assign_owner(stmt.body, inner, f"{scope}.{stmt.name}")
+                    for deco in stmt.decorator_list:
+                        for node in ast.walk(deco):
+                            owners[id(node)] = owner
+                elif isinstance(stmt, ast.ClassDef):
+                    assign_owner(stmt.body, owner, f"{scope}.{stmt.name}")
+                else:
+                    for node in ast.walk(stmt):
+                        owners[id(node)] = owner
+
+        assign_owner(facts.tree.body, None, facts.module)
+        for node in ast.walk(facts.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            info = owners.get(id(node))
+            resolved = self._resolve_call(facts, info, node)
+            if resolved is None:
+                continue
+            callee, how = resolved
+            site = CallSite(
+                caller=info.qualname if info else facts.module,
+                callee=callee,
+                file=facts.file,
+                line=node.lineno,
+                col=node.col_offset,
+                resolution=how,
+                node=node,
+            )
+            self.call_sites.append(site)
+            self.calls_from.setdefault(site.caller, []).append(site)
+            self.callers_of.setdefault(site.callee, []).append(site)
+
+
+def build_call_graph(
+    all_facts: list[FileFacts],
+    strict_prefixes: tuple[str, ...] = (),
+) -> CallGraph:
+    """Index every file, then resolve every call site."""
+    graph = CallGraph(strict_prefixes=strict_prefixes)
+    for facts in all_facts:
+        graph._index_file(facts)
+    for facts in all_facts:
+        graph._link_file(facts)
+    graph.call_sites.sort(key=lambda s: (s.file, s.line, s.col, s.callee))
+    return graph

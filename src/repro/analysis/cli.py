@@ -32,8 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "Determinism & event-schema linter: AST checks R1..R8 over"
-            " the given files or directories."
+            "Determinism & event-schema linter: whole-program checks"
+            " R1..R10 over the given files or directories."
         ),
     )
     parser.add_argument(
@@ -44,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="stdout format (default: text diagnostics + summary)",
     )
@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="also write the canonical JSON report to this file",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 log to this file (CI upload)",
     )
     parser.add_argument(
         "--allowlist",
@@ -133,8 +139,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.out is not None:
         Path(args.out).write_text(report.to_json())
+    if args.sarif is not None:
+        from repro.analysis.sarif import render_sarif
+
+        Path(args.sarif).write_text(render_sarif(report))
     if args.format == "json":
         sys.stdout.write(report.to_json())
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        sys.stdout.write(render_sarif(report))
     else:
         print(report.render_text())
     return 0 if report.ok else 1

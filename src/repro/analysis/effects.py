@@ -1,0 +1,570 @@
+"""Effect inference: intrinsic nondeterminism sites and taint chains.
+
+Three effect kinds form the taint lattice (absent < present, one bit
+per kind, joined over call edges):
+
+* ``wall-clock`` — the function reads host time (R1's subject);
+* ``unseeded-rng`` — it draws OS entropy or global RNG state (R2);
+* ``iteration-order`` — it iterates a set on an ordering-sensitive
+  position (R3).
+
+This module owns the *classifiers* for those primitives — the single
+source of truth shared by the local rules in
+:mod:`repro.analysis.rules` and by the interprocedural pass — and the
+propagation itself: every function's intrinsic sites are collected,
+then taints flow from callee to caller over the call graph until a
+fixed point, keeping the lexicographically-shortest witness chain per
+(function, kind) so diagnostics are deterministic.
+
+**Budget-confined wall-clock reads do not propagate.** A read whose
+value is only ever compared (``time.monotonic() > deadline``) or
+assigned to locals that are themselves only compared or arithmetically
+folded into other such locals enforces a time budget without letting
+host time reach a result, an event payload, or a digest — the exact
+carve-out the allowlist grants the optimizer's ``time_limit`` plumbing.
+A read that escapes any other way (returned, stored on ``self``,
+passed as an argument, put in a container) taints the function.
+
+Suppressing an intrinsic site (inline or via the allowlist) does *not*
+clear the taint: the waiver covers the site itself, not every sim-path
+caller two hops away. That asymmetry is the point of the pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import CallGraph, FuncInfo
+from repro.analysis.facts import FileFacts, resolve_call_target
+
+__all__ = [
+    "EffectAnalysis",
+    "KIND_ITERATION",
+    "KIND_RNG",
+    "KIND_RULES",
+    "KIND_WALLCLOCK",
+    "PrimitiveSite",
+    "TaintStep",
+    "classify_unseeded",
+    "iter_iteration_sites",
+    "iter_wallclock_calls",
+    "wallclock_aliases",
+]
+
+KIND_WALLCLOCK = "wall-clock"
+KIND_RNG = "unseeded-rng"
+KIND_ITERATION = "iteration-order"
+
+#: Effect kind -> the rule that fires at a tainted sim-path call site.
+KIND_RULES: dict[str, str] = {
+    KIND_WALLCLOCK: "R1",
+    KIND_RNG: "R2",
+    KIND_ITERATION: "R3",
+}
+
+# ----------------------------------------------------------------------
+# Wall-clock primitives (R1's subject)
+# ----------------------------------------------------------------------
+
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def wallclock_aliases(facts: FileFacts) -> dict[str, str]:
+    """Local aliases like ``monotonic = time.monotonic`` (a common
+    hot-loop micro-optimization) must not evade the rule: calls through
+    such a name are wall-clock reads too."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(facts.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target_node = node.targets[0]
+            if isinstance(target_node, ast.Name):
+                resolved = resolve_call_target(facts, node.value)
+                if resolved in WALLCLOCK_CALLS:
+                    aliases[target_node.id] = resolved
+    return aliases
+
+
+def iter_wallclock_calls(
+    facts: FileFacts,
+    root: Optional[ast.AST] = None,
+    aliases: Optional[dict[str, str]] = None,
+) -> Iterator[tuple[ast.Call, str]]:
+    """Every wall-clock read under ``root`` (default: the whole file)."""
+    if aliases is None:
+        aliases = wallclock_aliases(facts)
+    for node in ast.walk(root if root is not None else facts.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(facts, node.func)
+        if target in aliases:
+            target = aliases[target]
+        if target in WALLCLOCK_CALLS:
+            assert target is not None
+            yield node, target
+
+
+# ----------------------------------------------------------------------
+# Entropy / unseeded-RNG primitives (R2's subject)
+# ----------------------------------------------------------------------
+
+ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+    }
+)
+
+#: numpy.random constructors that are fine *when given a seed argument*.
+NUMPY_SEEDED_CTORS = frozenset(
+    {
+        "default_rng",
+        "RandomState",
+        "Generator",
+        "SeedSequence",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+def classify_unseeded(
+    target: Optional[str], has_seed_arg: bool
+) -> Optional[str]:
+    """The R2 complaint for one resolved call target, or ``None``."""
+    if target is None:
+        return None
+    if target in ENTROPY_CALLS:
+        return (
+            f"{target}() draws OS entropy; derive values from an"
+            " explicit seed instead"
+        )
+    if target in ("random.Random", "numpy.random.default_rng"):
+        if not has_seed_arg:
+            return (
+                f"{target}() without a seed argument: construct"
+                " RNGs from an explicit seed parameter"
+            )
+        return None
+    if target == "random.SystemRandom":
+        return (
+            "random.SystemRandom draws OS entropy and can never"
+            " be seeded"
+        )
+    if target.startswith("random."):
+        return (
+            f"{target}() uses the shared module-level RNG; construct"
+            " random.Random(seed) from an explicit seed parameter"
+        )
+    if target.startswith("numpy.random."):
+        member = target.rsplit(".", 1)[1]
+        if member in NUMPY_SEEDED_CTORS:
+            if not has_seed_arg:
+                return (
+                    f"{target}() without a seed argument: pass an"
+                    " explicit seed"
+                )
+            return None
+        return (
+            f"{target}() uses numpy's global RNG state; use"
+            " numpy.random.default_rng(seed) instead"
+        )
+    return None
+
+
+def iter_unseeded_calls(
+    facts: FileFacts, root: Optional[ast.AST] = None
+) -> Iterator[tuple[ast.Call, str, str]]:
+    """``(node, target, message)`` for every R2-positive call."""
+    for node in ast.walk(root if root is not None else facts.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(facts, node.func)
+        has_seed_arg = bool(node.args) or bool(node.keywords)
+        message = classify_unseeded(target, has_seed_arg)
+        if message is not None:
+            assert target is not None
+            yield node, target, message
+
+
+# ----------------------------------------------------------------------
+# Ordering-sensitive set iteration (R3's subject)
+# ----------------------------------------------------------------------
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+_ORDER_NEUTRAL_WRAPPERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+
+def _set_typed_names(tree: ast.AST) -> set[str]:
+    """Names assigned from set-valued expressions anywhere in ``tree``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        value: Optional[ast.expr] = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        if value is None or not _is_set_expr(value, names):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether ``node`` evaluates to a set (syntactically)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr == "keys" and not node.args:
+                return True
+            if func.attr in _SET_METHODS:
+                return True
+    return False
+
+
+def _sorted_ancestor(facts: FileFacts, node: ast.AST) -> bool:
+    """Whether an enclosing call neutralizes iteration order."""
+    for ancestor in facts.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            func = ancestor.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_NEUTRAL_WRAPPERS
+            ):
+                return True
+        if isinstance(ancestor, ast.stmt):
+            break
+    return False
+
+
+def iter_iteration_sites(
+    facts: FileFacts,
+    root: Optional[ast.AST] = None,
+    set_names: Optional[set[str]] = None,
+) -> Iterator[tuple[ast.expr, str]]:
+    """``(node, context)`` for every unsorted ordering-sensitive set
+    iteration under ``root`` (default: the whole file)."""
+    scope = root if root is not None else facts.tree
+    if set_names is None:
+        set_names = _set_typed_names(facts.tree)
+    for node in ast.walk(scope):
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter, set_names):
+                if not _sorted_ancestor(facts, node.iter):
+                    yield node.iter, "in a for loop"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # SetComp is exempt: its result is itself a set, so the
+            # iteration order of its source can never be observed.
+            for generator in node.generators:
+                if _is_set_expr(generator.iter, set_names):
+                    if not _sorted_ancestor(facts, generator.iter):
+                        yield generator.iter, "in a comprehension"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else None
+            is_join = isinstance(func, ast.Attribute) and func.attr == "join"
+            if (name in _ORDER_SENSITIVE_CALLS or is_join) and node.args:
+                if _is_set_expr(node.args[0], set_names):
+                    if not _sorted_ancestor(facts, node.args[0]):
+                        yield node.args[0], f"passed to {name or 'join'}()"
+
+
+# ----------------------------------------------------------------------
+# Budget confinement: wall-clock reads that never escape a comparison
+# ----------------------------------------------------------------------
+
+_FOLD_NODES = (ast.BinOp, ast.UnaryOp, ast.IfExp, ast.BoolOp)
+
+
+def _enclosing_statement(
+    facts: FileFacts, node: ast.AST
+) -> Optional[ast.stmt]:
+    current: Optional[ast.AST] = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = facts.parent_of(current)
+    return current if isinstance(current, ast.stmt) else None
+
+
+def _compare_guarded(facts: FileFacts, node: ast.AST) -> bool:
+    """True when ``node`` only feeds a comparison within its statement."""
+    for ancestor in facts.ancestors(node):
+        if isinstance(ancestor, ast.Compare):
+            return True
+        if isinstance(ancestor, ast.stmt):
+            return False
+        if not isinstance(ancestor, _FOLD_NODES):
+            return False
+    return False
+
+
+def _fold_target(facts: FileFacts, node: ast.AST) -> Optional[str]:
+    """The local name this value folds into, if the whole path from the
+    use to the assignment passes only through arithmetic/conditional
+    operators (``deadline = start + limit`` keeps ``deadline`` in the
+    budget-tracked set)."""
+    for ancestor in facts.ancestors(node):
+        if isinstance(ancestor, (ast.BinOp, ast.UnaryOp, ast.IfExp)):
+            continue
+        if isinstance(ancestor, ast.Assign) and len(ancestor.targets) == 1:
+            target = ancestor.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+        return None
+    return None
+
+
+def budget_confined(
+    facts: FileFacts, func_node: ast.AST, call: ast.Call
+) -> bool:
+    """Whether one wall-clock read is provably budget-only.
+
+    The read may feed comparisons and locals that themselves only feed
+    comparisons (transitively, through arithmetic folds). Any other
+    use — return, argument, attribute store, container — escapes.
+    """
+    if _compare_guarded(facts, call):
+        return True
+    statement = _enclosing_statement(facts, call)
+    if isinstance(statement, ast.Expr):
+        return True  # result discarded
+    tracked = _fold_target(facts, call)
+    if tracked is None:
+        return False
+    pending = [tracked]
+    confined: set[str] = set()
+    while pending:
+        name = pending.pop()
+        if name in confined:
+            continue
+        confined.add(name)
+        for node in ast.walk(func_node):
+            if not (isinstance(node, ast.Name) and node.id == name):
+                continue
+            if isinstance(node.ctx, ast.Store):
+                continue
+            if _compare_guarded(facts, node):
+                continue
+            folded = _fold_target(facts, node)
+            if folded is not None and folded != name:
+                pending.append(folded)
+                continue
+            # ``is None`` guards and plain re-assignment sources are
+            # comparisons/stores; anything else escapes.
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Intrinsic sites and propagation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrimitiveSite:
+    """One intrinsic nondeterminism site inside one function."""
+
+    kind: str
+    line: int
+    col: int
+    detail: str  # e.g. ``time.monotonic`` or ``random.random``
+    budget_only: bool = False
+
+
+@dataclass(frozen=True)
+class TaintStep:
+    """One hop of a witness chain: what is called, and where."""
+
+    name: str
+    file: str
+    line: int
+
+    def render(self) -> str:
+        return f"{self.name} ({self.file}:{self.line})"
+
+
+Chain = tuple[TaintStep, ...]
+
+
+def _chain_key(chain: Chain) -> tuple[int, tuple[str, ...]]:
+    return len(chain), tuple(step.render() for step in chain)
+
+
+class EffectAnalysis:
+    """Per-function intrinsic sites plus propagated taint chains."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        #: function qualname -> its intrinsic primitive sites.
+        self.intrinsic: dict[str, list[PrimitiveSite]] = {}
+        #: function qualname -> kind -> shortest witness chain. The
+        #: chain's first step is what the function itself calls; the
+        #: last step is the primitive read.
+        self.taints: dict[str, dict[str, Chain]] = {}
+        #: Per-file memos: alias maps and set-typed names are functions
+        #: of the whole file, so computing them per enclosed function
+        #: would make collection quadratic in file size.
+        self._aliases: dict[str, dict[str, str]] = {}
+        self._set_names: dict[str, set[str]] = {}
+        self._run()
+
+    # -- collection ----------------------------------------------------
+
+    def _file_memos(self, facts: FileFacts) -> tuple[dict[str, str], set[str]]:
+        if facts.file not in self._aliases:
+            self._aliases[facts.file] = wallclock_aliases(facts)
+            self._set_names[facts.file] = _set_typed_names(facts.tree)
+        return self._aliases[facts.file], self._set_names[facts.file]
+
+    def _collect_function(self, info: FuncInfo) -> list[PrimitiveSite]:
+        facts = info.facts
+        aliases, set_names = self._file_memos(facts)
+        nested_ranges = [
+            (child.lineno, child.end_lineno or child.lineno)
+            for child in ast.walk(info.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not info.node
+        ]
+
+        def owned(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", None)
+            if line is None:
+                return False
+            return not any(
+                start <= line <= end for start, end in nested_ranges
+            )
+
+        sites: list[PrimitiveSite] = []
+        for call, target in iter_wallclock_calls(facts, info.node, aliases):
+            if not owned(call):
+                continue
+            sites.append(
+                PrimitiveSite(
+                    kind=KIND_WALLCLOCK,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    detail=target,
+                    budget_only=budget_confined(facts, info.node, call),
+                )
+            )
+        for call, target, _message in iter_unseeded_calls(facts, info.node):
+            if not owned(call):
+                continue
+            sites.append(
+                PrimitiveSite(
+                    kind=KIND_RNG,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    detail=target,
+                )
+            )
+        for expr, context in iter_iteration_sites(facts, info.node, set_names):
+            if not owned(expr):
+                continue
+            sites.append(
+                PrimitiveSite(
+                    kind=KIND_ITERATION,
+                    line=expr.lineno,
+                    col=expr.col_offset,
+                    detail=f"set iteration {context}",
+                )
+            )
+        sites.sort(key=lambda s: (s.line, s.col, s.kind))
+        return sites
+
+    # -- propagation ---------------------------------------------------
+
+    def _run(self) -> None:
+        for qualname, info in self.graph.functions.items():
+            sites = self._collect_function(info)
+            self.intrinsic[qualname] = sites
+            chains: dict[str, Chain] = {}
+            for site in sites:
+                if site.kind == KIND_WALLCLOCK and site.budget_only:
+                    continue
+                step = TaintStep(
+                    name=f"{site.detail}()"
+                    if site.kind != KIND_ITERATION
+                    else site.detail,
+                    file=info.file,
+                    line=site.line,
+                )
+                candidate: Chain = (step,)
+                held = chains.get(site.kind)
+                if held is None or _chain_key(candidate) < _chain_key(held):
+                    chains[site.kind] = candidate
+            if chains:
+                self.taints[qualname] = chains
+
+        # Fixed point: flow callee taints to callers, always keeping
+        # the (length, text)-minimal chain so reports are stable.
+        changed = True
+        while changed:
+            changed = False
+            for site in self.graph.call_sites:
+                callee_taints = self.taints.get(site.callee)
+                if not callee_taints:
+                    continue
+                caller = site.caller
+                if caller not in self.graph.functions:
+                    continue  # module-level call: nothing to taint
+                hop = TaintStep(
+                    name=site.callee, file=site.file, line=site.line
+                )
+                held_map = self.taints.setdefault(caller, {})
+                for kind, chain in callee_taints.items():
+                    candidate = (hop, *chain)
+                    if len(candidate) > 12:
+                        continue  # depth bound; cycles stay finite
+                    held = held_map.get(kind)
+                    if held is None or _chain_key(candidate) < _chain_key(
+                        held
+                    ):
+                        held_map[kind] = candidate
+                        changed = True
+
+    # -- queries -------------------------------------------------------
+
+    def taint_of(self, qualname: str) -> dict[str, Chain]:
+        """Every propagated effect of one function (empty if clean)."""
+        return self.taints.get(qualname, {})
+
+    def render_chain(self, chain: Chain) -> str:
+        return " -> ".join(step.render() for step in chain)

@@ -1,11 +1,15 @@
 """The analysis engine: file collection, two passes, suppression, report.
 
 Pass 1 parses every file once (:func:`repro.analysis.facts.collect_facts`)
-and runs the per-file rules. Pass 2 resolves the cross-module facts —
-the ``EVENT_SCHEMA`` table and every emit site — and runs the schema
-cross-check (R4). Suppressions (inline allow comments and the allowlist
-file) are applied last, then audited: an allow comment that never
-absorbed a diagnostic is itself an R8 finding.
+and runs the per-file rules. Pass 2 merges the cross-module facts: the
+``EVENT_SCHEMA`` table and every emit site feed the typed schema
+cross-check (R4), and the project-wide call graph
+(:mod:`repro.analysis.callgraph`) feeds the effect inference
+(:mod:`repro.analysis.effects`) and the whole-program rules — the
+interprocedural R1/R2/R3 boundary findings and R10 fabric hygiene.
+Suppressions (inline allow comments and the allowlist file) are applied
+last, then audited: an allow comment that never absorbed a diagnostic
+is itself an R8 finding.
 
 The report is deliberately deterministic: diagnostics are sorted, the
 JSON form uses sorted keys and fixed separators, and nothing in it
@@ -27,13 +31,44 @@ from repro.analysis.diagnostics import (
     load_allowlist,
     parse_suppressions,
 )
-from repro.analysis.facts import EmitSite, SchemaDef, collect_facts
-from repro.analysis.rules import RULE_IDS, RULES, check_file, check_schema
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.effects import EffectAnalysis
+from repro.analysis.facts import (
+    EmitSite,
+    FileFacts,
+    SchemaDef,
+    collect_facts,
+)
+from repro.analysis.rules import (
+    RULE_IDS,
+    RULES,
+    check_file,
+    check_project,
+    check_schema,
+)
 
 __all__ = ["AnalysisReport", "run_analysis"]
 
 #: Default allowlist filename, discovered in the working directory.
 ALLOWLIST_NAME = "analysis-allowlist.txt"
+
+#: The mypy-strict ratchet file; its module prefixes gate which class
+#: annotations the typed schema inference trusts.
+STRICT_RATCHET = Path("tools") / "typing-strict.txt"
+
+
+def _strict_prefixes(root: Optional[Path] = None) -> tuple[str, ...]:
+    """Module prefixes under the mypy-strict ratchet, if the file is
+    discoverable from the working directory (the repo root in CI)."""
+    candidate = (root or Path(".")) / STRICT_RATCHET
+    if not candidate.exists():
+        return ()
+    prefixes = []
+    for line in candidate.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            prefixes.append(line)
+    return tuple(prefixes)
 
 
 @dataclass
@@ -127,6 +162,8 @@ def run_analysis(
     diagnostics: list[Diagnostic] = []
     suppressions: list[Suppression] = []
     modules: dict[str, str] = {}
+    all_facts: list[FileFacts] = []
+    facts_by_file: dict[str, FileFacts] = {}
     all_sites: list[EmitSite] = []
     all_defs: list[SchemaDef] = []
     files = _collect_python_files(paths)
@@ -139,6 +176,8 @@ def run_analysis(
             errors.append(f"{display}: {exc}")
             continue
         modules[display] = facts.module
+        all_facts.append(facts)
+        facts_by_file[display] = facts
         all_sites.extend(facts.emit_sites)
         all_defs.extend(facts.schema_defs)
         file_suppressions, r8_problems = parse_suppressions(
@@ -148,7 +187,10 @@ def run_analysis(
         diagnostics.extend(r8_problems)
         diagnostics.extend(check_file(facts))
 
-    diagnostics.extend(check_schema(all_sites, all_defs))
+    graph = build_call_graph(all_facts, strict_prefixes=_strict_prefixes())
+    effects = EffectAnalysis(graph)
+    diagnostics.extend(check_schema(all_sites, all_defs, graph, facts_by_file))
+    diagnostics.extend(check_project(all_facts, graph, effects))
 
     # Apply suppressions: inline comments first, then allowlist entries.
     # R8 findings are never suppressible — exemptions must stay auditable.

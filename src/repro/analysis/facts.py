@@ -54,16 +54,28 @@ class EmitSite:
     event_type: str
     keywords: frozenset[str]
     has_star_kwargs: bool
+    #: The keyword value expressions, for payload type inference. AST
+    #: nodes compare by identity, so these stay out of equality.
+    values: tuple[tuple[str, ast.expr], ...] = field(default=(), compare=False)
 
 
 @dataclass(frozen=True)
 class SchemaDef:
-    """One ``EVENT_SCHEMA`` entry: an event type and its required fields."""
+    """One ``EVENT_SCHEMA`` entry: an event type and its required fields.
+
+    ``types`` maps field names to declared type tags for the typed
+    (dict-literal) schema form; it is ``None`` for the legacy
+    ``frozenset({...})`` form, which declares field names only.
+    """
 
     file: str
     line: int
     event_type: str
     fields: frozenset[str]
+    types: Optional[tuple[tuple[str, str], ...]] = None
+
+    def type_map(self) -> dict[str, str]:
+        return dict(self.types) if self.types is not None else {}
 
 
 @dataclass
@@ -172,6 +184,11 @@ def _collect_emit_sites(facts: FileFacts) -> None:
                 event_type=first.value,
                 keywords=keywords,
                 has_star_kwargs=has_star,
+                values=tuple(
+                    (kw.arg, kw.value)
+                    for kw in node.keywords
+                    if kw.arg is not None
+                ),
             )
         )
 
@@ -200,8 +217,29 @@ def _frozenset_literal_fields(node: ast.expr) -> Optional[frozenset[str]]:
     return None
 
 
+def _typed_literal_fields(
+    node: ast.expr,
+) -> Optional[tuple[tuple[str, str], ...]]:
+    """The ``{"field": "type", ...}`` pairs of a typed schema entry."""
+    if not isinstance(node, ast.Dict):
+        return None
+    pairs: list[tuple[str, str]] = []
+    for key, value in zip(node.keys, node.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return None
+        pairs.append((key.value, value.value))
+    return tuple(pairs)
+
+
 def _collect_schema_defs(facts: FileFacts) -> None:
-    """Parse ``EVENT_SCHEMA = {"type": frozenset({...}), ...}`` literals."""
+    """Parse ``EVENT_SCHEMA`` literals, in either declaration form:
+    typed ``{"type": {"field": "tag", ...}, ...}`` dict entries or the
+    legacy ``{"type": frozenset({...}), ...}`` field-name sets."""
     for node in ast.walk(facts.tree):
         value: Optional[ast.expr] = None
         target_name: Optional[str] = None
@@ -221,13 +259,19 @@ def _collect_schema_defs(facts: FileFacts) -> None:
                 isinstance(key, ast.Constant) and isinstance(key.value, str)
             ):
                 continue
-            fields = _frozenset_literal_fields(entry)
+            types = _typed_literal_fields(entry)
+            if types is not None:
+                fields = frozenset(name for name, _tag in types)
+            else:
+                parsed = _frozenset_literal_fields(entry)
+                fields = parsed if parsed is not None else frozenset()
             facts.schema_defs.append(
                 SchemaDef(
                     file=facts.file,
                     line=key.lineno,
                     event_type=key.value,
-                    fields=fields if fields is not None else frozenset(),
+                    fields=fields,
+                    types=types,
                 )
             )
 

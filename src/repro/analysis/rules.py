@@ -1,4 +1,4 @@
-"""The rule catalog: eight checks that mechanize the repo's invariants.
+"""The rule catalog: ten checks that mechanize the repo's invariants.
 
 ============  =====================  ==========================================
 Rule          Name                   Invariant
@@ -12,8 +12,9 @@ R3            unsorted-iteration     no iteration over sets / ``.keys()`` on
                                      ``sorted(...)``
 R4            event-schema           every literal event type emitted exists
                                      in ``EVENT_SCHEMA`` with its required
-                                     payload keys, and every schema entry has
-                                     at least one emitter (no dead schema)
+                                     payload keys and declared value types,
+                                     and every schema entry has at least one
+                                     emitter (no dead schema)
 R5            unfrozen-spec          dataclasses crossing the fabric pickle
                                      boundary (``*Spec``) are ``frozen=True``
 R6            object-identity        no ``id()`` / builtin ``hash()`` on sim
@@ -22,19 +23,35 @@ R7            import-fence           fenced modules never import the
                                      process fabric or threading machinery
 R8            suppression            allow comments are well-formed, carry a
                                      reason, and actually suppress something
+R9            shared-state           ``multiprocessing`` shared primitives
+                                     live only behind the audited accessors;
+                                     locks are held via ``with``, never bare
+                                     ``acquire``/``release``
+R10           fabric-hygiene         functions submitted to ``run_tasks`` /
+                                     ``PersistentPool.map`` are top-level and
+                                     take frozen/immutable payloads
 ============  =====================  ==========================================
 
-Scoping: R1, R2, R3, R4, R5 and R8 apply to every scanned file; R6
-applies only to sim-path modules (``repro.sim``, ``repro.dsps``,
-``repro.laar``, ``repro.chaos``, ``repro.fleet``, ``repro.obs``).
-R7 covers the sim path *and* ``repro.core``: the deterministic core is
-imported by every sim-path module, so a process-bearing import there
-would breach the fence transitively. The parallel-search driver is the
-one audited exception (see ``_R7_AUDITED_EXCEPTIONS``) — exact modules
-only, each reviewed so that importing its parent package never
-executes the cleared import. Legitimate exceptions elsewhere are
-expressed per line with ``# repro: allow[Rn] reason=...`` or per module
-in the allowlist file — never by editing the rule.
+Scoping: R1, R2, R3, R4, R5, R8, R9 and R10 apply to every scanned
+file; R6 applies only to sim-path modules (``repro.sim``,
+``repro.dsps``, ``repro.laar``, ``repro.chaos``, ``repro.fleet``,
+``repro.obs``). R7 covers the sim path *and* ``repro.core``: the
+deterministic core is imported by every sim-path module, so a
+process-bearing import there would breach the fence transitively. The
+parallel-search driver is the one audited exception (see
+``_R7_AUDITED_EXCEPTIONS``) — exact modules only, each reviewed so that
+importing its parent package never executes the cleared import.
+Legitimate exceptions elsewhere are expressed per line with
+``# repro: allow[Rn] reason=...`` or per module in the allowlist file —
+never by editing the rule.
+
+**Interprocedural halves.** R1, R2 and R3 also fire *at the sim-path
+call site* of a helper outside the sim path whose effect inference
+(:mod:`repro.analysis.effects`) proves it transitively reaches a
+wall-clock read, unseeded RNG, or unsorted set iteration. The witness
+chain is rendered in the diagnostic. Suppressing the intrinsic site
+does not clear the propagated taint — each boundary crossing needs its
+own audited waiver (or a fix).
 """
 
 from __future__ import annotations
@@ -43,7 +60,20 @@ import ast
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.analysis.callgraph import (
+    EXTERNAL,
+    CallGraph,
+    ClassInfo,
+    FuncInfo,
+)
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.effects import (
+    KIND_RULES,
+    EffectAnalysis,
+    iter_iteration_sites,
+    iter_unseeded_calls,
+    iter_wallclock_calls,
+)
 from repro.analysis.facts import (
     EmitSite,
     FileFacts,
@@ -57,12 +87,14 @@ __all__ = [
     "Rule",
     "SIM_PATH_PREFIXES",
     "check_file",
+    "check_project",
     "check_schema",
 ]
 
 #: Module prefixes forming the deterministic simulation path. Events,
 #: digests and replayable artifacts are produced here, so the strictest
-#: rules (R6, R7) apply only inside these trees.
+#: rules (R6, R7) apply only inside these trees, and the
+#: interprocedural R1/R2/R3 findings fire where calls *leave* them.
 SIM_PATH_PREFIXES = (
     "repro.sim",
     "repro.dsps",
@@ -94,7 +126,7 @@ RULES: tuple[Rule, ...] = (
     Rule(
         "R4",
         "event-schema",
-        "emitted events match EVENT_SCHEMA, no dead entries",
+        "emitted events match EVENT_SCHEMA fields and types",
     ),
     Rule(
         "R5",
@@ -114,6 +146,16 @@ RULES: tuple[Rule, ...] = (
         sim_path_only=True,
     ),
     Rule("R8", "suppression", "allow comments are well-formed and used"),
+    Rule(
+        "R9",
+        "shared-state",
+        "shared primitives only behind audited accessors",
+    ),
+    Rule(
+        "R10",
+        "fabric-hygiene",
+        "fabric workers are top-level with frozen payloads",
+    ),
 )
 
 RULE_IDS: frozenset[str] = frozenset(rule.rule_id for rule in RULES)
@@ -139,250 +181,289 @@ def _diag(
 
 
 # ----------------------------------------------------------------------
-# R1 — wall-clock
+# R1 — wall-clock (local half; classifiers live in repro.analysis.effects)
 # ----------------------------------------------------------------------
-
-_WALLCLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.process_time_ns",
-        "time.localtime",
-        "time.gmtime",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-    }
-)
 
 
 def _check_wallclock(facts: FileFacts) -> list[Diagnostic]:
-    diagnostics = []
-    # Local aliases like ``monotonic = time.monotonic`` (a common hot-loop
-    # micro-optimization) must not evade the rule: calls through such a
-    # name are wall-clock reads too.
-    aliases: dict[str, str] = {}
-    for node in ast.walk(facts.tree):
-        if isinstance(node, ast.Assign) and len(node.targets) == 1:
-            target_node = node.targets[0]
-            if isinstance(target_node, ast.Name):
-                resolved = resolve_call_target(facts, node.value)
-                if resolved in _WALLCLOCK_CALLS:
-                    aliases[target_node.id] = resolved
-    for node in ast.walk(facts.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        target = resolve_call_target(facts, node.func)
-        if target in aliases:
-            target = aliases[target]
-        if target in _WALLCLOCK_CALLS:
-            diagnostics.append(
-                _diag(
-                    facts,
-                    node,
-                    "R1",
-                    f"wall-clock read {target}(): sim-path code must be"
-                    " stamped from the simulation clock only",
-                )
-            )
-    return diagnostics
+    return [
+        _diag(
+            facts,
+            node,
+            "R1",
+            f"wall-clock read {target}(): sim-path code must be"
+            " stamped from the simulation clock only",
+        )
+        for node, target in iter_wallclock_calls(facts)
+    ]
 
 
 # ----------------------------------------------------------------------
-# R2 — unseeded randomness
+# R2 — unseeded randomness (local half)
 # ----------------------------------------------------------------------
-
-_ENTROPY_CALLS = frozenset(
-    {
-        "os.urandom",
-        "uuid.uuid1",
-        "uuid.uuid4",
-        "secrets.token_bytes",
-        "secrets.token_hex",
-        "secrets.randbelow",
-    }
-)
-
-#: numpy.random constructors that are fine *when given a seed argument*.
-_NUMPY_SEEDED_CTORS = frozenset(
-    {
-        "default_rng",
-        "RandomState",
-        "Generator",
-        "SeedSequence",
-        "PCG64",
-        "Philox",
-        "MT19937",
-        "SFC64",
-    }
-)
 
 
 def _check_unseeded_random(facts: FileFacts) -> list[Diagnostic]:
-    diagnostics = []
-    for node in ast.walk(facts.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        target = resolve_call_target(facts, node.func)
-        if target is None:
-            continue
-        has_seed_arg = bool(node.args) or bool(node.keywords)
-        message: Optional[str] = None
-        if target in _ENTROPY_CALLS:
-            message = (
-                f"{target}() draws OS entropy; derive values from an"
-                " explicit seed instead"
-            )
-        elif target in ("random.Random", "numpy.random.default_rng"):
-            if not has_seed_arg:
-                message = (
-                    f"{target}() without a seed argument: construct"
-                    " RNGs from an explicit seed parameter"
-                )
-        elif target == "random.SystemRandom":
-            message = (
-                "random.SystemRandom draws OS entropy and can never"
-                " be seeded"
-            )
-        elif target.startswith("random."):
-            message = (
-                f"{target}() uses the shared module-level RNG; construct"
-                " random.Random(seed) from an explicit seed parameter"
-            )
-        elif target.startswith("numpy.random."):
-            member = target.rsplit(".", 1)[1]
-            if member in _NUMPY_SEEDED_CTORS:
-                if not has_seed_arg:
-                    message = (
-                        f"{target}() without a seed argument: pass an"
-                        " explicit seed"
-                    )
-            else:
-                message = (
-                    f"{target}() uses numpy's global RNG state; use"
-                    " numpy.random.default_rng(seed) instead"
-                )
-        if message is not None:
-            diagnostics.append(_diag(facts, node, "R2", message))
-    return diagnostics
+    return [
+        _diag(facts, node, "R2", message)
+        for node, _target, message in iter_unseeded_calls(facts)
+    ]
 
 
 # ----------------------------------------------------------------------
-# R3 — unsorted set iteration on ordering-sensitive positions
+# R3 — unsorted set iteration on ordering-sensitive positions (local)
 # ----------------------------------------------------------------------
-
-_SET_METHODS = frozenset(
-    {"union", "intersection", "difference", "symmetric_difference"}
-)
-_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
-_ORDER_NEUTRAL_WRAPPERS = frozenset(
-    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
-)
-
-
-def _set_typed_names(tree: ast.AST) -> set[str]:
-    """Names assigned from set-valued expressions anywhere in ``tree``."""
-    names: set[str] = set()
-    for node in ast.walk(tree):
-        value: Optional[ast.expr] = None
-        targets: list[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            value, targets = node.value, node.targets
-        elif isinstance(node, ast.AnnAssign):
-            value, targets = node.value, [node.target]
-        if value is None or not _is_set_expr(None, value, names):
-            continue
-        for target in targets:
-            if isinstance(target, ast.Name):
-                names.add(target.id)
-    return names
-
-
-def _is_set_expr(
-    facts: Optional[FileFacts], node: ast.expr, set_names: set[str]
-) -> bool:
-    """Whether ``node`` evaluates to a set (syntactically)."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Name):
-        return node.id in set_names
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-            return True
-        if isinstance(func, ast.Attribute):
-            if func.attr == "keys" and not node.args:
-                return True
-            if func.attr in _SET_METHODS:
-                return True
-    return False
-
-
-def _sorted_ancestor(facts: FileFacts, node: ast.AST) -> bool:
-    """Whether an enclosing call neutralizes iteration order."""
-    for ancestor in facts.ancestors(node):
-        if isinstance(ancestor, ast.Call):
-            func = ancestor.func
-            if (
-                isinstance(func, ast.Name)
-                and func.id in _ORDER_NEUTRAL_WRAPPERS
-            ):
-                return True
-        if isinstance(ancestor, ast.stmt):
-            break
-    return False
 
 
 def _check_unsorted_iteration(facts: FileFacts) -> list[Diagnostic]:
-    diagnostics = []
-    set_names = _set_typed_names(facts.tree)
-
-    def flag(node: ast.expr, context: str) -> None:
-        if _sorted_ancestor(facts, node):
-            return
-        diagnostics.append(
-            _diag(
-                facts,
-                node,
-                "R3",
-                f"iteration over a set {context} is ordering-sensitive;"
-                " wrap it in sorted(...) or a canonicalizer",
-            )
+    return [
+        _diag(
+            facts,
+            node,
+            "R3",
+            f"iteration over a set {context} is ordering-sensitive;"
+            " wrap it in sorted(...) or a canonicalizer",
         )
-
-    for node in ast.walk(facts.tree):
-        if isinstance(node, ast.For):
-            if _is_set_expr(facts, node.iter, set_names):
-                flag(node.iter, "in a for loop")
-        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
-            # SetComp is exempt: its result is itself a set, so the
-            # iteration order of its source can never be observed.
-            for generator in node.generators:
-                if _is_set_expr(facts, generator.iter, set_names):
-                    flag(generator.iter, "in a comprehension")
-        elif isinstance(node, ast.Call):
-            func = node.func
-            name = func.id if isinstance(func, ast.Name) else None
-            is_join = isinstance(func, ast.Attribute) and func.attr == "join"
-            if (name in _ORDER_SENSITIVE_CALLS or is_join) and node.args:
-                if _is_set_expr(facts, node.args[0], set_names):
-                    flag(node.args[0], f"passed to {name or 'join'}()")
-    return diagnostics
+        for node, context in iter_iteration_sites(facts)
+    ]
 
 
 # ----------------------------------------------------------------------
-# R4 — event-schema cross-check (per-site half; see check_schema below)
+# R4 — event-schema cross-check (fields and, for typed entries, types)
 # ----------------------------------------------------------------------
+
+#: Valid type tags in a typed ``EVENT_SCHEMA`` entry. A trailing ``?``
+#: marks a nullable field; ``float`` accepts ints (JSON does not keep
+#: the distinction), ``int`` rejects bools.
+_VALID_TAG_BASES = frozenset(
+    {"str", "int", "float", "bool", "list", "dict", "any"}
+)
+
+#: Primitive annotation names mapped to schema tags, for inferring the
+#: type of an annotated local used in an emit payload.
+_ANNOTATION_TAGS = {
+    "str": "str",
+    "int": "int",
+    "float": "float",
+    "bool": "bool",
+    "list": "list",
+    "tuple": "list",  # tuples serialize as JSON arrays
+    "dict": "dict",
+}
+
+_CAST_CALL_TAGS = {
+    "str": "str",
+    "int": "int",
+    "float": "float",
+    "bool": "bool",
+    "len": "int",
+    "sorted": "list",
+    "list": "list",
+    "tuple": "list",
+    "dict": "dict",
+    "repr": "str",
+    "format": "str",
+}
+
+
+def _valid_tag(tag: str) -> bool:
+    base = tag[:-1] if tag.endswith("?") else tag
+    return base in _VALID_TAG_BASES
+
+
+def _tag_compatible(inferred: str, declared: str) -> bool:
+    if declared == "any":
+        return True
+    nullable = declared.endswith("?")
+    base = declared[:-1] if nullable else declared
+    if inferred == "null":
+        return nullable
+    if inferred.endswith("?"):
+        if not nullable:
+            return False
+        inferred = inferred[:-1]
+    if inferred == base:
+        return True
+    if base == "float" and inferred == "int":
+        return True
+    return False
+
+
+def _annotation_tag(annotation: Optional[ast.expr]) -> Optional[str]:
+    """The schema tag a simple type annotation denotes, if any."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.Name):
+        return _ANNOTATION_TAGS.get(annotation.id)
+    if isinstance(annotation, ast.Subscript):
+        value = annotation.value
+        if isinstance(value, ast.Name) and value.id == "Optional":
+            inner = _annotation_tag(annotation.slice)
+            if inner is not None and not inner.endswith("?"):
+                return inner + "?"
+            return inner
+        return _annotation_tag(value)
+    if isinstance(annotation, ast.BinOp) and isinstance(
+        annotation.op, ast.BitOr
+    ):
+        # ``float | None`` -> nullable float; other unions stay opaque.
+        left = _annotation_tag(annotation.left)
+        right = annotation.right
+        if (
+            left is not None
+            and isinstance(right, ast.Constant)
+            and right.value is None
+        ):
+            return left if left.endswith("?") else left + "?"
+        return None
+    if isinstance(annotation, ast.Attribute):
+        return _ANNOTATION_TAGS.get(annotation.attr)
+    return None
+
+
+def _scope_nodes(facts: FileFacts, node: ast.AST) -> list[ast.AST]:
+    """The enclosing function bodies (innermost first), then the module."""
+    scopes: list[ast.AST] = []
+    for ancestor in facts.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(ancestor)
+    scopes.append(facts.tree)
+    return scopes
+
+
+def _name_tag(facts: FileFacts, use: ast.AST, name: str) -> Optional[str]:
+    """Infer the tag of a bare name from annotations or a constant
+    assignment in an enclosing scope (innermost wins)."""
+    for scope in _scope_nodes(facts, use):
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]:
+                if arg.arg == name:
+                    return _annotation_tag(arg.annotation)
+        assigned: Optional[str] = None
+        multiple = False
+        for node in ast.walk(scope):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if node.target.id == name:
+                    return _annotation_tag(node.annotation)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == name:
+                    if assigned is not None:
+                        multiple = True
+                    assigned = None
+                    if isinstance(node.value, ast.Constant):
+                        assigned = _constant_tag(node.value.value)
+        if assigned is not None and not multiple:
+            return assigned
+    return None
+
+
+def _constant_tag(value: object) -> Optional[str]:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "null"
+    return None
+
+
+def _attribute_tag(
+    graph: CallGraph, facts: FileFacts, node: ast.Attribute
+) -> Optional[str]:
+    """The tag of ``obj.attr`` through the receiver's class annotation.
+
+    Annotations are trusted only for classes defined in strict-set
+    modules (the mypy-gated prefixes): elsewhere an annotation is
+    advisory and must not produce findings.
+    """
+    info = graph.enclosing_function(facts, node)
+    rtype = graph.receiver_type(info, facts, node.value)
+    if rtype is None and isinstance(node.value, ast.Name):
+        if node.value.id == "self" and info is not None:
+            rtype = info.class_qualname
+    if rtype is None or rtype.startswith(EXTERNAL):
+        return None
+    cinfo = graph.classes.get(rtype)
+    if cinfo is None:
+        return None
+    annotation = cinfo.attr_annotations.get(node.attr)
+    return _annotation_tag(annotation)
+
+
+def infer_payload_tag(
+    graph: Optional[CallGraph], facts: FileFacts, node: ast.expr
+) -> Optional[str]:
+    """The schema tag of one emit-payload expression, if inferable."""
+    if isinstance(node, ast.Constant):
+        return _constant_tag(node.value)
+    if isinstance(node, ast.JoinedStr):
+        return "str"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.List, ast.ListComp, ast.Tuple)):
+        return "list"
+    if isinstance(node, (ast.Compare, ast.BoolOp)):
+        return "bool"
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.Not):
+            return "bool"
+        return infer_payload_tag(graph, facts, node.operand)
+    if isinstance(node, ast.BinOp):
+        left = infer_payload_tag(graph, facts, node.left)
+        right = infer_payload_tag(graph, facts, node.right)
+        if left == "int" and right == "int":
+            return "int"
+        if {left, right} <= {"int", "float"} and left and right:
+            return "float"
+        return None
+    if isinstance(node, ast.IfExp):
+        body = infer_payload_tag(graph, facts, node.body)
+        orelse = infer_payload_tag(graph, facts, node.orelse)
+        if body == orelse:
+            return body
+        if {body, orelse} == {"null", None}:
+            return None
+        if body == "null" and orelse is not None:
+            return orelse + "?" if not orelse.endswith("?") else orelse
+        if orelse == "null" and body is not None:
+            return body + "?" if not body.endswith("?") else body
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return _CAST_CALL_TAGS.get(func.id)
+        return None
+    if isinstance(node, ast.Name):
+        return _name_tag(facts, node, node.id)
+    if isinstance(node, ast.Attribute) and graph is not None:
+        return _attribute_tag(graph, facts, node)
+    return None
 
 
 def check_schema(
-    all_sites: list[EmitSite], all_defs: list[SchemaDef]
+    all_sites: list[EmitSite],
+    all_defs: list[SchemaDef],
+    graph: Optional[CallGraph] = None,
+    facts_by_file: Optional[dict[str, FileFacts]] = None,
 ) -> list[Diagnostic]:
     """The cross-module half of R4, run after every file is parsed.
 
@@ -390,7 +471,12 @@ def check_schema(
     * literal emit sites without ``**extra`` must pass every required
       payload field;
     * every declared schema entry must have at least one emitter in the
-      scanned tree (dead-schema detection).
+      scanned tree (dead-schema detection);
+    * for *typed* schema entries: tags must be well-formed, inferable
+      payload values must match their declared tag, and every declared
+      field must be passed literally at least once somewhere (a field
+      only ever smuggled through ``**extra`` is never statically
+      validated).
 
     With no ``EVENT_SCHEMA`` definition in the scanned tree the check is
     skipped entirely — a partial scan cannot judge schema membership.
@@ -402,6 +488,23 @@ def check_schema(
         schema.setdefault(schema_def.event_type, schema_def)
     diagnostics = []
     emitted_types = {site.event_type for site in all_sites}
+    literal_fields: dict[str, set[str]] = {}
+    for site in all_sites:
+        literal_fields.setdefault(site.event_type, set()).update(site.keywords)
+    for schema_def in schema.values():
+        for field_name, tag in sorted(schema_def.type_map().items()):
+            if not _valid_tag(tag):
+                diagnostics.append(
+                    Diagnostic(
+                        schema_def.file,
+                        schema_def.line,
+                        0,
+                        "R4",
+                        f"schema entry '{schema_def.event_type}' declares"
+                        f" unknown type tag {tag!r} for field"
+                        f" '{field_name}'",
+                    )
+                )
     for site in all_sites:
         declared = schema.get(site.event_type)
         if declared is None:
@@ -416,6 +519,28 @@ def check_schema(
                 )
             )
             continue
+        types = declared.type_map()
+        if types:
+            facts = (facts_by_file or {}).get(site.file)
+            for field_name, value in site.values:
+                tag = types.get(field_name)
+                if tag is None or facts is None:
+                    continue
+                inferred = infer_payload_tag(graph, facts, value)
+                if inferred is None:
+                    continue
+                if not _tag_compatible(inferred, tag):
+                    diagnostics.append(
+                        Diagnostic(
+                            site.file,
+                            site.line,
+                            site.col,
+                            "R4",
+                            f"event '{site.event_type}' field"
+                            f" '{field_name}': payload is {inferred}"
+                            f" but the schema declares {tag}",
+                        )
+                    )
         if site.has_star_kwargs:
             continue  # dynamic payload: the runtime validator owns this
         missing = sorted(declared.fields - site.keywords)
@@ -442,6 +567,23 @@ def check_schema(
                 " scanned tree (dead schema)",
             )
         )
+    for event_type in sorted(schema):
+        declared = schema[event_type]
+        if declared.types is None or event_type not in literal_fields:
+            continue
+        never = sorted(declared.fields - literal_fields[event_type])
+        for field_name in never:
+            diagnostics.append(
+                Diagnostic(
+                    declared.file,
+                    declared.line,
+                    0,
+                    "R4",
+                    f"field '{field_name}' of '{event_type}' is never"
+                    " passed literally at any emit site, so its type is"
+                    " never statically validated",
+                )
+            )
     return diagnostics
 
 
@@ -465,6 +607,19 @@ def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
     return None
 
 
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    decorator = _dataclass_decorator(node)
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
 def _check_unfrozen_spec(facts: FileFacts) -> list[Diagnostic]:
     diagnostics = []
     for node in ast.walk(facts.tree):
@@ -472,18 +627,9 @@ def _check_unfrozen_spec(facts: FileFacts) -> list[Diagnostic]:
             continue
         if not node.name.endswith("Spec"):
             continue
-        decorator = _dataclass_decorator(node)
-        if decorator is None:
+        if _dataclass_decorator(node) is None:
             continue
-        frozen = False
-        if isinstance(decorator, ast.Call):
-            for keyword in decorator.keywords:
-                if keyword.arg == "frozen":
-                    frozen = (
-                        isinstance(keyword.value, ast.Constant)
-                        and keyword.value.value is True
-                    )
-        if not frozen:
+        if not _is_frozen_dataclass(node):
             diagnostics.append(
                 _diag(
                     facts,
@@ -616,7 +762,397 @@ def _check_import_fence(facts: FileFacts) -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
-# Per-file dispatch
+# R9 — shared-state discipline around multiprocessing primitives
+# ----------------------------------------------------------------------
+
+#: Constructors of cross-process shared state. Owning one of these
+#: anywhere outside the audited home module is a finding: shared
+#: mutable state is how cross-process nondeterminism sneaks past the
+#: per-process determinism discipline.
+_R9_SHARED_CTORS = frozenset(
+    {
+        "multiprocessing.Value",
+        "multiprocessing.RawValue",
+        "multiprocessing.Array",
+        "multiprocessing.RawArray",
+        "multiprocessing.Manager",
+        "multiprocessing.sharedctypes.Value",
+        "multiprocessing.sharedctypes.RawValue",
+        "multiprocessing.sharedctypes.Array",
+        "multiprocessing.sharedctypes.RawArray",
+        "multiprocessing.shared_memory.SharedMemory",
+    }
+)
+
+#: Lock constructors whose instances must only be held via ``with``.
+#: ``.acquire()``/``.release()`` is flagged only on names provably bound
+#: to one of these (or to a ``.get_lock()`` result) — an arbitrary
+#: ``pool.release(name)`` is not a lock operation.
+_R9_LOCK_CTORS = frozenset(
+    {
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "multiprocessing.Semaphore",
+        "multiprocessing.BoundedSemaphore",
+        "multiprocessing.Condition",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Condition",
+    }
+)
+
+#: The audited homes of shared primitives: module -> accessor classes
+#: whose methods may touch ``.value`` / ``.get_lock()`` directly. The
+#: table is exact (module and class names, never globs), and the
+#: earns-its-keep test drops it to prove every entry is load-bearing.
+#: ``SharedBound`` is PR 9's tighten-only incumbent bound: every read
+#: and write goes through its ``get``/``offer``/``reset`` methods,
+#: each of which holds the primitive's lock via ``with``.
+_R9_AUDITED_ACCESSORS: dict[str, tuple[str, ...]] = {
+    "repro.core.optimizer.parallel": ("SharedBound",),
+}
+
+
+def _enclosing_class_name(facts: FileFacts, node: ast.AST) -> Optional[str]:
+    for ancestor in facts.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name
+    return None
+
+
+def _check_shared_state(facts: FileFacts) -> list[Diagnostic]:
+    audited = _R9_AUDITED_ACCESSORS.get(facts.module)
+    diagnostics = []
+    tracked: set[str] = set()
+    locks: set[str] = set()
+
+    def _is_lock_source(value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr == "get_lock":
+            return True
+        return resolve_call_target(facts, func) in _R9_LOCK_CTORS
+
+    for node in ast.walk(facts.tree):
+        value: Optional[ast.expr] = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if not isinstance(value, ast.Call):
+            continue
+        is_shared = (
+            resolve_call_target(facts, value.func) in _R9_SHARED_CTORS
+        )
+        is_lock = _is_lock_source(value)
+        if not (is_shared or is_lock):
+            continue
+        for target in targets:
+            bound: Optional[str] = None
+            if isinstance(target, ast.Name):
+                bound = target.id
+            elif isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                if target.value.id == "self":
+                    bound = f"self.{target.attr}"
+            if bound is None:
+                continue
+            (tracked if is_shared else locks).add(bound)
+
+    def _bound_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id == "self":
+                return f"self.{node.attr}"
+        return None
+
+    def _tracked_base(node: ast.expr) -> bool:
+        return _bound_name(node) in tracked
+
+    def _is_lock_receiver(node: ast.expr) -> bool:
+        if _is_lock_source(node):
+            return True  # v.get_lock().acquire() chains
+        return _bound_name(node) in locks
+
+    def _in_audited_accessor(node: ast.AST) -> bool:
+        if audited is None:
+            return False
+        owner = _enclosing_class_name(facts, node)
+        return owner is not None and owner in audited
+
+    for node in ast.walk(facts.tree):
+        if isinstance(node, ast.Call):
+            target = resolve_call_target(facts, node.func)
+            if target in _R9_SHARED_CTORS and audited is None:
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        node,
+                        "R9",
+                        f"{target}() creates cross-process shared state"
+                        " outside the audited home"
+                        " (repro.core.optimizer.parallel); route shared"
+                        " bounds through SharedBound",
+                    )
+                )
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "get_lock":
+                if not _in_audited_accessor(node):
+                    diagnostics.append(
+                        _diag(
+                            facts,
+                            node,
+                            "R9",
+                            "shared-primitive lock acquired outside the"
+                            " audited accessor classes; go through"
+                            " SharedBound",
+                        )
+                    )
+                elif not isinstance(facts.parent_of(node), ast.withitem):
+                    diagnostics.append(
+                        _diag(
+                            facts,
+                            node,
+                            "R9",
+                            "lock acquisition without `with`: hold"
+                            " get_lock() via a context manager so"
+                            " worker crashes cannot leak the lock",
+                        )
+                    )
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("acquire", "release")
+                and _is_lock_receiver(func.value)
+            ):
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        node,
+                        "R9",
+                        f"bare .{func.attr}() on a lock: use `with` so"
+                        " the lock is released on every exit path",
+                    )
+                )
+        elif isinstance(node, ast.Attribute) and node.attr == "value":
+            if _tracked_base(node.value) and not _in_audited_accessor(node):
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        node,
+                        "R9",
+                        "raw .value access on a shared primitive outside"
+                        " the audited accessors; every read/write goes"
+                        " through SharedBound under its lock",
+                    )
+                )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R10 — fabric task hygiene (project-level; needs the call graph)
+# ----------------------------------------------------------------------
+
+#: The fabric entry points whose first argument is a worker function.
+_FABRIC_TASK_FUNCS = frozenset({"repro.experiments.parallel.run_tasks"})
+_FABRIC_POOL_CLASS = "repro.experiments.parallel.PersistentPool"
+_FABRIC_POOL_METHODS = frozenset({"map"})
+
+#: Builtin payload types that are immutable enough to cross the pickle
+#: boundary without a frozen dataclass (shallow immutability — a tuple
+#: of lists still slips through; documented blind spot).
+_IMMUTABLE_PAYLOAD_BASES = frozenset(
+    {"str", "int", "float", "bool", "bytes", "tuple", "frozenset", "None"}
+)
+
+
+def _fabric_call_kind(
+    graph: CallGraph, facts: FileFacts, node: ast.Call
+) -> Optional[str]:
+    """``run_tasks``/``PersistentPool.map`` detection for one call."""
+    dotted = resolve_call_target(facts, node.func)
+    if dotted is not None:
+        if graph.resolve_export(dotted) in _FABRIC_TASK_FUNCS:
+            return "run_tasks"
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _FABRIC_POOL_METHODS:
+        info = graph.enclosing_function(facts, node)
+        rtype = graph.receiver_type(info, facts, func.value)
+        if rtype is not None:
+            plain = rtype.removeprefix(EXTERNAL)
+            if plain == _FABRIC_POOL_CLASS:
+                return f"PersistentPool.{func.attr}"
+    return None
+
+
+def _payload_problem(graph: CallGraph, worker: FuncInfo) -> Optional[str]:
+    """Why the worker's payload annotation violates R10, if it does."""
+    args = worker.node.args
+    params = [*args.posonlyargs, *args.args]
+    if not params:
+        return None
+    payload = params[0]
+    annotation = payload.annotation
+    if annotation is None:
+        return (
+            f"worker {worker.name}() takes an unannotated payload"
+            f" '{payload.arg}'; annotate it with a frozen *Spec (or"
+            " immutable builtin) type"
+        )
+    base = annotation
+    if isinstance(base, ast.Subscript):
+        value = base.value
+        if isinstance(value, ast.Name) and value.id == "Optional":
+            base = base.slice
+        else:
+            base = value
+    if isinstance(base, ast.Name) and base.id in _IMMUTABLE_PAYLOAD_BASES:
+        return None
+    resolved = graph.annotation_type(worker.facts, annotation)
+    if resolved is not None and resolved in graph.classes:
+        cinfo = graph.classes[resolved]
+        if _is_frozen_dataclass(cinfo.node):
+            return None
+        return (
+            f"worker {worker.name}() payload type {cinfo.name} is not"
+            " a frozen dataclass; fabric payloads must be immutable"
+        )
+    described = ast.unparse(annotation)
+    return (
+        f"worker {worker.name}() payload type {described!r} is neither"
+        " a scanned frozen dataclass nor an immutable builtin"
+    )
+
+
+def _check_fabric_hygiene(
+    all_facts: list[FileFacts], graph: CallGraph
+) -> list[Diagnostic]:
+    diagnostics = []
+    for facts in all_facts:
+        for node in ast.walk(facts.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _fabric_call_kind(graph, facts, node)
+            if kind is None or not node.args:
+                continue
+            worker_expr = node.args[0]
+            if isinstance(worker_expr, ast.Lambda):
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        worker_expr,
+                        "R10",
+                        f"lambda submitted to {kind}: workers must be"
+                        " top-level functions (lambdas cannot pickle)",
+                    )
+                )
+                continue
+            dotted = resolve_call_target(facts, worker_expr)
+            if dotted is None:
+                continue  # dynamically chosen worker: blind spot
+            resolved = graph.resolve_export(dotted)
+            candidates = [resolved, f"{facts.module}.{resolved}"]
+            enclosing = graph.enclosing_function(facts, node)
+            if enclosing is not None:
+                candidates.insert(0, f"{enclosing.qualname}.{resolved}")
+            worker = next(
+                (
+                    graph.functions[name]
+                    for name in candidates
+                    if name in graph.functions
+                ),
+                None,
+            )
+            if worker is None:
+                continue  # worker outside the scan
+            if worker.is_nested:
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        worker_expr,
+                        "R10",
+                        f"nested function {worker.name}() submitted to"
+                        f" {kind}: workers must be top-level so child"
+                        " processes can unpickle them by module path",
+                    )
+                )
+                continue
+            if worker.is_method:
+                diagnostics.append(
+                    _diag(
+                        facts,
+                        worker_expr,
+                        "R10",
+                        f"method {worker.name}() submitted to {kind}:"
+                        " workers must be top-level functions, not"
+                        " bound methods dragging instance state",
+                    )
+                )
+                continue
+            problem = _payload_problem(graph, worker)
+            if problem is not None:
+                diagnostics.append(_diag(facts, worker_expr, "R10", problem))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Interprocedural R1/R2/R3: taint crossing into the sim path
+# ----------------------------------------------------------------------
+
+
+def _check_boundary_taint(
+    all_facts: list[FileFacts],
+    graph: CallGraph,
+    effects: EffectAnalysis,
+) -> list[Diagnostic]:
+    """Fire R1/R2/R3 where a sim-path call reaches a tainted helper.
+
+    A finding is emitted only where taint *crosses into* the sim path:
+    the call site sits in a sim-path module, the callee does not, and
+    the callee transitively reaches a primitive. Calls within the sim
+    path are not re-flagged (the local rules already cover intrinsic
+    sites there), so each crossing yields exactly one finding per
+    effect kind, carrying the witness chain.
+    """
+    module_of = {facts.file: facts.module for facts in all_facts}
+    kind_names = {
+        "wall-clock": "a wall-clock read",
+        "unseeded-rng": "an unseeded RNG",
+        "iteration-order": "an unsorted set iteration",
+    }
+    diagnostics = []
+    for site in graph.call_sites:
+        caller_module = module_of.get(site.file)
+        if caller_module is None or not _is_sim_path(caller_module):
+            continue
+        callee = graph.functions.get(site.callee)
+        if callee is None or _is_sim_path(callee.module):
+            continue
+        for kind in sorted(effects.taint_of(site.callee)):
+            chain = effects.taint_of(site.callee)[kind]
+            diagnostics.append(
+                Diagnostic(
+                    site.file,
+                    site.line,
+                    site.col,
+                    KIND_RULES[kind],
+                    f"sim-path call into {site.callee}() reaches"
+                    f" {kind_names[kind]} [chain:"
+                    f" {effects.render_chain(chain)}]",
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Dispatch
 # ----------------------------------------------------------------------
 
 _PER_FILE_CHECKS: tuple[Callable[[FileFacts], list[Diagnostic]], ...] = (
@@ -626,6 +1162,7 @@ _PER_FILE_CHECKS: tuple[Callable[[FileFacts], list[Diagnostic]], ...] = (
     _check_unfrozen_spec,
     _check_object_identity,
     _check_import_fence,
+    _check_shared_state,
 )
 
 
@@ -634,4 +1171,16 @@ def check_file(facts: FileFacts) -> list[Diagnostic]:
     diagnostics: list[Diagnostic] = []
     for check in _PER_FILE_CHECKS:
         diagnostics.extend(check(facts))
+    return diagnostics
+
+
+def check_project(
+    all_facts: list[FileFacts],
+    graph: CallGraph,
+    effects: EffectAnalysis,
+) -> list[Diagnostic]:
+    """Run the whole-program rules: boundary taint (R1/R2/R3 at call
+    sites) and fabric hygiene (R10)."""
+    diagnostics = _check_boundary_taint(all_facts, graph, effects)
+    diagnostics.extend(_check_fabric_hygiene(all_facts, graph))
     return diagnostics

@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 rendering of an analysis report.
+
+SARIF is the interchange format GitHub code scanning ingests; emitting
+it lets CI annotate findings on the PR diff instead of burying them in
+a job log. The mapping is intentionally small: one run, one driver,
+every rule in the catalog, one ``result`` per surviving diagnostic.
+Suppressed findings are NOT exported — the allowlist and inline allow
+comments are this repo's suppression mechanism, and re-exporting them
+would just duplicate that state in a second system.
+
+Determinism contract: same tree, same report, byte-identical SARIF
+(sorted keys, no timestamps), matching the JSON report's guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import AnalysisReport
+
+__all__ = ["SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rule_descriptor(rule_id: str, name: str, summary: str) -> dict:
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(diagnostic: Diagnostic) -> dict:
+    # AST columns are 0-based; SARIF columns are 1-based.
+    return {
+        "ruleId": diagnostic.rule,
+        "level": "error",
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.file,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": diagnostic.line,
+                        "startColumn": diagnostic.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(report: "AnalysisReport") -> dict:
+    """The report as a SARIF 2.1.0 log object (plain dict)."""
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "https://example.invalid/docs/static-analysis"
+                        ),
+                        "rules": [
+                            _rule_descriptor(
+                                rule.rule_id, rule.name, rule.summary
+                            )
+                            for rule in RULES
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(d) for d in report.diagnostics],
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.errors,
+                        "toolExecutionNotifications": [
+                            {
+                                "level": "error",
+                                "message": {"text": error},
+                            }
+                            for error in report.errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(report: "AnalysisReport") -> str:
+    """Deterministic JSON text of the SARIF log (sorted keys)."""
+    return json.dumps(to_sarif(report), sort_keys=True, indent=2) + "\n"

@@ -827,6 +827,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded += ["--format", args.format]
     if args.out is not None:
         forwarded += ["--out", args.out]
+    if args.sarif is not None:
+        forwarded += ["--sarif", args.sarif]
     if args.allowlist is not None:
         forwarded += ["--allowlist", args.allowlist]
     if args.list_rules:
@@ -1233,7 +1235,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the determinism & event-schema linter (rules R1..R8;"
+        help="run the determinism & event-schema linter (rules R1..R10;"
         " see docs/static-analysis.md)",
     )
     lint.add_argument(
@@ -1241,12 +1243,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="stdout format (default: text diagnostics + summary)",
     )
     lint.add_argument(
         "--out", default=None,
         help="also write the canonical JSON report to this file",
+    )
+    lint.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write a SARIF 2.1.0 log to this file (CI upload)",
     )
     lint.add_argument(
         "--allowlist", default=None,

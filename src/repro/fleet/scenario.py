@@ -155,7 +155,9 @@ def tenant_application(
     )
 
 
-def _prewarm_task(task) -> list[tuple[str, dict]]:
+def _prewarm_task(
+    task: tuple[FleetScenarioParams, int, TenantClass],
+) -> list[tuple[str, dict]]:
     """Solve one (application, class) provisioning problem for the store.
 
     Module-level so the process pool can pickle it. Returns the store
@@ -177,6 +179,7 @@ def _prewarm_task(task) -> list[tuple[str, dict]]:
         slice_hosts=tuple(app.deployment.hosts),
         tenant_class=tenant_class,
     ).contract()
+    # repro: allow[R1] reason=search timing stays in SearchResult.elapsed, a declared channel dropped before digests
     provisioner.try_provision(contract)
     return store.items()
 
@@ -216,6 +219,7 @@ def run_fleet_scenario(
         (params, seed, tenant_class) for seed, tenant_class in pairs
     ]
     store = store if store is not None else StrategyStore()
+    # repro: allow[R1] reason=fabric elapsed metering is a declared timing channel, never folded into store entries
     for entries in run_tasks(_prewarm_task, tasks, jobs=jobs, profile=profile):
         store.merge(entries)
 
@@ -298,5 +302,6 @@ def run_fleet_dataplane(
     """
     params = params or DataplaneParams()
     tasks = [TenantTask(params, tenant) for tenant in range(params.tenants)]
+    # repro: allow[R1] reason=fabric elapsed metering is a declared timing channel, never part of tenant digests
     digests = run_tasks(run_tenant, tasks, jobs=jobs, profile=profile)
     return summarize_dataplane(digests), digests

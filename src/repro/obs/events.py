@@ -41,105 +41,157 @@ __all__ = [
 ]
 
 
-#: Known event types mapped to the payload fields every instance carries.
-#: The validator rejects unknown types and missing required fields, so
-#: additions here are additive schema changes and removals are breaking.
-EVENT_SCHEMA: dict[str, frozenset[str]] = {
+#: Known event types mapped to their payload fields and declared value
+#: types. Tags: ``str``/``int``/``float``/``bool``/``list``/``dict``/
+#: ``any``, with a trailing ``?`` marking a nullable field; ``float``
+#: accepts ints (JSON keeps no distinction) and ``int`` rejects bools.
+#: Both the runtime validator (``python -m repro.obs.validate``) and the
+#: static R4 rule (``repro.analysis``) consume this table, so additions
+#: are additive schema changes and removals (or tightenings) break
+#: existing streams.
+EVENT_SCHEMA: dict[str, dict[str, str]] = {
     # simulation kernel
-    "sim.run.start": frozenset({"until"}),
-    "sim.run.end": frozenset({"events_processed", "events_cancelled"}),
+    "sim.run.start": {"until": "float?"},
+    "sim.run.end": {"events_processed": "int", "events_cancelled": "int"},
     # data path
-    "tuple.drop": frozenset({"replica", "port", "primary"}),
-    "queue.overflow": frozenset({"replica", "port", "capacity"}),
-    "tuple.trace": frozenset({"stage", "birth"}),
+    "tuple.drop": {"replica": "str", "port": "str", "primary": "bool"},
+    "queue.overflow": {"replica": "str", "port": "str", "capacity": "int"},
+    "tuple.trace": {"stage": "str", "birth": "float"},
     # failures and recovery
-    "replica.crash": frozenset({"replica"}),
-    "replica.recover": frozenset({"replica"}),
-    "host.crash": frozenset({"host"}),
-    "host.recover": frozenset({"host"}),
-    "host.degrade": frozenset({"host", "factor"}),
-    "host.restore": frozenset({"host"}),
-    "failure.plan": frozenset({"host", "crash_time", "downtime"}),
+    "replica.crash": {"replica": "str"},
+    "replica.recover": {"replica": "str"},
+    "host.crash": {"host": "str"},
+    "host.recover": {"host": "str"},
+    "host.degrade": {"host": "str", "factor": "float"},
+    "host.restore": {"host": "str"},
+    "failure.plan": {
+        "host": "str",
+        "crash_time": "float",
+        "downtime": "float",
+    },
     # chaos campaigns (repro.chaos)
-    "chaos.campaign": frozenset({"seed", "injections"}),
-    "chaos.inject": frozenset({"kind", "at"}),
+    "chaos.campaign": {"seed": "int", "injections": "list"},
+    "chaos.inject": {"kind": "str", "at": "float"},
     # Batched-engine fallback windows (repro.dsps.batched): emitted in
     # both execution modes when a control action forces tuple-granular
     # processing for a settle window.
-    "batch.fallback": frozenset({"reason", "until"}),
+    "batch.fallback": {"reason": "str", "until": "float"},
     # Runtime elasticity (repro.elastic): live migrations and host
     # lifecycle. ``migration.start`` names the replica being attached
     # (or detached, for removals) so streaming consumers can track the
     # dynamic membership without a deployment re-read.
-    "migration.start": frozenset(
-        {"migration", "pe", "action", "replica", "src", "dst"}
-    ),
-    "migration.transfer": frozenset({"migration", "pe", "replica", "seconds"}),
-    "migration.cutover": frozenset({"migration", "pe", "from", "to"}),
-    "migration.done": frozenset({"migration", "pe", "action", "lost"}),
-    "migration.abort": frozenset({"migration", "pe", "reason"}),
-    "host.cordon": frozenset({"host"}),
-    "host.drain": frozenset({"host", "residents"}),
-    "host.reclaim": frozenset({"host", "cores"}),
+    "migration.start": {
+        "migration": "str",
+        "pe": "str",
+        "action": "str",
+        "replica": "str",
+        "src": "str",
+        "dst": "str",
+    },
+    "migration.transfer": {
+        "migration": "str",
+        "pe": "str",
+        "replica": "str",
+        "seconds": "float",
+    },
+    # ``from``/``to`` are Python keywords, so emitters must pass them
+    # via ``**{...}``; the static never-validated audit cannot see them.
+    # repro: allow[R4] reason=from/to collide with Python keywords, star-kwargs only
+    "migration.cutover": {
+        "migration": "str",
+        "pe": "str",
+        "from": "str",
+        "to": "str",
+    },
+    "migration.done": {
+        "migration": "str",
+        "pe": "str",
+        "action": "str",
+        "lost": "int",
+    },
+    "migration.abort": {"migration": "str", "pe": "str", "reason": "str"},
+    "host.cordon": {"host": "str"},
+    "host.drain": {"host": "str", "residents": "int"},
+    "host.reclaim": {"host": "str", "cores": "float"},
     # replication control
-    "replica.activate": frozenset({"replica"}),
-    "replica.deactivate": frozenset({"replica"}),
-    "primary.elected": frozenset({"pe", "replica"}),
-    "primary.lost": frozenset({"pe", "replica", "reason"}),
-    # LAAR middleware
-    "config.switch": frozenset({"from", "to", "commands"}),
-    "rate.measurement": frozenset({"rates"}),
-    "sla.check": frozenset({"selected", "current", "switched"}),
-    "config.fallback": frozenset({"config", "rates"}),
+    "replica.activate": {"replica": "str"},
+    "replica.deactivate": {"replica": "str"},
+    "primary.elected": {"pe": "str", "replica": "str"},
+    "primary.lost": {"pe": "str", "replica": "str", "reason": "str"},
+    # LAAR middleware (``from``/``to``: same keyword collision)
+    # repro: allow[R4] reason=from/to collide with Python keywords, star-kwargs only
+    "config.switch": {"from": "int", "to": "int", "commands": "int"},
+    "rate.measurement": {"rates": "dict"},
+    "sla.check": {
+        "selected": "int",
+        "current": "int",
+        "switched": "bool",
+    },
+    "config.fallback": {"config": "int", "rates": "dict"},
     # fleet control plane (repro.fleet)
-    "fleet.admit": frozenset(
-        {"tenant", "app", "ic", "cost", "hosts", "cores", "fare", "cache"}
-    ),
-    "fleet.reject": frozenset({"tenant", "app", "reason"}),
-    "fleet.replan": frozenset(
-        {"tenant", "factor", "feasible", "nodes", "warm"}
-    ),
-    "fleet.evict": frozenset({"tenant", "reason"}),
+    "fleet.admit": {
+        "tenant": "str",
+        "app": "str",
+        "ic": "float",
+        "cost": "float",
+        "hosts": "int",
+        "cores": "float",
+        "fare": "float",
+        "cache": "bool",
+    },
+    "fleet.reject": {"tenant": "str", "app": "str", "reason": "str"},
+    "fleet.replan": {
+        "tenant": "str",
+        "factor": "float",
+        "feasible": "bool",
+        "nodes": "int",
+        "warm": "bool",
+    },
+    "fleet.evict": {"tenant": "str", "reason": "str"},
     # span tracing (emitted by repro.obs.spans)
-    "span.start": frozenset({"span", "name"}),
-    "span.end": frozenset({"span", "name", "duration"}),
+    "span.start": {"span": "int", "name": "str"},
+    "span.end": {"span": "int", "name": "str", "duration": "float"},
     # streaming SLO engine (repro.obs.slo)
-    "slo.window": frozenset(
-        {
-            "tenant",
-            "window",
-            "start",
-            "end",
-            "phase",
-            "availability",
-            "bad_seconds",
-            "input",
-            "output",
-            "drops",
-            "failovers",
-            "lat_count",
-            "lat_p50",
-            "lat_p95",
-            "lat_max",
-        }
-    ),
-    "slo.alert": frozenset(
-        {"tenant", "rule", "state", "window", "burn_fast", "burn_slow"}
-    ),
-    "slo.budget": frozenset(
-        {
-            "tenant",
-            "objective",
-            "windows",
-            "bad_seconds",
-            "budget_seconds",
-            "burned",
-            "alerts",
-            "trusted",
-            "verdict",
-        }
-    ),
+    "slo.window": {
+        "tenant": "str",
+        "window": "int",
+        "start": "float",
+        "end": "float",
+        "phase": "str",
+        "availability": "float",
+        "bad_seconds": "float",
+        "input": "int",
+        "output": "int",
+        "drops": "float",
+        "failovers": "int",
+        "lat_count": "int",
+        "lat_p50": "float?",
+        "lat_p95": "float?",
+        "lat_max": "float?",
+    },
+    "slo.alert": {
+        "tenant": "str",
+        "rule": "str",
+        "state": "str",
+        "window": "int",
+        "burn_fast": "float",
+        "burn_slow": "float",
+    },
+    "slo.budget": {
+        "tenant": "str",
+        "objective": "float",
+        "windows": "int",
+        "bad_seconds": "float",
+        "budget_seconds": "float",
+        "burned": "float",
+        "alerts": "int",
+        "trusted": "bool",
+        "verdict": "str",
+    },
 }
+
+#: Valid base type tags (the trailing ``?`` marks nullability).
+_TAG_BASES = frozenset({"str", "int", "float", "bool", "list", "dict", "any"})
 
 
 def known_event_types() -> tuple[str, ...]:
@@ -159,7 +211,42 @@ def required_fields(type_: str) -> frozenset[str]:
     Raises ``KeyError`` for unknown types — callers that want a soft
     answer should test membership via :func:`known_event_types` first.
     """
-    return EVENT_SCHEMA[type_]
+    return frozenset(EVENT_SCHEMA[type_])
+
+
+def field_types(type_: str) -> dict[str, str]:
+    """Field name -> declared type tag for one event type.
+
+    Raises ``KeyError`` for unknown types, like :func:`required_fields`.
+    """
+    return dict(EVENT_SCHEMA[type_])
+
+
+def check_field_value(tag: str, value: object) -> bool:
+    """Whether one payload value satisfies one declared type tag.
+
+    The runtime twin of the static R4 tag check: ``float`` accepts
+    ints, ``int`` and ``float`` reject bools, ``any`` accepts
+    everything, and a trailing ``?`` additionally accepts ``None``.
+    """
+    base = tag[:-1] if tag.endswith("?") else tag
+    if value is None:
+        return tag.endswith("?")
+    if base == "any":
+        return True
+    if base == "str":
+        return isinstance(value, str)
+    if base == "bool":
+        return isinstance(value, bool)
+    if base == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if base == "float":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if base == "list":
+        return isinstance(value, (list, tuple))
+    if base == "dict":
+        return isinstance(value, dict)
+    return base in _TAG_BASES
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,10 @@ against :data:`repro.obs.events.EVENT_SCHEMA`:
 * the line parses as a JSON object with ``seq``, ``t`` and ``type``;
 * the event type is known;
 * every required payload field for that type is present;
+* every present payload field satisfies its declared type tag
+  (``float`` accepts ints, ``int``/``float`` reject bools, a trailing
+  ``?`` accepts ``None``) — the runtime twin of the static R4 check,
+  pinned equal to it by ``tests/analysis/test_selfcheck.py``;
 * ``seq`` values are strictly increasing within one file.
 
 CI runs this over the artifacts of the ``repro obs`` smoke run, so a
@@ -23,7 +27,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.events import EVENT_SCHEMA
+from repro.obs.events import EVENT_SCHEMA, check_field_value
 
 __all__ = ["validate_lines", "validate_file", "main"]
 
@@ -52,15 +56,25 @@ def validate_lines(lines, origin: str = "<stream>") -> list[str]:
             )
             continue
         type_ = record["type"]
-        required = EVENT_SCHEMA.get(type_)
-        if required is None:
+        declared = EVENT_SCHEMA.get(type_)
+        if declared is None:
             problems.append(f"{where}: unknown event type {type_!r}")
             continue
-        missing = sorted(required - record.keys())
+        missing = sorted(declared.keys() - record.keys())
         if missing:
             problems.append(
                 f"{where}: {type_} missing field(s) {', '.join(missing)}"
             )
+        for field, tag in sorted(declared.items()):
+            if field not in record:
+                continue
+            value = record[field]
+            if not check_field_value(tag, value):
+                problems.append(
+                    f"{where}: {type_} field {field!r} is"
+                    f" {type(value).__name__} ({value!r}), schema"
+                    f" declares {tag}"
+                )
         seq = record["seq"]
         if not isinstance(seq, int) or seq <= last_seq:
             problems.append(
@@ -75,9 +89,7 @@ def validate_lines(lines, origin: str = "<stream>") -> list[str]:
 def validate_file(path) -> list[str]:
     """Validate one JSONL file; returns problem strings (empty = clean)."""
     path = Path(path)
-    return validate_lines(
-        path.read_text().splitlines(), origin=str(path)
-    )
+    return validate_lines(path.read_text().splitlines(), origin=str(path))
 
 
 def main(argv=None) -> int:

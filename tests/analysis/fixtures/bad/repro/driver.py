@@ -1,0 +1,35 @@
+"""R10 fixture: fabric submission sites that break task hygiene."""
+
+from dataclasses import dataclass
+
+from repro.experiments.parallel import run_tasks
+
+
+@dataclass
+class MutableJob:
+    """Not frozen: workers mutating it diverge across processes."""
+
+    payload: int
+
+
+def run_unannotated(task):
+    """No payload annotation, so immutability cannot be checked."""
+    return task
+
+
+def run_mutable(job: MutableJob) -> int:
+    """Annotated with a mutable (unfrozen) payload type."""
+    return job.payload
+
+
+def launch(tasks: list) -> list:
+    """Four submissions, four hygiene violations."""
+    results = run_tasks(lambda task: task, tasks)
+    results += run_tasks(run_unannotated, tasks)
+
+    def run_nested(task: int) -> int:
+        return task
+
+    results += run_tasks(run_nested, tasks)
+    results += run_tasks(run_mutable, tasks)
+    return results

@@ -1,0 +1,12 @@
+"""R9 fixture: shared primitives handled outside the audited accessors."""
+
+import multiprocessing
+
+
+def make_bound() -> object:
+    """Every line below breaks the shared-state discipline."""
+    best = multiprocessing.Value("d", 0.0)
+    best.value = 1.0
+    lock = best.get_lock()
+    lock.acquire()
+    return best

@@ -1,0 +1,16 @@
+"""Interprocedural fixture: a sim-path module calling tainted helpers.
+
+Every primitive hides in ``repro.util.timing``, so the per-file rules
+find nothing in this file — the findings here exist only through the
+call-graph effect inference, which is exactly what the old-miss /
+new-catch test in ``tests/analysis/test_callgraph.py`` pins.
+"""
+
+from repro.util.timing import draw, stamp_run
+
+
+def snapshot(events: list) -> tuple:
+    """Both calls cross the sim-path boundary into tainted helpers."""
+    stamped = stamp_run("snapshot")
+    jitter = draw()
+    return stamped, jitter, len(events)

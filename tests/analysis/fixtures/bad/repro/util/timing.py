@@ -1,0 +1,24 @@
+"""Interprocedural fixture: helpers hiding nondeterminism one hop down.
+
+The local rules fire here at the intrinsic sites; the point of this
+module is what happens in ``repro.sim.leak``, which calls these
+wrappers from the sim path and shows *no* local finding at all.
+"""
+
+import random
+import time
+
+
+def _read_clock() -> float:
+    """The intrinsic wall-clock read, one call below the wrapper."""
+    return time.time()
+
+
+def stamp_run(label: str) -> tuple[str, float]:
+    """A wall-clock wrapper two calls deep from any sim-path caller."""
+    return label, _read_clock()
+
+
+def draw() -> float:
+    """An unseeded draw from the shared module-level RNG."""
+    return random.random()

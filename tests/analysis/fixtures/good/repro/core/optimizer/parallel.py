@@ -10,7 +10,23 @@ import multiprocessing
 from repro.experiments.parallel import run_tasks
 
 
+class SharedBound:
+    """The audited accessor: the only sanctioned home of raw shared
+    state, and every touch happens under the primitive's own lock."""
+
+    def __init__(self) -> None:
+        self._value = multiprocessing.Value("d", 0.0)
+
+    def get(self) -> float:
+        with self._value.get_lock():
+            return float(self._value.value)
+
+    def offer(self, candidate: float) -> None:
+        with self._value.get_lock():
+            if candidate > self._value.value:
+                self._value.value = candidate
+
+
 def fan_out(tasks: list) -> list:
     """The process-bearing driver the exception table clears."""
-    multiprocessing.Value("d", 0.0)
     return run_tasks(tasks)

@@ -1,0 +1,27 @@
+"""Good fixture: fabric submissions that obey R10."""
+
+from dataclasses import dataclass
+
+from repro.experiments.parallel import run_tasks
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Frozen payload: safe to pickle across the fabric."""
+
+    payload: int
+
+
+def run_job(job: JobSpec) -> int:
+    """Top-level worker with a frozen dataclass payload."""
+    return job.payload
+
+
+def run_indexed(task: tuple[int, str]) -> int:
+    """Immutable builtin payloads are fine too."""
+    return task[0]
+
+
+def launch(tasks: list) -> list:
+    """Both submissions are hygienic."""
+    return run_tasks(run_job, tasks) + run_tasks(run_indexed, tasks)

@@ -1,6 +1,8 @@
-"""Good fixture: a mini event schema, fully emitted."""
+"""Good fixture: a mini event schema, fully emitted, in both forms."""
 
-EVENT_SCHEMA: dict[str, frozenset[str]] = {
-    "tuple.drop": frozenset({"replica", "port"}),
+EVENT_SCHEMA: dict[str, object] = {
+    # Typed form: field names and value tags, all statically validated.
+    "tuple.drop": {"replica": "str", "port": "int"},
+    # Legacy form: field names only, still accepted.
     "replica.crash": frozenset({"replica"}),
 }

@@ -2,6 +2,8 @@
 
 import random
 
+from repro.util.budget import expired
+
 
 def stamp(now: float) -> float:
     """Timestamps come in from the simulation clock."""
@@ -21,3 +23,8 @@ def canonical_hosts(hosts: set[str]) -> list[str]:
 def host_count(hosts: set[str]) -> int:
     """Order-neutral consumers of sets are fine."""
     return len(hosts)
+
+
+def paced(deadline: float) -> bool:
+    """Calling a budget-confined helper leaves the sim path untainted."""
+    return expired(deadline)

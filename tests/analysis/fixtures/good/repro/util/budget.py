@@ -1,0 +1,15 @@
+"""Good fixture: a budget-confined deadline helper taints no caller.
+
+The read below needs its own waiver (the local rule flags every
+wall-clock read), but the effect pass proves it budget-only — the
+value never escapes the comparison — so sim-path callers stay clean
+with no waiver of their own.
+"""
+
+import time
+
+
+def expired(deadline: float) -> bool:
+    """The read only feeds a comparison: budget-only, no taint."""
+    # repro: allow[R1] reason=budget-only deadline check, proven non-escaping by the effect pass
+    return time.monotonic() > deadline

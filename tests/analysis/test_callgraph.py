@@ -1,0 +1,237 @@
+"""Call-graph construction: each resolution layer, pinned in isolation.
+
+Every test builds a tiny package in ``tmp_path`` (with the ``__init__``
+chain that gives files real dotted module names) and asserts on the
+resolved edges, so a regression names the exact resolution layer that
+broke rather than a downstream rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.callgraph import EXTERNAL, CallGraph, build_call_graph
+from repro.analysis.facts import FileFacts, collect_facts
+
+
+def _build(
+    tmp_path: Path,
+    modules: dict[str, str],
+    strict: tuple[str, ...] = ("pkg",),
+) -> tuple[CallGraph, dict[str, FileFacts]]:
+    all_facts = []
+    by_module: dict[str, FileFacts] = {}
+    (tmp_path / "pkg").mkdir(exist_ok=True)
+    (tmp_path / "pkg" / "__init__.py").touch()
+    for name, source in modules.items():
+        path = tmp_path / "pkg" / f"{name}.py"
+        path.write_text(source)
+    for path in sorted((tmp_path / "pkg").glob("*.py")):
+        facts = collect_facts(path, str(path))
+        all_facts.append(facts)
+        by_module[facts.module] = facts
+    return build_call_graph(all_facts, strict_prefixes=strict), by_module
+
+
+def _edges(graph: CallGraph) -> list[tuple[str, str, str]]:
+    return [(s.caller, s.callee, s.resolution) for s in graph.call_sites]
+
+
+class TestResolutionLayers:
+    def test_direct_same_module_call(self, tmp_path):
+        graph, _ = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "def helper() -> int:\n"
+                    "    return 1\n"
+                    "def caller() -> int:\n"
+                    "    return helper()\n"
+                )
+            },
+        )
+        assert ("pkg.mod.caller", "pkg.mod.helper", "direct") in _edges(graph)
+
+    def test_alias_resolves_through_package_reexport(self, tmp_path):
+        graph, _ = _build(
+            tmp_path,
+            {
+                "__init__": '"""Doc."""\nfrom pkg.impl import work\n',
+                "impl": (
+                    '"""Doc."""\n'
+                    "def work() -> int:\n"
+                    "    return 1\n"
+                ),
+                "app": (
+                    '"""Doc."""\n'
+                    "from pkg import work\n"
+                    "def run() -> int:\n"
+                    "    return work()\n"
+                ),
+            },
+        )
+        assert ("pkg.app.run", "pkg.impl.work", "alias") in _edges(graph)
+
+    def test_constructor_call_resolves_to_init(self, tmp_path):
+        graph, _ = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "class Widget:\n"
+                    "    def __init__(self) -> None:\n"
+                    "        self.x = 1\n"
+                    "def make() -> Widget:\n"
+                    "    return Widget()\n"
+                )
+            },
+        )
+        assert (
+            "pkg.mod.make",
+            "pkg.mod.Widget.__init__",
+            "constructor",
+        ) in _edges(graph)
+
+    def test_self_method_call(self, tmp_path):
+        graph, _ = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "class Widget:\n"
+                    "    def a(self) -> int:\n"
+                    "        return self.b()\n"
+                    "    def b(self) -> int:\n"
+                    "        return 1\n"
+                )
+            },
+        )
+        assert (
+            "pkg.mod.Widget.a",
+            "pkg.mod.Widget.b",
+            "self",
+        ) in _edges(graph)
+
+    def test_annotated_receiver_resolves_by_type(self, tmp_path):
+        graph, _ = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "class Widget:\n"
+                    "    def poke(self) -> int:\n"
+                    "        return 1\n"
+                    "def use(w: Widget) -> int:\n"
+                    "    return w.poke()\n"
+                )
+            },
+        )
+        assert (
+            "pkg.mod.use",
+            "pkg.mod.Widget.poke",
+            "receiver",
+        ) in _edges(graph)
+
+    def test_unique_method_name_fallback(self, tmp_path):
+        graph, _ = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "class Widget:\n"
+                    "    def frobnicate(self) -> int:\n"
+                    "        return 1\n"
+                    "def use(w) -> int:\n"
+                    "    return w.frobnicate()\n"
+                )
+            },
+        )
+        assert (
+            "pkg.mod.use",
+            "pkg.mod.Widget.frobnicate",
+            "unique",
+        ) in _edges(graph)
+
+    def test_known_external_receiver_blocks_the_fallback(self, tmp_path):
+        # A receiver whose type resolves to something outside the scan
+        # must NOT fall back to unique-method matching: guessing there
+        # would attribute foreign behavior to scanned code.
+        graph, _ = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "import queue\n"
+                    "class Widget:\n"
+                    "    def put(self) -> int:\n"
+                    "        return 1\n"
+                    "def use(q: queue.Queue) -> None:\n"
+                    "    q.put()\n"
+                )
+            },
+        )
+        assert all(s.callee != "pkg.mod.Widget.put" for s in graph.call_sites)
+
+
+class TestGraphQueries:
+    def test_enclosing_function_finds_nested_scope(self, tmp_path):
+        graph, by_module = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "def outer() -> int:\n"
+                    "    def inner() -> int:\n"
+                    "        return 1\n"
+                    "    return inner()\n"
+                )
+            },
+        )
+        facts = by_module["pkg.mod"]
+        ret = next(
+            n
+            for n in ast.walk(facts.tree)
+            if isinstance(n, ast.Return) and isinstance(n.value, ast.Constant)
+        )
+        info = graph.enclosing_function(facts, ret)
+        assert info is not None
+        assert info.qualname == "pkg.mod.outer.inner"
+        assert info.is_nested
+
+    def test_external_prefix_marks_foreign_types(self, tmp_path):
+        graph, by_module = _build(
+            tmp_path,
+            {
+                "mod": (
+                    '"""Doc."""\n'
+                    "import queue\n"
+                    "def use(q: queue.Queue) -> None:\n"
+                    "    q.get()\n"
+                )
+            },
+        )
+        facts = by_module["pkg.mod"]
+        call = next(n for n in ast.walk(facts.tree) if isinstance(n, ast.Call))
+        info = graph.functions["pkg.mod.use"]
+        rtype = graph.receiver_type(info, facts, call.func.value)
+        assert rtype == f"{EXTERNAL}queue.Queue"
+
+    def test_call_sites_are_deterministically_ordered(self, tmp_path):
+        source = {
+            "mod": (
+                '"""Doc."""\n'
+                "def a() -> int:\n"
+                "    return 1\n"
+                "def b() -> int:\n"
+                "    return a()\n"
+                "def c() -> int:\n"
+                "    return a() + b()\n"
+            )
+        }
+        first, _ = _build(tmp_path, source)
+        again, _ = _build(tmp_path, source)
+        assert _edges(first) == _edges(again)
+        keys = [(s.file, s.line, s.col, s.callee) for s in first.call_sites]
+        assert keys == sorted(keys)

@@ -1,0 +1,154 @@
+"""Effect inference: taint collection, propagation, budget carve-out.
+
+The headline pin here is old-miss/new-catch: the cross-function leak
+fixture produces ZERO findings under per-file scanning (the pre-graph
+linter's view) and exactly the R1/R2 pair under the whole-program pass.
+That asymmetry is the reason the call graph exists.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.effects import (
+    KIND_RNG,
+    KIND_WALLCLOCK,
+    EffectAnalysis,
+)
+from repro.analysis.engine import run_analysis
+from repro.analysis.facts import collect_facts
+from repro.analysis.rules import check_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+NO_ALLOWLIST = FIXTURES / "missing-allowlist"
+
+
+def _effects(tmp_path: Path, source: str) -> EffectAnalysis:
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").touch()
+    path = tmp_path / "pkg" / "mod.py"
+    path.write_text(source)
+    facts = collect_facts(path, str(path))
+    return EffectAnalysis(build_call_graph([facts]))
+
+
+class TestIntrinsicSites:
+    def test_wallclock_read_taints_its_function(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            '"""Doc."""\n'
+            "import time\n"
+            "def stamp() -> float:\n"
+            "    return time.time()\n",
+        )
+        taints = effects.taint_of("pkg.mod.stamp")
+        assert KIND_WALLCLOCK in taints
+        chain = taints[KIND_WALLCLOCK]
+        assert len(chain) == 1
+        assert effects.render_chain(chain).startswith("time.time() (")
+
+    def test_unseeded_rng_taints_its_function(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            '"""Doc."""\n'
+            "import random\n"
+            "def draw() -> float:\n"
+            "    return random.random()\n",
+        )
+        assert KIND_RNG in effects.taint_of("pkg.mod.draw")
+
+    def test_budget_confined_read_does_not_taint(self, tmp_path):
+        # A deadline check whose clock value only ever feeds comparisons
+        # cannot leak nondeterminism into results, so the function stays
+        # clean for callers (the placement_search carve-out).
+        effects = _effects(
+            tmp_path,
+            '"""Doc."""\n'
+            "import time\n"
+            "def expired(deadline: float) -> bool:\n"
+            "    return time.monotonic() > deadline\n",
+        )
+        assert effects.taint_of("pkg.mod.expired") == {}
+        (site,) = effects.intrinsic["pkg.mod.expired"]
+        assert site.budget_only
+
+    def test_escaping_read_is_not_budget_confined(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            '"""Doc."""\n'
+            "import time\n"
+            "def leak(deadline: float) -> float:\n"
+            "    now = time.monotonic()\n"
+            "    if now > deadline:\n"
+            "        return 0.0\n"
+            "    return now\n",  # the read escapes via the return
+        )
+        assert KIND_WALLCLOCK in effects.taint_of("pkg.mod.leak")
+
+
+class TestPropagation:
+    def test_taint_flows_through_two_hops(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            '"""Doc."""\n'
+            "import time\n"
+            "def read() -> float:\n"
+            "    return time.time()\n"
+            "def middle() -> float:\n"
+            "    return read()\n"
+            "def top() -> float:\n"
+            "    return middle()\n",
+        )
+        chain = effects.taint_of("pkg.mod.top")[KIND_WALLCLOCK]
+        assert [step.name for step in chain] == [
+            "pkg.mod.middle",
+            "pkg.mod.read",
+            "time.time()",
+        ]
+        rendered = effects.render_chain(chain)
+        assert rendered.count(" -> ") == 2
+
+    def test_chain_steps_carry_file_and_line(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            '"""Doc."""\n'
+            "import time\n"
+            "def read() -> float:\n"
+            "    return time.time()\n"
+            "def top() -> float:\n"
+            "    return read()\n",
+        )
+        chain = effects.taint_of("pkg.mod.top")[KIND_WALLCLOCK]
+        for step in chain:
+            assert step.file.endswith("mod.py")
+            assert step.line > 0
+        assert chain[0].line == 6  # the call site inside top()
+        assert chain[1].line == 4  # the intrinsic read inside read()
+
+
+class TestOldMissNewCatch:
+    """The acceptance pin: invisible locally, caught interprocedurally."""
+
+    LEAK = FIXTURES / "bad" / "repro" / "sim" / "leak.py"
+
+    def test_per_file_scan_misses_the_leak(self):
+        # leak.py itself contains no intrinsic violation — the wall
+        # clock and RNG live two modules away — so the per-file rules
+        # (the old linter's entire power) see a clean file.
+        facts = collect_facts(self.LEAK, str(self.LEAK))
+        assert check_file(facts) == []
+
+    def test_whole_program_pass_catches_it(self):
+        report = run_analysis([FIXTURES / "bad"], allowlist_path=NO_ALLOWLIST)
+        leak_hits = [
+            (d.line, d.rule, d.message)
+            for d in report.diagnostics
+            if d.file.endswith("sim/leak.py")
+        ]
+        assert [(line, rule) for line, rule, _ in leak_hits] == [
+            (14, "R1"),
+            (15, "R2"),
+        ]
+        for _, _, message in leak_hits:
+            assert "[chain:" in message

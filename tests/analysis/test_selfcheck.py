@@ -16,7 +16,12 @@ import pytest
 
 from repro.analysis.engine import AnalysisReport, run_analysis
 from repro.analysis.facts import collect_facts
-from repro.obs.events import known_event_types, required_fields
+from repro.obs.events import (
+    check_field_value,
+    field_types,
+    known_event_types,
+    required_fields,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src" / "repro"
@@ -75,10 +80,47 @@ class TestSchemaAgreement:
         for event_type, fields in parsed.items():
             assert fields == required_fields(event_type)
 
+    def test_ast_types_match_runtime_types(self):
+        # Same pin for the typed layer: the per-field tags the linter
+        # parses out of EVENT_SCHEMA must be exactly the tags the
+        # runtime validator enforces.
+        facts = collect_facts(EVENTS, EVENTS.as_posix())
+        for schema_def in facts.schema_defs:
+            assert schema_def.types is not None, schema_def.event_type
+            assert schema_def.type_map() == field_types(schema_def.event_type)
+
+    @pytest.mark.parametrize(
+        ("tag", "value", "ok"),
+        [
+            ("int", 3, True),
+            ("int", True, False),  # bool is not an int here
+            ("float", 3, True),  # ints coerce into float fields
+            ("float", 1.5, True),
+            ("float", None, False),
+            ("float?", None, True),
+            ("str", "x", True),
+            ("str", 1, False),
+            ("bool", True, True),
+            ("bool", 1, False),
+            ("list", (1, 2), True),  # tuples pass as list payloads
+            ("list", [1], True),
+            ("dict", {}, True),
+            ("dict", [], False),
+            ("any", object(), True),
+            ("any?", None, True),
+        ],
+    )
+    def test_runtime_tag_semantics_mirror_static_ones(self, tag, value, ok):
+        # The runtime check and the linter's _tag_compatible() implement
+        # the same lattice (int-into-float, bool excluded from numerics,
+        # trailing '?' for nullable). Pin the runtime side value-by-value
+        # so the two can't drift apart silently.
+        assert check_field_value(tag, value) is ok
+
     def test_removing_a_schema_entry_fails_r4(self, src_copy):
         events = src_copy / "obs" / "events.py"
         source = events.read_text()
-        needle = '"span.start": frozenset({"span", "name"}),'
+        needle = '"span.start": {"span": "int", "name": "str"},'
         assert needle in source
         events.write_text(source.replace(needle, ""))
         report = _analyze(src_copy)
@@ -104,7 +146,7 @@ class TestSchemaAgreement:
     def test_dead_schema_entry_fails_r4(self, src_copy):
         events = src_copy / "obs" / "events.py"
         source = events.read_text()
-        needle = '"sim.run.start": frozenset({"until"}),'
+        needle = '"sim.run.start": {"until": "float?"},'
         assert needle in source
         events.write_text(
             source.replace(

@@ -107,4 +107,12 @@ class TestSchema:
     def test_core_field_names_are_reserved(self):
         # Payload fields may never shadow the envelope keys.
         for fields in EVENT_SCHEMA.values():
-            assert not fields & {"seq", "t", "type"}
+            assert not fields.keys() & {"seq", "t", "type"}
+
+    def test_every_field_tag_is_well_formed(self):
+        from repro.obs.events import _TAG_BASES
+
+        for fields in EVENT_SCHEMA.values():
+            for tag in fields.values():
+                base = tag[:-1] if tag.endswith("?") else tag
+                assert base in _TAG_BASES, tag
